@@ -1,0 +1,45 @@
+# paramring — build, test and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... && $(GO) tool cover -func=cover.out | tail -20
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/claim of the paper (summary table).
+experiments:
+	$(GO) run ./cmd/lrexperiments -summary
+
+# Emit DOT files for the paper's graph figures.
+figures:
+	mkdir -p figures
+	$(GO) run ./cmd/lrviz -protocol matching -graph rcg > figures/fig1-rcg.dot
+	$(GO) run ./cmd/lrviz -protocol matchingA -graph rcg -deadlocks > figures/fig2-deadlocks.dot
+	$(GO) run ./cmd/lrviz -protocol matchingB -graph rcg -deadlocks > figures/fig3-deadlocks.dot
+	$(GO) run ./cmd/lrviz -protocol matchingA -graph ltg > figures/fig4-ltg.dot
+	$(GO) run ./cmd/lrviz -protocol gouda-acharya -graph ltg > figures/fig8-ltg.dot
+	$(GO) run ./cmd/lrviz -protocol coloring3 -graph ltg > figures/fig9-ltg.dot
+	$(GO) run ./cmd/lrviz -protocol agreement-both -graph ltg > figures/fig10-ltg.dot
+	$(GO) run ./cmd/lrviz -protocol coloring2 -graph ltg > figures/fig11-ltg.dot
+	$(GO) run ./cmd/lrviz -protocol sum-not-two-ss -graph ltg > figures/fig12-ltg.dot
+
+clean:
+	rm -rf figures cover.out

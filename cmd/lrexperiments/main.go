@@ -1,0 +1,72 @@
+// Command lrexperiments regenerates every figure and evaluation claim of
+// the paper "Local Reasoning for Global Convergence of Parameterized Rings"
+// and reports paper-vs-measured agreement. Its output backs EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lrexperiments             # run everything
+//	lrexperiments -id F3      # run one experiment
+//	lrexperiments -summary    # one line per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"paramring/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment (F1..F12, T1..T4, X1..X4)")
+	summary := flag.Bool("summary", false, "print only the one-line verdicts")
+	paperOnly := flag.Bool("paper-only", false, "skip the extension experiments (X*)")
+	flag.Parse()
+
+	var list []experiments.Experiment
+	switch {
+	case *id != "":
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lrexperiments: unknown experiment %q\n", *id)
+			os.Exit(2)
+		}
+		list = []experiments.Experiment{e}
+	case *paperOnly:
+		list = experiments.All()
+	default:
+		list = experiments.AllWithExtensions()
+	}
+
+	allMatch := true
+	for _, e := range list {
+		var detail io.Writer = os.Stdout
+		if *summary {
+			detail = io.Discard
+		} else {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		}
+		out, err := e.Run(detail)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			allMatch = false
+			continue
+		}
+		if *summary {
+			fmt.Printf("%-4s match=%-5v %s\n", e.ID, out.Match, out.Measured)
+		} else {
+			fmt.Printf("paper:    %s\nmeasured: %s\nmatch:    %v\n", e.Paper, out.Measured, out.Match)
+			if out.Note != "" {
+				fmt.Printf("note:     %s\n", out.Note)
+			}
+			fmt.Println()
+		}
+		if !out.Match {
+			allMatch = false
+		}
+	}
+	if !allMatch {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Command lrsim simulates a protocol instance under a chosen daemon, with
+// optional transient-fault injection, reporting convergence statistics and
+// the enablement dynamics that Section 5 of the paper reasons about.
+//
+// Usage:
+//
+//	lrsim -protocol sum-not-two-ss -k 8 -trials 500
+//	lrsim -protocol agreement-both -k 6 -scheduler round-robin
+//	lrsim -protocol matchingA -k 7 -faults 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+	"paramring/internal/sim"
+	"paramring/internal/trace"
+)
+
+func main() {
+	name := flag.String("protocol", "", "protocol name")
+	k := flag.Int("k", 6, "ring size")
+	trials := flag.Int("trials", 200, "number of runs")
+	maxSteps := flag.Int("max-steps", 10000, "step budget per run")
+	schedName := flag.String("scheduler", "random", "random, round-robin or rightmost")
+	faults := flag.Int("faults", 0, "if > 0, start runs by corrupting this many variables of a legitimate state")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	showTrace := flag.Bool("trace", false, "print the first run's computation")
+	flag.Parse()
+
+	p, ok := protocols.All()[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lrsim: unknown protocol %q\n", *name)
+		os.Exit(2)
+	}
+	in, err := explicit.NewInstance(p, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrsim: %v\n", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	newSched := func() sim.Scheduler {
+		switch *schedName {
+		case "round-robin":
+			return &sim.RoundRobin{}
+		case "rightmost":
+			return sim.Rightmost{}
+		default:
+			return sim.Random{}
+		}
+	}
+
+	startState := func() uint64 {
+		if *faults <= 0 {
+			return sim.RandomState(in, rng)
+		}
+		// Find a legitimate state to corrupt.
+		for {
+			s := sim.RandomState(in, rng)
+			if in.InI(s) {
+				return sim.InjectFaults(in, s, *faults, rng)
+			}
+		}
+	}
+
+	if *showTrace {
+		res := sim.Run(in, startState(), newSched(), rng, sim.Options{MaxSteps: *maxSteps, RecordTrace: true})
+		comp := trace.Computation{In: in, States: res.Trace, Procs: res.Procs}
+		fmt.Printf("run: converged=%v steps=%d\n%s\n\n", res.Converged, res.Steps, comp.String())
+	}
+
+	var st sim.Stats
+	st.Trials = *trials
+	totalSteps, converged, deadlocked, maxSeen := 0, 0, 0, 0
+	anyCollision := false
+	for i := 0; i < *trials; i++ {
+		res := sim.Run(in, startState(), newSched(), rng, sim.Options{MaxSteps: *maxSteps})
+		if res.Converged {
+			converged++
+			totalSteps += res.Steps
+			if res.Steps > maxSeen {
+				maxSeen = res.Steps
+			}
+		}
+		if res.Deadlocked {
+			deadlocked++
+		}
+		if res.Collisions > 0 {
+			anyCollision = true
+		}
+	}
+	fmt.Printf("%s K=%d scheduler=%s trials=%d\n", p.Name(), *k, *schedName, *trials)
+	fmt.Printf("converged: %d/%d", converged, *trials)
+	if converged > 0 {
+		fmt.Printf(" (mean %.1f steps, max %d)", float64(totalSteps)/float64(converged), maxSeen)
+	}
+	fmt.Println()
+	fmt.Printf("deadlocked outside I: %d\n", deadlocked)
+	fmt.Printf("collisions observed: %v\n", anyCollision)
+}

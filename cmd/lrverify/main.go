@@ -1,0 +1,120 @@
+// Command lrverify runs the paper's local-reasoning checks on a protocol
+// from the zoo: Theorem 4.2 (deadlock-freedom for every ring size K) and
+// Theorem 5.14 (livelock-freedom for every K on unidirectional rings),
+// entirely in the local state space of the representative process.
+//
+// Usage:
+//
+//	lrverify -protocol agreement-t01
+//	lrverify -protocol matchingB        # prints the deadlock cycles
+//	lrverify -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paramring/internal/cli"
+	"paramring/internal/ltg"
+	"paramring/internal/rcg"
+)
+
+func main() {
+	name := flag.String("protocol", "", "protocol name (see -list)")
+	file := flag.String("file", "", "guarded-commands file (.gc) to verify instead of a zoo protocol")
+	list := flag.Bool("list", false, "list available protocols")
+	maxT := flag.Int("max-tarcs", 16, "exact livelock search limit (2^n subsets)")
+	explain := flag.Bool("explain", false, "print the full pseudo-livelock/trail diagnosis")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available protocols:", cli.ZooNames())
+		return
+	}
+	p, err := cli.LoadProtocol(*name, *file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrverify: %v\n", err)
+		os.Exit(2)
+	}
+
+	sys := p.Compile()
+	lo, hi := p.Window()
+	fmt.Printf("protocol %s: domain %d, window [%d,%d], %d local states, %d local transitions\n",
+		p.Name(), p.Domain(), lo, hi, sys.N(), len(sys.Trans))
+	fmt.Printf("unidirectional: %v, self-disabling: %v\n", p.Unidirectional(), sys.IsSelfDisabling())
+
+	r := rcg.Build(sys)
+	rep, err := r.CheckDeadlockFreedom(0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrverify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nTheorem 4.2 (deadlock-freedom for every K): %v\n", rep.Free)
+	fmt.Printf("  local deadlocks: %d (%d illegitimate)\n", len(rep.LocalDeadlocks), len(rep.IllegitimateDeadlocks))
+	for _, c := range rep.BadCycles {
+		fmt.Printf("  illegitimate deadlock cycle (ring sizes %d, 2*%d, ...): %s\n", len(c), len(c), r.FormatCycle(c))
+	}
+	if !rep.Free {
+		sizes := r.DeadlockRingSizes(2, 16)
+		fmt.Print("  deadlocking ring sizes up to 16:")
+		for k := 2; k <= 16; k++ {
+			if sizes[k] {
+				fmt.Printf(" %d", k)
+			}
+		}
+		fmt.Println()
+		fmt.Print("  illegitimate deadlock counts:")
+		for _, k := range []int{4, 6, 8, 16, 32} {
+			if c, err := r.CountIllegitimateDeadlocks(k); err == nil {
+				fmt.Printf(" K=%d:%s", k, c)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Print("  |I(K)| (transfer matrix):")
+	for _, k := range []int{4, 8, 16, 64} {
+		if c, err := r.CountLegitimate(k); err == nil {
+			fmt.Printf(" K=%d:%s", k, c)
+		}
+	}
+	fmt.Println()
+
+	llRep, err := ltg.CheckLivelockFreedom(p, ltg.CheckOptions{MaxTArcs: *maxT})
+	if err != nil {
+		fmt.Printf("\nTheorem 5.14 (livelock-freedom): not applicable: %v\n", err)
+		return
+	}
+	scope := "every K"
+	if llRep.ContiguousOnly {
+		scope = "contiguous livelocks only (bidirectional ring)"
+	}
+	fmt.Printf("\nTheorem 5.14 (livelock-freedom, %s): %v\n", scope, llRep.Verdict)
+	fmt.Printf("  %s\n", llRep.Reason)
+	if llRep.Witness != nil {
+		fmt.Printf("  witness t-arcs: %s\n", ltg.FormatTArcs(sys, llRep.Witness.TArcs))
+		conf, err := ltg.ConfirmWitness(p, llRep.Witness, 7)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrverify: confirming witness: %v\n", err)
+			os.Exit(1)
+		}
+		if conf.Confirmed {
+			fmt.Printf("  witness CONFIRMED: real livelock at K=%d\n", conf.K)
+		} else {
+			fmt.Printf("  witness not reconstructible for K<=%d (possibly spurious — Theorem 5.14 is sufficient, not necessary)\n", conf.MaxKChecked)
+		}
+	}
+
+	if *explain {
+		if d, err := ltg.Diagnose(p, ltg.CheckOptions{MaxTArcs: *maxT}); err == nil {
+			fmt.Println("\ndiagnosis:")
+			fmt.Print(d.Summary(sys))
+		} else {
+			fmt.Printf("\ndiagnosis unavailable: %v\n", err)
+		}
+	}
+
+	if rep.Free && llRep.Verdict == ltg.VerdictFree && !llRep.ContiguousOnly {
+		fmt.Println("\n=> strongly self-stabilizing for EVERY ring size K (Proposition 2.1)")
+	}
+}

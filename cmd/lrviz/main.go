@@ -1,0 +1,47 @@
+// Command lrviz renders the RCG or LTG of a zoo protocol as Graphviz DOT,
+// regenerating the paper's figures (Figure 1: -protocol matching -graph rcg;
+// Figure 2: -protocol matchingA -graph rcg -deadlocks; Figure 4: -protocol
+// matchingA -graph ltg; Figures 9-12: the unidirectional examples).
+//
+// Usage:
+//
+//	lrviz -protocol matching -graph rcg > fig1.dot && dot -Tpng fig1.dot
+//	lrviz -protocol matchingB -graph rcg -deadlocks > fig3.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paramring/internal/cli"
+	"paramring/internal/ltg"
+	"paramring/internal/rcg"
+	"paramring/internal/viz"
+)
+
+func main() {
+	name := flag.String("protocol", "", "protocol name")
+	file := flag.String("file", "", "guarded-commands file (.gc) to render")
+	graph := flag.String("graph", "ltg", "rcg or ltg")
+	deadlocks := flag.Bool("deadlocks", false, "restrict to local deadlock states (Figures 2 and 3)")
+	rankdir := flag.String("rankdir", "", "Graphviz rankdir (e.g. LR)")
+	flag.Parse()
+
+	p, err := cli.LoadProtocol(*name, *file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrviz: %v\n", err)
+		os.Exit(2)
+	}
+	sys := p.Compile()
+	opts := viz.Options{OnlyDeadlocks: *deadlocks, RankDir: *rankdir}
+	switch *graph {
+	case "rcg":
+		fmt.Print(viz.RCGDOT(rcg.Build(sys), opts))
+	case "ltg":
+		fmt.Print(viz.LTGDOT(ltg.Build(sys), opts))
+	default:
+		fmt.Fprintf(os.Stderr, "lrviz: unknown graph kind %q (want rcg or ltg)\n", *graph)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Sum-not-two synthesis walkthrough — the paper's Section 6.2 example that
+// exercises every branch of the methodology: a Resolve set that must cover
+// all illegitimate deadlocks, candidate sets rejected for pseudo-livelocking
+// trails (two of which are SPURIOUS — the condition is sufficient, not
+// necessary — and two of which hide REAL K=3 livelocks the paper's prose
+// missed), and accepted sets that are convergent for every ring size.
+//
+// Run with: go run ./examples/sumnottwo-synthesis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paramring/internal/explicit"
+	"paramring/internal/ltg"
+	"paramring/internal/protocols"
+	"paramring/internal/synthesis"
+)
+
+func main() {
+	base := protocols.SumNotTwoBase()
+	fmt.Println("sum-not-two: x_r in {0,1,2}, LC_r: x_{r-1} + x_r != 2, empty input protocol")
+	fmt.Println()
+
+	res, err := synthesis.Synthesize(base, synthesis.Options{All: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Steps {
+		fmt.Println(s)
+	}
+
+	sys := base.Compile()
+	fmt.Printf("\n%d accepted, %d rejected. Classifying the rejections by exhaustive search:\n",
+		len(res.Accepted), len(res.Rejections))
+	for _, rej := range res.Rejections {
+		pss, err := synthesis.Apply(base, rej.Chosen, "conv")
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "SPURIOUS trail (no livelock found for K=3..6 — Theorem 5.14 is sufficient, not necessary)"
+		for k := 3; k <= 6; k++ {
+			in, err := explicit.NewInstance(pss, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if c := in.FindLivelock(); c != nil {
+				verdict = fmt.Sprintf("REAL livelock at K=%d: %s", k, in.FormatCycle(c))
+				break
+			}
+		}
+		fmt.Printf("  %s: %s\n", ltg.FormatTArcs(sys, rej.Chosen), verdict)
+	}
+
+	fmt.Println("\nThe paper's highlighted solution, as a guarded-command action:")
+	fmt.Println("  (x_r + x_{r-1} = 2) AND (x_r != 2) -> x_r := (x_r + 1) mod 3")
+	fmt.Println("  (x_r + x_{r-1} = 2) AND (x_r  = 2) -> x_r := (x_r - 1) mod 3")
+	sol := protocols.SumNotTwoSolution()
+	rep, err := ltg.CheckLivelockFreedom(sol, ltg.CheckOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local livelock verdict: %v\n", rep.Verdict)
+	fmt.Print("explicit cross-validation:")
+	for k := 3; k <= 8; k++ {
+		in, err := explicit.NewInstance(sol, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" K=%d:%v", k, in.CheckStrongConvergence().Converges)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module paramring
+
+go 1.22

@@ -1,0 +1,42 @@
+// Package cli holds helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paramring/internal/core"
+	"paramring/internal/dsl"
+	"paramring/internal/protocols"
+)
+
+// LoadProtocol resolves a protocol from either a zoo name or a guarded-
+// commands file (exactly one of name/file must be non-empty).
+func LoadProtocol(name, file string) (*core.Protocol, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("specify either -protocol or -file, not both")
+	case file != "":
+		return dsl.ParseFile(file)
+	case name != "":
+		p, ok := protocols.All()[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q; available: %s", name, ZooNames())
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("specify -protocol <name> (available: %s) or -file <path.gc>", ZooNames())
+	}
+}
+
+// ZooNames lists the built-in protocol names, sorted.
+func ZooNames() string {
+	zoo := protocols.All()
+	names := make([]string, 0, len(zoo))
+	for n := range zoo {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadProtocolZoo(t *testing.T) {
+	p, err := LoadProtocol("agreement", "")
+	if err != nil || p.Name() != "agreement" {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+}
+
+func TestLoadProtocolErrors(t *testing.T) {
+	if _, err := LoadProtocol("", ""); err == nil {
+		t.Fatal("empty args must error")
+	}
+	if _, err := LoadProtocol("nope", ""); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if _, err := LoadProtocol("agreement", "x.gc"); err == nil {
+		t.Fatal("both args must error")
+	}
+	if _, err := LoadProtocol("", "/does/not/exist.gc"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadProtocolFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.gc")
+	src := "protocol custom\ndomain 2\nwindow -1 0\nlegit x[0] == x[-1]\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProtocol("", path)
+	if err != nil || p.Name() != "custom" {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+}
+
+func TestZooNamesSorted(t *testing.T) {
+	names := ZooNames()
+	if !strings.Contains(names, "agreement") || !strings.Contains(names, "mis") {
+		t.Fatalf("names = %q", names)
+	}
+	parts := strings.Split(names, ", ")
+	for i := 1; i < len(parts); i++ {
+		if parts[i] < parts[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

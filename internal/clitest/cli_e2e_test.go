@@ -1,0 +1,143 @@
+// Package clitest runs the command-line tools end to end via `go run`,
+// asserting on their observable output — the closest thing to a user
+// driving the shipped binaries. Skipped under -short.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// run executes `go run ./cmd/<tool> args...` at the module root and returns
+// combined output; wantExit selects the expected process outcome.
+func run(t *testing.T, tool string, wantOK bool, args ...string) string {
+	t.Helper()
+	root := moduleRoot(t)
+	cmdArgs := append([]string{"run", "./cmd/" + tool}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if wantOK && err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	if !wantOK && err == nil {
+		t.Fatalf("%s %v expected a non-zero exit\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func requireContains(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestLrverifyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrverify", true, "-protocol", "sum-not-two-ss", "-explain")
+	requireContains(t, out,
+		"Theorem 4.2 (deadlock-freedom for every K): true",
+		"livelock-free",
+		"strongly self-stabilizing for EVERY ring size K",
+		"diagnosis:")
+
+	out = run(t, "lrverify", true, "-protocol", "matchingB")
+	requireContains(t, out,
+		"Theorem 4.2 (deadlock-freedom for every K): false",
+		"<rll, lls, lsr, srl>",
+		"deadlocking ring sizes up to 16: 4 6 7 8")
+
+	out = run(t, "lrverify", true, "-file", "specs/mis.gc")
+	requireContains(t, out, "protocol mis", "Theorem 4.2 (deadlock-freedom for every K): true")
+
+	run(t, "lrverify", false, "-protocol", "not-a-protocol")
+}
+
+func TestLrsynthEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrsynth", true, "-protocol", "agreement", "-validate", "4")
+	requireContains(t, out, "accept", "phase NPL", "K=4:true")
+
+	out = run(t, "lrsynth", false, "-protocol", "coloring3")
+	requireContains(t, out, "declare failure", "FAILURE")
+}
+
+func TestLrmcEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrmc", true, "-protocol", "agreement-both", "-k", "4")
+	requireContains(t, out, "livelock: FOUND", "strong convergence to I(K): false", "weak convergence to I(K): true")
+
+	out = run(t, "lrmc", true, "-protocol", "token-ring", "-k", "4", "-m", "4")
+	requireContains(t, out, "strong convergence to I(K): true", "recovery radius")
+}
+
+func TestLrvizEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrviz", true, "-protocol", "matching", "-graph", "rcg")
+	requireContains(t, out, "digraph", "style=dashed", `"lls"`)
+}
+
+func TestLrsimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrsim", true, "-protocol", "sum-not-two-ss", "-k", "6", "-trials", "20")
+	requireContains(t, out, "converged: 20/20")
+}
+
+func TestLrtreeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrtree", true, "-file", "specs/coloring3.gc", "-synthesize", "-validate-chains", "3")
+	requireContains(t, out, "stabilizing over ALL rooted trees", "chain n=3: strongly converges=true")
+}
+
+func TestLrexperimentsSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrexperiments", true, "-id", "F5", "-summary")
+	requireContains(t, out, "F5", "match=true")
+}
+
+func TestLrreportEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := run(t, "lrreport", true, "-maxk", "4", "-trials", "10")
+	requireContains(t, out, "# paramring evaluation sweep", "| matchingA |", "Simulated recovery")
+}

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func benchProtocol(b *testing.B, d, lo, hi int) *Protocol {
+	b.Helper()
+	p, err := New(Config{
+		Name:   "bench",
+		Domain: d,
+		Lo:     lo,
+		Hi:     hi,
+		Actions: []Action{{
+			Name:  "cycle",
+			Guard: func(v View) bool { return v[0] == v[len(v)-1] },
+			Next:  func(v View) []int { return []int{(v[len(v)-1] + 1) % d} },
+		}},
+		Legit: func(v View) bool { return v[0] != v[len(v)-1] },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkCompile(b *testing.B) {
+	cases := []struct {
+		name      string
+		d, lo, hi int
+	}{
+		{"d2w2", 2, -1, 0},
+		{"d3w3", 3, -1, 1},
+		{"d4w3", 4, -1, 1},
+		{"d3w5", 3, -2, 2},
+	}
+	for _, tc := range cases {
+		p := benchProtocol(b, tc.d, tc.lo, tc.hi)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Compile()
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	view := View{1, 2, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decode(Encode(view, 3), 3, 3)
+	}
+}
+
+func BenchmarkSelfDisable(b *testing.B) {
+	p, err := NewFromTable(Config{
+		Name: "chain", Domain: 4, Lo: 0, Hi: 0,
+		Legit: func(v View) bool { return true },
+	}, []TableAction{
+		{Name: "a", Moves: map[LocalState][]int{0: {1}}},
+		{Name: "b", Moves: map[LocalState][]int{1: {2}}},
+		{Name: "c", Moves: map[LocalState][]int{2: {3}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SelfDisable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuplePackUnpack(b *testing.B) {
+	tp := MustNewTuple(3, 4, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp.Pack(tp.Unpack(i % tp.Size())...)
+	}
+}

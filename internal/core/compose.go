@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Compose builds the layered product of two protocols: every process owns
+// the pair (a_r, b_r) packed into one variable over the product domain, the
+// read window is the union of the two windows, and each layer's actions run
+// unchanged on its own component (an action of p reads/writes only the
+// a-components, an action of q only the b-components). The legitimate
+// predicate is the conjunction of the layers'.
+//
+// Composition preserves stabilization for *silent* layers — protocols whose
+// legitimate states are exactly their deadlock states, which is what the
+// Section 6 synthesis produces (new transitions originate only outside I
+// and the base Delta|I is empty for action-free inputs). With silent
+// layers, any infinite computation of the product must execute one layer
+// infinitely often, contradicting that layer's own convergence-plus-silence;
+// and a product deadlock means both layers are deadlocked, hence both in
+// their legitimate sets. The package tests validate this with the explicit
+// checker; composition of non-silent layers is allowed but carries no such
+// guarantee (one layer can starve the other under pure nondeterminism).
+func Compose(p, q *Protocol) (*Protocol, error) {
+	plo, phi := p.Window()
+	qlo, qhi := q.Window()
+	lo := min(plo, qlo)
+	hi := max(phi, qhi)
+	tup, err := NewTuple(p.Domain(), q.Domain())
+	if err != nil {
+		return nil, fmt.Errorf("core: composing domains: %w", err)
+	}
+
+	// layerView extracts one layer's window from a product view.
+	layerView := func(v View, field, llo, lhi int) View {
+		out := make(View, lhi-llo+1)
+		for o := llo; o <= lhi; o++ {
+			out[o-llo] = tup.Field(v[o-lo], field)
+		}
+		return out
+	}
+
+	var actions []Action
+	for _, a := range p.Actions() {
+		a := a
+		actions = append(actions, Action{
+			Name: "a/" + a.Name,
+			Guard: func(v View) bool {
+				return a.Guard(layerView(v, 0, plo, phi))
+			},
+			Next: func(v View) []int {
+				sub := layerView(v, 0, plo, phi)
+				bOwn := tup.Field(v[-lo], 1)
+				var out []int
+				for _, nv := range a.Next(sub) {
+					out = append(out, tup.Pack(nv, bOwn))
+				}
+				return out
+			},
+		})
+	}
+	for _, a := range q.Actions() {
+		a := a
+		actions = append(actions, Action{
+			Name: "b/" + a.Name,
+			Guard: func(v View) bool {
+				return a.Guard(layerView(v, 1, qlo, qhi))
+			},
+			Next: func(v View) []int {
+				sub := layerView(v, 1, qlo, qhi)
+				aOwn := tup.Field(v[-lo], 0)
+				var out []int
+				for _, nv := range a.Next(sub) {
+					out = append(out, tup.Pack(aOwn, nv))
+				}
+				return out
+			},
+		})
+	}
+	return New(Config{
+		Name:    p.Name() + "*" + q.Name(),
+		Domain:  tup.Size(),
+		Lo:      lo,
+		Hi:      hi,
+		Actions: actions,
+		Legit: func(v View) bool {
+			return p.LegitimateView(layerView(v, 0, plo, phi)) &&
+				q.LegitimateView(layerView(v, 1, qlo, qhi))
+		},
+	})
+}

@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+)
+
+func TestComposeShape(t *testing.T) {
+	// agreement (window [-1,0], d=2) x matchingA (window [-1,1], d=3).
+	p, err := core.Compose(protocols.AgreementOneSided("t01"), protocols.MatchingA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := p.Window()
+	if lo != -1 || hi != 1 {
+		t.Fatalf("window [%d,%d], want [-1,1]", lo, hi)
+	}
+	if p.Domain() != 6 {
+		t.Fatalf("domain = %d, want 2*3", p.Domain())
+	}
+	if got := len(p.Actions()); got != 1+5 {
+		t.Fatalf("actions = %d, want 6", got)
+	}
+}
+
+// Composing two silent stabilizing layers yields a stabilizing product:
+// validated exhaustively for small K.
+func TestComposeSilentLayersStabilize(t *testing.T) {
+	agr := protocols.AgreementOneSided("t01")
+	snt := protocols.SumNotTwoSolution()
+	prod, err := core.Compose(agr, snt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 4; k++ {
+		in, err := explicit.NewInstance(prod, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := in.CheckClosure(); v != nil {
+			t.Fatalf("K=%d: composed closure violated: %+v", k, *v)
+		}
+		rep := in.CheckStrongConvergence()
+		if !rep.Converges {
+			t.Fatalf("K=%d: composed protocol must stabilize: %+v", k, rep)
+		}
+	}
+}
+
+// Layer independence: an a-layer action never changes the b-component.
+func TestComposeLayerIsolation(t *testing.T) {
+	agr := protocols.AgreementOneSided("t01")
+	col := protocols.SumNotTwoSolution()
+	prod, err := core.Compose(agr, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := explicit.NewInstance(prod, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := core.MustNewTuple(2, 3)
+	for id := uint64(0); id < in.NumStates(); id++ {
+		before := in.Decode(id)
+		for _, tr := range in.SuccessorsDetailed(id) {
+			after := in.Decode(tr.To)
+			for r := range before {
+				if before[r] == after[r] {
+					continue
+				}
+				aB, bB := tup.Field(before[r], 0), tup.Field(before[r], 1)
+				aA, bA := tup.Field(after[r], 0), tup.Field(after[r], 1)
+				if tr.Action[0] == 'a' && bB != bA {
+					t.Fatalf("a-layer action %q changed the b component", tr.Action)
+				}
+				if tr.Action[0] == 'b' && aB != aA {
+					t.Fatalf("b-layer action %q changed the a component", tr.Action)
+				}
+			}
+		}
+	}
+}
+
+func TestComposeLegitimacyIsConjunction(t *testing.T) {
+	agr := protocols.AgreementBase()
+	col := protocols.Coloring(2)
+	prod, err := core.Compose(agr, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := core.MustNewTuple(2, 2)
+	// (a_{r-1}, a_r) must agree AND (b_{r-1}, b_r) must differ.
+	view := core.View{tup.Pack(1, 0), tup.Pack(1, 1)}
+	if !prod.LegitimateView(view) {
+		t.Fatal("agree+differ must be legitimate")
+	}
+	view = core.View{tup.Pack(0, 0), tup.Pack(1, 1)}
+	if prod.LegitimateView(view) {
+		t.Fatal("disagreeing a-layer must be illegitimate")
+	}
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// agreementFull is Example 5.2 of the paper: a binary agreement protocol on a
+// unidirectional ring with both correction transitions t01 and t10.
+func agreementFull(t *testing.T) *Protocol {
+	t.Helper()
+	p, err := New(Config{
+		Name:   "agreement",
+		Domain: 2,
+		Lo:     -1,
+		Hi:     0,
+		Actions: []Action{
+			{
+				Name:  "t10",
+				Guard: func(v View) bool { return v[0] == 0 && v[1] == 1 },
+				Next:  func(v View) []int { return []int{0} },
+			},
+			{
+				Name:  "t01",
+				Guard: func(v View) bool { return v[0] == 1 && v[1] == 0 },
+				Next:  func(v View) []int { return []int{1} },
+			},
+		},
+		Legit: func(v View) bool { return v[0] == v[1] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	legit := func(v View) bool { return true }
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing name", Config{Domain: 2, Lo: -1, Hi: 0, Legit: legit}},
+		{"domain too small", Config{Name: "x", Domain: 1, Lo: -1, Hi: 0, Legit: legit}},
+		{"window excludes own var (lo>0)", Config{Name: "x", Domain: 2, Lo: 1, Hi: 2, Legit: legit}},
+		{"window excludes own var (hi<0)", Config{Name: "x", Domain: 2, Lo: -2, Hi: -1, Legit: legit}},
+		{"missing legit", Config{Name: "x", Domain: 2, Lo: -1, Hi: 0}},
+		{"bad value names", Config{Name: "x", Domain: 2, Lo: -1, Hi: 0, Legit: legit, ValueNames: []string{"a"}}},
+		{"nil guard", Config{Name: "x", Domain: 2, Lo: -1, Hi: 0, Legit: legit, Actions: []Action{{Name: "a", Next: func(View) []int { return nil }}}}},
+		{"state space too big", Config{Name: "x", Domain: 10, Lo: -8, Hi: 0, Legit: legit}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatalf("expected error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	p := agreementFull(t)
+	if p.Name() != "agreement" || p.Domain() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	lo, hi := p.Window()
+	if lo != -1 || hi != 0 {
+		t.Fatalf("window = [%d,%d]", lo, hi)
+	}
+	if p.W() != 2 || p.OwnIndex() != 1 || p.NumLocalStates() != 4 {
+		t.Fatalf("W=%d own=%d n=%d", p.W(), p.OwnIndex(), p.NumLocalStates())
+	}
+	if !p.Unidirectional() {
+		t.Fatal("agreement window [-1,0] is unidirectional")
+	}
+	if len(p.Actions()) != 2 {
+		t.Fatal("actions lost")
+	}
+	names := p.ValueNames()
+	if !reflect.DeepEqual(names, []string{"0", "1"}) {
+		t.Fatalf("default value names = %v", names)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for _, w := range []int{1, 2, 3} {
+			n := 1
+			for i := 0; i < w; i++ {
+				n *= d
+			}
+			for s := 0; s < n; s++ {
+				view := Decode(LocalState(s), d, w)
+				if got := Encode(view, d); got != LocalState(s) {
+					t.Fatalf("d=%d w=%d: roundtrip %d -> %v -> %d", d, w, s, view, got)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(raw uint16, dRaw, wRaw uint8) bool {
+		d := 2 + int(dRaw)%4 // 2..5
+		w := 1 + int(wRaw)%3 // 1..3
+		n := 1
+		for i := 0; i < w; i++ {
+			n *= d
+		}
+		s := LocalState(int(raw) % n)
+		return Encode(Decode(s, d, w), d) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePanicsOutOfDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(View{2}, 2)
+}
+
+func TestDecodePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decode(LocalState(4), 2, 2)
+}
+
+func TestViewAt(t *testing.T) {
+	v := View{7, 8, 9} // offsets -1, 0, +1 with lo=-1
+	if v.At(-1, -1) != 7 || v.At(0, -1) != 8 || v.At(1, -1) != 9 {
+		t.Fatal("View.At wrong")
+	}
+}
+
+func TestCompileAgreement(t *testing.T) {
+	sys := agreementFull(t).Compile()
+	// States: 00=0, 10=1 (x_{r-1}=1? careful: index 0 is offset -1), decode:
+	// code = v[0] + 2*v[1]. Local states: 0=(0,0) legit, 1=(1,0) t01 enabled,
+	// 2=(0,1) t10 enabled, 3=(1,1) legit.
+	if sys.N() != 4 {
+		t.Fatalf("N = %d", sys.N())
+	}
+	if !sys.Legit[0] || sys.Legit[1] || sys.Legit[2] || !sys.Legit[3] {
+		t.Fatalf("legit bits wrong: %v", sys.Legit)
+	}
+	if !sys.IsDeadlock[0] || !sys.IsDeadlock[3] || sys.IsDeadlock[1] || sys.IsDeadlock[2] {
+		t.Fatalf("deadlock bits wrong: %v", sys.IsDeadlock)
+	}
+	wantTrans := []LocalTransition{
+		{Src: 1, Dst: 3, Action: "t01"},
+		{Src: 2, Dst: 0, Action: "t10"},
+	}
+	if !reflect.DeepEqual(sys.Trans, wantTrans) {
+		t.Fatalf("Trans = %v, want %v", sys.Trans, wantTrans)
+	}
+	if got := sys.Deadlocks; !reflect.DeepEqual(got, []LocalState{0, 3}) {
+		t.Fatalf("Deadlocks = %v", got)
+	}
+	if got := sys.IllegitimateDeadlocks(); len(got) != 0 {
+		t.Fatalf("IllegitimateDeadlocks = %v, want none", got)
+	}
+	if !sys.IsSelfDisabling() {
+		t.Fatal("agreement transitions land in deadlocks; should be self-disabling")
+	}
+	if sys.OwnValue(2) != 1 {
+		t.Fatalf("OwnValue(2) = %d, want 1", sys.OwnValue(2))
+	}
+}
+
+func TestCompileNondeterministicAction(t *testing.T) {
+	p := MustNew(Config{
+		Name:   "nondet",
+		Domain: 3,
+		Lo:     0,
+		Hi:     0,
+		Actions: []Action{{
+			Name:  "a",
+			Guard: func(v View) bool { return v[0] == 0 },
+			Next:  func(v View) []int { return []int{1, 2} },
+		}},
+		Legit: func(v View) bool { return true },
+	})
+	sys := p.Compile()
+	if got := sys.Succ[0]; !reflect.DeepEqual(got, []LocalState{1, 2}) {
+		t.Fatalf("Succ[0] = %v", got)
+	}
+	if len(sys.TransitionsBySrc(0)) != 2 {
+		t.Fatal("expected 2 transitions from state 0")
+	}
+}
+
+func TestCompileDeduplicatesTransitions(t *testing.T) {
+	p := MustNew(Config{
+		Name:   "dup",
+		Domain: 2,
+		Lo:     0,
+		Hi:     0,
+		Actions: []Action{{
+			Name:  "a",
+			Guard: func(v View) bool { return v[0] == 0 },
+			Next:  func(v View) []int { return []int{1, 1} },
+		}},
+		Legit: func(v View) bool { return true },
+	})
+	sys := p.Compile()
+	if len(sys.Trans) != 1 {
+		t.Fatalf("Trans = %v, want single deduped transition", sys.Trans)
+	}
+}
+
+func TestCompilePanicsOnOutOfDomainWrite(t *testing.T) {
+	p := MustNew(Config{
+		Name:   "bad",
+		Domain: 2,
+		Lo:     0,
+		Hi:     0,
+		Actions: []Action{{
+			Name:  "a",
+			Guard: func(v View) bool { return true },
+			Next:  func(v View) []int { return []int{5} },
+		}},
+		Legit: func(v View) bool { return true },
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-domain write")
+		}
+	}()
+	p.Compile()
+}
+
+func TestSelfEnablingDetection(t *testing.T) {
+	// x=0 -> x:=1, x=1 -> x:=0 on a window of just the own variable: every
+	// transition lands in an enabled state.
+	p := MustNew(Config{
+		Name:   "blinker",
+		Domain: 2,
+		Lo:     0,
+		Hi:     0,
+		Actions: []Action{{
+			Name:  "flip",
+			Guard: func(v View) bool { return true },
+			Next:  func(v View) []int { return []int{1 - v[0]} },
+		}},
+		Legit: func(v View) bool { return true },
+	})
+	sys := p.Compile()
+	if sys.IsSelfDisabling() {
+		t.Fatal("blinker is self-enabling")
+	}
+	if len(sys.SelfEnabling()) != 2 {
+		t.Fatalf("SelfEnabling = %v", sys.SelfEnabling())
+	}
+}
+
+func TestFormatViewAndState(t *testing.T) {
+	p := MustNew(Config{
+		Name:       "mm",
+		Domain:     3,
+		ValueNames: []string{"left", "self", "right"},
+		Lo:         -1,
+		Hi:         1,
+		Legit:      func(v View) bool { return true },
+	})
+	if got := p.FormatView(View{0, 0, 1}); got != "lls" {
+		t.Fatalf("FormatView = %q, want lls", got)
+	}
+	ls := p.Encode(View{2, 1, 0})
+	if got := p.FormatState(ls); got != "rsl" {
+		t.Fatalf("FormatState = %q, want rsl", got)
+	}
+	if got := p.FormatGlobal([]int{0, 1, 2}); got != "lsr" {
+		t.Fatalf("FormatGlobal = %q", got)
+	}
+}
+
+func TestFormatViewMultiChar(t *testing.T) {
+	p := MustNew(Config{
+		Name:       "mc",
+		Domain:     2,
+		ValueNames: []string{"on", "off"},
+		Lo:         0,
+		Hi:         0,
+		Legit:      func(v View) bool { return true },
+	})
+	if got := p.FormatView(View{1}); got != "off" {
+		t.Fatalf("FormatView = %q", got)
+	}
+}
+
+func TestWithActionsDoesNotMutate(t *testing.T) {
+	p := agreementFull(t)
+	before := len(p.Actions())
+	q := p.WithActions("agreement+x", Action{
+		Name:  "extra",
+		Guard: func(v View) bool { return false },
+		Next:  func(v View) []int { return nil },
+	})
+	if len(p.Actions()) != before {
+		t.Fatal("WithActions mutated receiver")
+	}
+	if len(q.Actions()) != before+1 || q.Name() != "agreement+x" {
+		t.Fatal("WithActions result wrong")
+	}
+	if p.WithName("zz").Name() != "zz" || p.Name() != "agreement" {
+		t.Fatal("WithName wrong")
+	}
+}
+
+func TestNewFromTable(t *testing.T) {
+	// Equivalent of agreement's t01 as a table.
+	p, err := NewFromTable(Config{
+		Name:   "tbl",
+		Domain: 2,
+		Lo:     -1,
+		Hi:     0,
+		Legit:  func(v View) bool { return v[0] == v[1] },
+	}, []TableAction{{
+		Name:  "t01",
+		Moves: map[LocalState][]int{1: {1}}, // state (1,0) -> write 1
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := p.Compile()
+	want := []LocalTransition{{Src: 1, Dst: 3, Action: "t01"}}
+	if !reflect.DeepEqual(sys.Trans, want) {
+		t.Fatalf("Trans = %v, want %v", sys.Trans, want)
+	}
+}
+
+func TestNewFromTableRequiresName(t *testing.T) {
+	_, err := NewFromTable(Config{
+		Name: "tbl", Domain: 2, Lo: 0, Hi: 0, Legit: func(v View) bool { return true },
+	}, []TableAction{{Moves: map[LocalState][]int{}}})
+	if err == nil {
+		t.Fatal("expected error for unnamed table action")
+	}
+}
+
+func TestSelfDisableIdentityOnCompliantProtocol(t *testing.T) {
+	p := agreementFull(t)
+	q, err := p.SelfDisable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatal("already self-disabling protocol should be returned unchanged")
+	}
+}
+
+func TestSelfDisableShortensChains(t *testing.T) {
+	// Window [0,0], domain 3: 0 -> 1 -> 2, with 2 terminal. After the
+	// transform, 0 must jump directly to 2.
+	p, err := NewFromTable(Config{
+		Name:   "chain",
+		Domain: 3,
+		Lo:     0,
+		Hi:     0,
+		Legit:  func(v View) bool { return true },
+	}, []TableAction{
+		{Name: "s01", Moves: map[LocalState][]int{0: {1}}},
+		{Name: "s12", Moves: map[LocalState][]int{1: {2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.SelfDisable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := q.Compile()
+	if !sys.IsSelfDisabling() {
+		t.Fatal("transform did not produce a self-disabling protocol")
+	}
+	if got := sys.Succ[0]; !reflect.DeepEqual(got, []LocalState{2}) {
+		t.Fatalf("Succ[0] = %v, want [2]", got)
+	}
+	if got := sys.Succ[1]; !reflect.DeepEqual(got, []LocalState{2}) {
+		t.Fatalf("Succ[1] = %v, want [2]", got)
+	}
+	// No new deadlocks: state 2 was and remains the only deadlock among {0,1,2}.
+	if !reflect.DeepEqual(sys.Deadlocks, []LocalState{2}) {
+		t.Fatalf("Deadlocks = %v", sys.Deadlocks)
+	}
+	if !strings.HasSuffix(q.Name(), "/sd") {
+		t.Fatalf("name = %q", q.Name())
+	}
+}
+
+func TestSelfDisablePreservesBranching(t *testing.T) {
+	// 0 -> 1, 1 -> {0? no...}: use 0->1, 1->2, 1->3 (terminals 2 and 3):
+	// 0 must reach both.
+	p, err := NewFromTable(Config{
+		Name:   "branch",
+		Domain: 4,
+		Lo:     0,
+		Hi:     0,
+		Legit:  func(v View) bool { return true },
+	}, []TableAction{
+		{Name: "a", Moves: map[LocalState][]int{0: {1}}},
+		{Name: "b", Moves: map[LocalState][]int{1: {2, 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.SelfDisable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := q.Compile()
+	if got := sys.Succ[0]; !reflect.DeepEqual(got, []LocalState{2, 3}) {
+		t.Fatalf("Succ[0] = %v, want [2 3]", got)
+	}
+}
+
+func TestSelfDisableRejectsLocalCycle(t *testing.T) {
+	p, err := NewFromTable(Config{
+		Name:   "cyc",
+		Domain: 2,
+		Lo:     0,
+		Hi:     0,
+		Legit:  func(v View) bool { return true },
+	}, []TableAction{
+		{Name: "a", Moves: map[LocalState][]int{0: {1}, 1: {0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SelfDisable(); err == nil {
+		t.Fatal("expected error: delta_r has a cycle (not self-terminating)")
+	}
+}
+
+func TestSystemFormatTransition(t *testing.T) {
+	sys := agreementFull(t).Compile()
+	got := sys.FormatTransition(sys.Trans[0])
+	if got != "10 -> 11 [t01]" {
+		t.Fatalf("FormatTransition = %q", got)
+	}
+}
+
+// --- Tuple tests -------------------------------------------------------------
+
+func TestTuplePackUnpack(t *testing.T) {
+	tp := MustNewTuple(3, 2, 4)
+	if tp.Size() != 24 || tp.Fields() != 3 {
+		t.Fatalf("Size=%d Fields=%d", tp.Size(), tp.Fields())
+	}
+	for v := 0; v < tp.Size(); v++ {
+		fields := tp.Unpack(v)
+		if got := tp.Pack(fields...); got != v {
+			t.Fatalf("roundtrip %d -> %v -> %d", v, fields, got)
+		}
+		for i := range fields {
+			if tp.Field(v, i) != fields[i] {
+				t.Fatalf("Field(%d,%d) = %d, want %d", v, i, tp.Field(v, i), fields[i])
+			}
+		}
+	}
+}
+
+func TestTupleValidation(t *testing.T) {
+	if _, err := NewTuple(); err == nil {
+		t.Fatal("empty tuple should error")
+	}
+	if _, err := NewTuple(0); err == nil {
+		t.Fatal("zero-size field should error")
+	}
+	if _, err := NewTuple(1<<11, 1<<11); err == nil {
+		t.Fatal("oversized tuple should error")
+	}
+}
+
+func TestTuplePanics(t *testing.T) {
+	tp := MustNewTuple(2, 2)
+	for name, f := range map[string]func(){
+		"pack arity":  func() { tp.Pack(1) },
+		"pack range":  func() { tp.Pack(2, 0) },
+		"unpack high": func() { tp.Unpack(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTupleQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		nf := 1 + rng.Intn(4)
+		sizes := make([]int, nf)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(5)
+		}
+		tp, err := NewTuple(sizes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := rng.Intn(tp.Size())
+		if tp.Pack(tp.Unpack(v)...) != v {
+			t.Fatalf("roundtrip failed for sizes=%v v=%d", sizes, v)
+		}
+	}
+}

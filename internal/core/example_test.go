@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"paramring/internal/core"
+)
+
+// Define binary agreement on a unidirectional ring and inspect its compiled
+// local transition relation.
+func ExampleNew() {
+	p, err := core.New(core.Config{
+		Name:   "agreement",
+		Domain: 2,
+		Lo:     -1, // reads x_{r-1} ...
+		Hi:     0,  // ... and x_r
+		Actions: []core.Action{{
+			Name:  "copy",
+			Guard: func(v core.View) bool { return v[0] != v[1] },
+			Next:  func(v core.View) []int { return []int{v[0]} },
+		}},
+		Legit: func(v core.View) bool { return v[0] == v[1] },
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys := p.Compile()
+	fmt.Println("local states:", sys.N())
+	fmt.Println("local deadlocks:", len(sys.Deadlocks))
+	for _, t := range sys.Trans {
+		fmt.Println(sys.FormatTransition(t))
+	}
+	// Output:
+	// local states: 4
+	// local deadlocks: 2
+	// 10 -> 11 [copy]
+	// 01 -> 00 [copy]
+}
+
+func ExampleEncode() {
+	// The local state <left, self, right> of maximal matching, domain 3.
+	view := core.View{0, 1, 2}
+	code := core.Encode(view, 3)
+	fmt.Println(code)
+	fmt.Println(core.Decode(code, 3, 3))
+	// Output:
+	// 21
+	// [0 1 2]
+}
+
+func ExampleTuple() {
+	// A process owning two booleans packs them into one domain of size 4.
+	tp := core.MustNewTuple(2, 2)
+	v := tp.Pack(1, 0)
+	fmt.Println(v, tp.Unpack(v))
+	// Output:
+	// 1 [1 0]
+}

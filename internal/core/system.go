@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LocalTransition is one local transition (s, s') of the representative
+// process together with the name of the action it belongs to. Source and
+// destination differ at most in the own-variable position.
+type LocalTransition struct {
+	Src, Dst LocalState
+	Action   string
+}
+
+// String renders the transition with raw codes; use System.FormatTransition
+// for named values.
+func (t LocalTransition) String() string {
+	return fmt.Sprintf("%d->%d(%s)", t.Src, t.Dst, t.Action)
+}
+
+// System is the compiled form of a Protocol: the explicit local transition
+// relation delta_r, per-state successor lists, legitimacy bits and the local
+// deadlock set. All local-reasoning algorithms (RCG, LTG, synthesis) and the
+// explicit model checker consume a System.
+type System struct {
+	p *Protocol
+
+	// Trans lists every local transition, sorted by (Src, Dst, Action).
+	Trans []LocalTransition
+	// Succ[s] lists distinct successor states of s in sorted order.
+	Succ [][]LocalState
+	// TransFrom[s] lists indices into Trans with Src == s.
+	TransFrom [][]int
+	// Legit[s] reports LC_r(s).
+	Legit []bool
+	// IsDeadlock[s] reports that no action of P_r is enabled in s (i.e. s
+	// has no outgoing local transition).
+	IsDeadlock []bool
+	// Deadlocks lists the local deadlock states in increasing order.
+	Deadlocks []LocalState
+}
+
+// Compile enumerates the local state space and evaluates every action in
+// every local state, producing the explicit transition relation.
+//
+// Note on stuttering: an action whose Next returns the current value of x_r
+// produces a self-loop transition (s, s). The state still counts as enabled
+// (not a deadlock); self-loops violate self-disablement and are flagged by
+// SelfEnabling.
+func (p *Protocol) Compile() *System {
+	n := p.NumLocalStates()
+	own := p.OwnIndex()
+	sys := &System{
+		p:          p,
+		Succ:       make([][]LocalState, n),
+		TransFrom:  make([][]int, n),
+		Legit:      make([]bool, n),
+		IsDeadlock: make([]bool, n),
+	}
+	for s := 0; s < n; s++ {
+		view := p.Decode(LocalState(s))
+		sys.Legit[s] = p.legit(view)
+		for _, a := range p.actions {
+			if !a.Guard(view) {
+				continue
+			}
+			for _, nv := range a.Next(view) {
+				if nv < 0 || nv >= p.domain {
+					panic(fmt.Sprintf("core: action %q writes %d outside domain [0,%d)", a.Name, nv, p.domain))
+				}
+				dst := make(View, len(view))
+				copy(dst, view)
+				dst[own] = nv
+				sys.Trans = append(sys.Trans, LocalTransition{
+					Src:    LocalState(s),
+					Dst:    p.Encode(dst),
+					Action: a.Name,
+				})
+			}
+		}
+	}
+	sort.Slice(sys.Trans, func(i, j int) bool {
+		a, b := sys.Trans[i], sys.Trans[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Action < b.Action
+	})
+	// Deduplicate identical (Src,Dst,Action) triples, which arise when two
+	// guard branches of the same action fire on one state.
+	sys.Trans = dedupTransitions(sys.Trans)
+	for i, t := range sys.Trans {
+		s := int(t.Src)
+		sys.TransFrom[s] = append(sys.TransFrom[s], i)
+		k := len(sys.Succ[s])
+		if k == 0 || sys.Succ[s][k-1] != t.Dst {
+			sys.Succ[s] = append(sys.Succ[s], t.Dst)
+		}
+	}
+	for s := 0; s < n; s++ {
+		if len(sys.Succ[s]) == 0 {
+			sys.IsDeadlock[s] = true
+			sys.Deadlocks = append(sys.Deadlocks, LocalState(s))
+		}
+	}
+	return sys
+}
+
+func dedupTransitions(ts []LocalTransition) []LocalTransition {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Protocol returns the protocol this system was compiled from.
+func (s *System) Protocol() *Protocol { return s.p }
+
+// N returns the number of local states.
+func (s *System) N() int { return len(s.Legit) }
+
+// Enabled reports whether some action is enabled in local state ls.
+func (s *System) Enabled(ls LocalState) bool { return !s.IsDeadlock[ls] }
+
+// OwnValue returns the value of the process's own variable in state ls.
+func (s *System) OwnValue(ls LocalState) int {
+	return s.p.Decode(ls)[s.p.OwnIndex()]
+}
+
+// IllegitimateDeadlocks returns the local deadlocks outside LC_r.
+func (s *System) IllegitimateDeadlocks() []LocalState {
+	var out []LocalState
+	for _, d := range s.Deadlocks {
+		if !s.Legit[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SelfEnabling returns the transitions whose destination state is itself
+// enabled — i.e. the witnesses that the protocol violates Assumption 2 of
+// the paper's Section 5 (every action should be self-disabling). A self-loop
+// (s, s) from an enabled state is always self-enabling.
+func (s *System) SelfEnabling() []LocalTransition {
+	var out []LocalTransition
+	for _, t := range s.Trans {
+		if s.Enabled(t.Dst) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsSelfDisabling reports that every local transition lands in a local
+// deadlock, i.e. Assumptions 1 and 2 of Section 5 hold: processes are
+// self-terminating and have no self-enabling actions.
+func (s *System) IsSelfDisabling() bool { return len(s.SelfEnabling()) == 0 }
+
+// FormatTransition renders a transition with named values, e.g.
+// "lls -> lss [A1]".
+func (s *System) FormatTransition(t LocalTransition) string {
+	return fmt.Sprintf("%s -> %s [%s]", s.p.FormatState(t.Src), s.p.FormatState(t.Dst), t.Action)
+}
+
+// TransitionsBySrc returns the transitions out of ls.
+func (s *System) TransitionsBySrc(ls LocalState) []LocalTransition {
+	idx := s.TransFrom[ls]
+	out := make([]LocalTransition, len(idx))
+	for i, j := range idx {
+		out[i] = s.Trans[j]
+	}
+	return out
+}

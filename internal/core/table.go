@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableAction is an explicit, table-driven guarded command: Moves maps a
+// source local state code to the candidate new values of the own variable.
+// Synthesis produces protocols in this form (candidate local transitions
+// picked one by one), and the self-disabling transform rewrites protocols
+// into it.
+type TableAction struct {
+	Name  string
+	Moves map[LocalState][]int
+}
+
+// Action converts the table into a closure-based Action bound to a protocol
+// shape (domain d, window width implied by the encoded states).
+func (ta TableAction) Action(domain int) Action {
+	// Copy to guard against caller mutation.
+	moves := make(map[LocalState][]int, len(ta.Moves))
+	for k, v := range ta.Moves {
+		moves[k] = append([]int(nil), v...)
+	}
+	return Action{
+		Name: ta.Name,
+		Guard: func(v View) bool {
+			_, ok := moves[Encode(v, domain)]
+			return ok
+		},
+		Next: func(v View) []int {
+			return moves[Encode(v, domain)]
+		},
+	}
+}
+
+// NewFromTable builds a Protocol whose actions are given explicitly as
+// tables. cfg.Actions is ignored; everything else in cfg applies.
+func NewFromTable(cfg Config, tables []TableAction) (*Protocol, error) {
+	actions := make([]Action, len(tables))
+	for i, ta := range tables {
+		if ta.Name == "" {
+			return nil, fmt.Errorf("core: table action %d has no name", i)
+		}
+		actions[i] = ta.Action(cfg.Domain)
+	}
+	cfg.Actions = actions
+	return New(cfg)
+}
+
+// SelfDisable applies the paper's Section 5 transformation: every chain of
+// local transitions is short-circuited so that each transition lands
+// directly in a local deadlock. This preserves reachability of terminal
+// local states, introduces no new local deadlocks, and removes all
+// self-enabling actions — the form Assumption 2 requires.
+//
+// The protocol must be self-terminating (Assumption 1): if delta_r contains
+// a cycle (including a self-loop), no terminal state exists for the states
+// on it and an error is returned.
+//
+// The result is a new table-driven Protocol named p.Name() + "/sd". Each
+// rewritten transition is attributed to the action of its first hop with a
+// "*" suffix; transitions that already land in deadlocks keep their action
+// names.
+func (p *Protocol) SelfDisable() (*Protocol, error) {
+	sys := p.Compile()
+	if sys.IsSelfDisabling() {
+		return p, nil
+	}
+	n := sys.N()
+
+	// terminals[s] = sorted set of local deadlocks reachable from s via >= 1
+	// transition; computed by DFS with cycle detection.
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	color := make([]int, n)
+	terminals := make([][]LocalState, n)
+	var visit func(s int) error
+	visit = func(s int) error {
+		color[s] = inStack
+		set := map[LocalState]bool{}
+		for _, d := range sys.Succ[s] {
+			if sys.IsDeadlock[d] {
+				set[d] = true
+				continue
+			}
+			switch color[d] {
+			case inStack:
+				return fmt.Errorf("core: protocol %q is not self-terminating: delta_r has a cycle through local state %s",
+					p.name, p.FormatState(LocalState(d)))
+			case unvisited:
+				if err := visit(int(d)); err != nil {
+					return err
+				}
+			}
+			for _, t := range terminals[d] {
+				set[t] = true
+			}
+		}
+		color[s] = done
+		for t := range set {
+			terminals[s] = append(terminals[s], t)
+		}
+		sort.Slice(terminals[s], func(i, j int) bool { return terminals[s][i] < terminals[s][j] })
+		return nil
+	}
+	for s := 0; s < n; s++ {
+		if color[s] == unvisited && !sys.IsDeadlock[s] {
+			if err := visit(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Rebuild transitions: per action name, a table of moves.
+	moves := map[string]map[LocalState][]int{}
+	add := func(name string, src, dst LocalState) {
+		tbl := moves[name]
+		if tbl == nil {
+			tbl = map[LocalState][]int{}
+			moves[name] = tbl
+		}
+		nv := sys.OwnValue(dst)
+		for _, existing := range tbl[src] {
+			if existing == nv {
+				return
+			}
+		}
+		tbl[src] = append(tbl[src], nv)
+	}
+	for _, t := range sys.Trans {
+		if sys.IsDeadlock[t.Dst] {
+			add(t.Action, t.Src, t.Dst)
+			continue
+		}
+		for _, term := range terminals[t.Dst] {
+			add(t.Action+"*", t.Src, term)
+		}
+	}
+	names := make([]string, 0, len(moves))
+	for name := range moves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tables := make([]TableAction, len(names))
+	for i, name := range names {
+		for _, vs := range moves[name] {
+			sort.Ints(vs)
+		}
+		tables[i] = TableAction{Name: name, Moves: moves[name]}
+	}
+	return NewFromTable(Config{
+		Name:       p.name + "/sd",
+		Domain:     p.domain,
+		ValueNames: p.valueNames,
+		Lo:         p.lo,
+		Hi:         p.hi,
+		Legit:      p.legit,
+	}, tables)
+}

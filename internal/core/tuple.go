@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// Tuple packs several per-process variables into a single product domain, so
+// that processes owning more than one variable still fit the one-variable
+// model: a process owning (a in [0,n0), b in [0,n1)) owns one variable in
+// [0, n0*n1) instead. Field i of a packed value contributes value * prod of
+// earlier sizes.
+type Tuple struct {
+	sizes []int
+	size  int
+}
+
+// NewTuple builds a product domain from per-field sizes (each >= 1).
+func NewTuple(sizes ...int) (*Tuple, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("core: tuple needs at least one field")
+	}
+	size := 1
+	for i, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("core: tuple field %d has size %d, want >= 1", i, s)
+		}
+		size *= s
+		if size > MaxLocalStates {
+			return nil, fmt.Errorf("core: tuple domain size exceeds limit %d", MaxLocalStates)
+		}
+	}
+	return &Tuple{sizes: append([]int(nil), sizes...), size: size}, nil
+}
+
+// MustNewTuple is NewTuple that panics on error.
+func MustNewTuple(sizes ...int) *Tuple {
+	t, err := NewTuple(sizes...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Size returns the product domain size.
+func (t *Tuple) Size() int { return t.size }
+
+// Fields returns the number of fields.
+func (t *Tuple) Fields() int { return len(t.sizes) }
+
+// Pack converts field values to a packed domain value.
+func (t *Tuple) Pack(fields ...int) int {
+	if len(fields) != len(t.sizes) {
+		panic(fmt.Sprintf("core: Pack got %d fields, want %d", len(fields), len(t.sizes)))
+	}
+	v := 0
+	mult := 1
+	for i, f := range fields {
+		if f < 0 || f >= t.sizes[i] {
+			panic(fmt.Sprintf("core: field %d value %d out of [0,%d)", i, f, t.sizes[i]))
+		}
+		v += f * mult
+		mult *= t.sizes[i]
+	}
+	return v
+}
+
+// Unpack converts a packed domain value back to field values.
+func (t *Tuple) Unpack(v int) []int {
+	if v < 0 || v >= t.size {
+		panic(fmt.Sprintf("core: packed value %d out of [0,%d)", v, t.size))
+	}
+	fields := make([]int, len(t.sizes))
+	for i, s := range t.sizes {
+		fields[i] = v % s
+		v /= s
+	}
+	return fields
+}
+
+// Field extracts field i of a packed value without allocating.
+func (t *Tuple) Field(v, i int) int {
+	for j := 0; j < i; j++ {
+		v /= t.sizes[j]
+	}
+	return v % t.sizes[i]
+}

@@ -1,0 +1,160 @@
+package dsl
+
+import (
+	"fmt"
+
+	"paramring/internal/core"
+)
+
+// expr is an expression AST node evaluated against a local view. Boolean
+// results are encoded as 0/1 integers so comparisons and logic compose.
+type expr interface {
+	// eval computes the node's value; view[i] is the variable at window
+	// index i (offset lo+i).
+	eval(view core.View, lo int) int
+	// String renders the node back to source-like text.
+	String() string
+}
+
+type intLit struct{ v int }
+
+func (e intLit) eval(core.View, int) int { return e.v }
+func (e intLit) String() string          { return fmt.Sprintf("%d", e.v) }
+
+// varRef is x[offset].
+type varRef struct{ offset int }
+
+func (e varRef) eval(view core.View, lo int) int { return view[e.offset-lo] }
+func (e varRef) String() string                  { return fmt.Sprintf("x[%d]", e.offset) }
+
+type unary struct {
+	op string // "!" or "-"
+	x  expr
+}
+
+func (e unary) eval(view core.View, lo int) int {
+	v := e.x.eval(view, lo)
+	switch e.op {
+	case "!":
+		return boolToInt(v == 0)
+	case "-":
+		return -v
+	}
+	panic("dsl: unknown unary operator " + e.op)
+}
+func (e unary) String() string { return e.op + e.x.String() }
+
+type binary struct {
+	op   string
+	l, r expr
+}
+
+func (e binary) eval(view core.View, lo int) int {
+	l := e.l.eval(view, lo)
+	// Short circuit the boolean operators.
+	switch e.op {
+	case "&&":
+		if l == 0 {
+			return 0
+		}
+		return boolToInt(e.r.eval(view, lo) != 0)
+	case "||":
+		if l != 0 {
+			return 1
+		}
+		return boolToInt(e.r.eval(view, lo) != 0)
+	}
+	r := e.r.eval(view, lo)
+	switch e.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "%":
+		if r == 0 {
+			return 0 // mod-0 is defined as 0 rather than panicking mid-check
+		}
+		return ((l % r) + r) % r
+	case "==":
+		return boolToInt(l == r)
+	case "!=":
+		return boolToInt(l != r)
+	case "<":
+		return boolToInt(l < r)
+	case "<=":
+		return boolToInt(l <= r)
+	case ">":
+		return boolToInt(l > r)
+	case ">=":
+		return boolToInt(l >= r)
+	}
+	panic("dsl: unknown binary operator " + e.op)
+}
+
+func (e binary) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// actionDef is one parsed guarded command.
+type actionDef struct {
+	name    string
+	guard   expr
+	assigns []expr // nondeterministic choices for the new value of x[0]
+	line    int
+}
+
+// Spec is a parsed protocol definition.
+type Spec struct {
+	Name       string
+	Domain     int
+	ValueNames []string // nil when "domain N" was used
+	Lo, Hi     int
+	Legit      expr
+	Actions    []actionDef
+}
+
+// Protocol compiles the parsed spec into a core.Protocol, validating value
+// ranges lazily (an action writing outside the domain panics at Compile
+// time with the action name, matching core's behavior).
+func (s *Spec) Protocol() (*core.Protocol, error) {
+	lo := s.Lo
+	legit := s.Legit
+	actions := make([]core.Action, len(s.Actions))
+	for i, a := range s.Actions {
+		guard := a.guard
+		assigns := a.assigns
+		actions[i] = core.Action{
+			Name: a.name,
+			Guard: func(v core.View) bool {
+				return guard.eval(v, lo) != 0
+			},
+			Next: func(v core.View) []int {
+				out := make([]int, 0, len(assigns))
+				for _, as := range assigns {
+					out = append(out, as.eval(v, lo))
+				}
+				return out
+			},
+		}
+	}
+	return core.New(core.Config{
+		Name:       s.Name,
+		Domain:     s.Domain,
+		ValueNames: s.ValueNames,
+		Lo:         s.Lo,
+		Hi:         s.Hi,
+		Actions:    actions,
+		Legit: func(v core.View) bool {
+			return legit.eval(v, lo) != 0
+		},
+	})
+}

@@ -1,0 +1,282 @@
+package dsl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/ltg"
+	"paramring/internal/protocols"
+	"paramring/internal/rcg"
+)
+
+const agreementSrc = `
+# Binary agreement, Example 5.2 of the paper.
+protocol agreement
+domain 2
+window -1 0
+legit x[-1] == x[0]
+
+action t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1
+action t10: x[-1] == 0 && x[0] == 1 -> x[0] := 0
+`
+
+const matchingSrc = `
+protocol matching
+domain values left self right
+window -1 1
+legit (x[0] == right && x[1] == left) || (x[-1] == right && x[0] == left) ||
+      (x[-1] == left && x[0] == self && x[1] == right)
+action A1: x[-1] == left && x[0] != self && x[1] == right -> x[0] := self
+action A2: x[-1] == self && x[0] == self && x[1] == self -> x[0] := right | x[0] := left
+`
+
+const sumNotTwoSrc = `
+protocol sum-not-two
+domain 3
+window -1 0
+legit x[0] + x[-1] != 2
+action up:   x[0] + x[-1] == 2 && x[0] != 2 -> x[0] := (x[0] + 1) % 3
+action down: x[0] + x[-1] == 2 && x[0] == 2 -> x[0] := (x[0] - 1) % 3
+`
+
+func TestParseAgreementMatchesHandWritten(t *testing.T) {
+	p, err := Parse(agreementSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := protocols.AgreementBoth()
+	ps, hs := p.Compile(), hand.Compile()
+	if !reflect.DeepEqual(ps.Trans, hs.Trans) {
+		t.Fatalf("transitions differ:\nparsed: %v\nhand:   %v", ps.Trans, hs.Trans)
+	}
+	for s := 0; s < ps.N(); s++ {
+		if ps.Legit[s] != hs.Legit[s] {
+			t.Fatalf("legitimacy differs at state %d", s)
+		}
+	}
+	// And the verdict pipeline runs identically.
+	rep, err := ltg.CheckLivelockFreedom(p, ltg.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != ltg.VerdictPotentialLivelock {
+		t.Fatalf("verdict = %v", rep.Verdict)
+	}
+}
+
+func TestParseMatchingValueNames(t *testing.T) {
+	p, err := Parse(matchingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Domain() != 3 {
+		t.Fatalf("domain = %d", p.Domain())
+	}
+	lo, hi := p.Window()
+	if lo != -1 || hi != 1 {
+		t.Fatalf("window [%d,%d]", lo, hi)
+	}
+	// Legitimacy agrees with the hand-written matching LC on all 27 states.
+	hand := protocols.MatchingStateSpace()
+	for s := 0; s < 27; s++ {
+		if p.Legitimate(core.LocalState(s)) != hand.Legitimate(core.LocalState(s)) {
+			t.Fatalf("LC differs at %s", hand.FormatState(core.LocalState(s)))
+		}
+	}
+	// A2's nondeterministic assignment parsed into two choices.
+	sys := p.Compile()
+	sss := p.Encode(core.View{1, 1, 1})
+	if got := len(sys.Succ[sss]); got != 2 {
+		t.Fatalf("sss successors = %d, want 2", got)
+	}
+}
+
+func TestParseSumNotTwoPipeline(t *testing.T) {
+	p, err := Parse(sumNotTwoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := rcg.Build(p.Compile()).CheckDeadlockFreedom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Free {
+		t.Fatal("parsed sum-not-two solution must be deadlock-free")
+	}
+	ll, err := ltg.CheckLivelockFreedom(p, ltg.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Verdict != ltg.VerdictFree {
+		t.Fatalf("verdict = %v (%s)", ll.Verdict, ll.Reason)
+	}
+	for k := 3; k <= 6; k++ {
+		in, err := explicit.NewInstance(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.CheckStrongConvergence().Converges {
+			t.Fatalf("K=%d: parsed protocol must converge", k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing protocol", "domain 2\nwindow -1 0\nlegit x[0] == 0\n", "missing 'protocol'"},
+		{"missing legit", "protocol p\ndomain 2\nwindow -1 0\n", "missing 'legit'"},
+		{"legit before window", "protocol p\ndomain 2\nlegit x[0] == 0\nwindow -1 0\n", "must come after"},
+		{"unknown keyword", "protocol p\nfrobnicate 3\n", "unknown keyword"},
+		{"bad char", "protocol p\ndomain 2\nwindow -1 0\nlegit x[0] @ 1\n", "unexpected character"},
+		{"out of window", "protocol p\ndomain 2\nwindow -1 0\nlegit x[1] == 0\n", "outside the window"},
+		{"unknown value", "protocol p\ndomain 2\nwindow -1 0\nlegit x[0] == bogus\n", "unknown value name"},
+		{"write non-own", "protocol p\ndomain 2\nwindow -1 0\nlegit 1\naction a: 1 == 1 -> x[-1] := 0\n", "only write their own"},
+		{"trailing junk", "protocol p extra\n", "trailing input"},
+		{"bad action syntax", "protocol p\ndomain 2\nwindow -1 0\nlegit 1\naction a 1 -> x[0] := 0\n", "expected \":\""},
+		{"missing arrow", "protocol p\ndomain 2\nwindow -1 0\nlegit 1\naction a: 1\n", "expected \"->\""},
+		{"domain junk", "protocol p\ndomain fish\n", "expected a size or 'values'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestExpressionSemantics(t *testing.T) {
+	// Exercise operator semantics through protocol legitimacy.
+	cases := []struct {
+		expr string
+		view core.View
+		want bool
+	}{
+		{"x[0] + x[-1] * 2 == 4", core.View{2, 0}, true}, // precedence: 0 + 2*2
+		{"(x[0] + x[-1]) * 2 == 4", core.View{2, 0}, true},
+		{"!(x[0] == 1)", core.View{0, 0}, true},
+		{"x[0] != x[-1] || x[0] == 2", core.View{2, 2}, true},
+		{"x[0] >= 1 && x[0] <= 2", core.View{0, 2}, true},
+		{"x[0] - 1 == 1", core.View{0, 2}, true},
+		{"(x[0] - 1) % 3 == 2", core.View{0, 0}, true}, // Euclidean mod: -1 % 3 = 2
+		{"-x[0] == -2", core.View{0, 2}, true},
+		{"x[0] < x[-1]", core.View{2, 1}, true},
+		{"x[0] > x[-1]", core.View{1, 2}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			src := "protocol p\ndomain 3\nwindow -1 0\nlegit " + tc.expr + "\n"
+			p, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.LegitimateView(tc.view); got != tc.want {
+				t.Fatalf("%s on %v = %v, want %v", tc.expr, tc.view, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	src := "protocol p\ndomain 2\nwindow -1 0\nlegit x[0] == 0 ||\n      x[0] == 1\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.LegitimateView(core.View{0, 1}) {
+		t.Fatal("continued legit expression wrong")
+	}
+}
+
+func TestParseSpecRoundTripFields(t *testing.T) {
+	spec, err := ParseSpec(matchingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "matching" || spec.Domain != 3 || len(spec.Actions) != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if !reflect.DeepEqual(spec.ValueNames, []string{"left", "self", "right"}) {
+		t.Fatalf("value names = %v", spec.ValueNames)
+	}
+	if spec.Actions[1].name != "A2" || len(spec.Actions[1].assigns) != 2 {
+		t.Fatalf("A2 = %+v", spec.Actions[1])
+	}
+}
+
+func TestParseFileAndMissingFile(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/file.gc"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	spec, err := ParseSpec("protocol p\ndomain 2\nwindow -1 0\nlegit !(x[0] == 1) && x[-1] != 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.Legit.String()
+	for _, want := range []string{"x[0]", "x[-1]", "&&", "!"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Source() must round-trip: re-parsing the formatted spec yields an
+// equivalent protocol (same transition relation and legitimacy bits).
+func TestSourceRoundTrip(t *testing.T) {
+	for name, src := range map[string]string{
+		"agreement":   agreementSrc,
+		"matching":    matchingSrc,
+		"sum-not-two": sumNotTwoSrc,
+	} {
+		t.Run(name, func(t *testing.T) {
+			spec, err := ParseSpec(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rendered := spec.Source()
+			p1, err := spec.Protocol()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := Parse(rendered)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, rendered)
+			}
+			s1, s2 := p1.Compile(), p2.Compile()
+			if !reflect.DeepEqual(s1.Trans, s2.Trans) {
+				t.Fatalf("transitions differ after round trip:\n%v\n%v\nrendered:\n%s", s1.Trans, s2.Trans, rendered)
+			}
+			for st := 0; st < s1.N(); st++ {
+				if s1.Legit[st] != s2.Legit[st] {
+					t.Fatalf("legitimacy differs at state %d\nrendered:\n%s", st, rendered)
+				}
+			}
+		})
+	}
+}
+
+// Value names survive formatting (the paper's left/self/right notation).
+func TestSourceKeepsValueNames(t *testing.T) {
+	spec, err := ParseSpec(matchingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := spec.Source()
+	if !strings.Contains(out, "domain values left self right") {
+		t.Fatalf("formatted source lost value names:\n%s", out)
+	}
+}

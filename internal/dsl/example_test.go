@@ -1,0 +1,30 @@
+package dsl_test
+
+import (
+	"fmt"
+
+	"paramring/internal/dsl"
+	"paramring/internal/rcg"
+)
+
+// Define a protocol in the guarded-commands language and run the Theorem
+// 4.2 analysis on it.
+func ExampleParse() {
+	p, err := dsl.Parse(`
+protocol no-adjacent-ones
+domain 2
+window -1 0
+legit !(x[-1] == 1 && x[0] == 1)
+action fix: x[-1] == 1 && x[0] == 1 -> x[0] := 0
+`)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := rcg.Build(p.Compile()).CheckDeadlockFreedom(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name(), "deadlock-free for every K:", rep.Free)
+	// Output:
+	// no-adjacent-ones deadlock-free for every K: true
+}

@@ -1,0 +1,32 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source renders the spec back to canonical guarded-commands text. The
+// output re-parses to an equivalent protocol (same transitions, same
+// legitimacy), which the round-trip tests assert.
+func (s *Spec) Source() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s\n", s.Name)
+	if s.ValueNames != nil {
+		fmt.Fprintf(&b, "domain values %s\n", strings.Join(s.ValueNames, " "))
+	} else {
+		fmt.Fprintf(&b, "domain %d\n", s.Domain)
+	}
+	fmt.Fprintf(&b, "window %d %d\n", s.Lo, s.Hi)
+	fmt.Fprintf(&b, "legit %s\n", s.Legit.String())
+	for _, a := range s.Actions {
+		fmt.Fprintf(&b, "action %s: %s ->", a.name, a.guard.String())
+		for i, as := range a.assigns {
+			if i > 0 {
+				b.WriteString(" |")
+			}
+			fmt.Fprintf(&b, " x[0] := %s", as.String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

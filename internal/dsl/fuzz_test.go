@@ -1,0 +1,48 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the parser against arbitrary input: it must never panic
+// and must either produce a protocol or a descriptive error. The seed corpus
+// covers every statement form; run with `go test -fuzz FuzzParse ./internal/dsl`
+// for continuous fuzzing (the seeds alone run as ordinary tests).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"protocol p\ndomain 2\nwindow -1 0\nlegit x[0] == x[-1]\n",
+		"protocol p\ndomain values a b c\nwindow -1 1\nlegit x[0] != b\naction t: x[0] == a -> x[0] := b | x[0] := c\n",
+		"protocol p\ndomain 3\nwindow -2 0\nlegit (x[0] + x[-1]) % 3 == 1 && !(x[-2] < 2)\n",
+		"# comment only\n",
+		"protocol p extra tokens",
+		"action before: domain",
+		"protocol p\ndomain 2\nwindow 0 0\nlegit 1 ||\n 0\n",
+		strings.Repeat("(", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err == nil && p == nil {
+			t.Fatal("nil protocol without error")
+		}
+		if err != nil && err.Error() == "" {
+			t.Fatal("empty error message")
+		}
+	})
+}
+
+// FuzzParseExpr does the same for standalone expressions.
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"x[0] == 1", "x[-1] + 2 * x[0] % 3 != 0", "!(x[0] < x[-1]) || 1 == 1",
+		"((((", "x[", "1 ==",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseExpr(src, nil, -1, 0)
+	})
+}

@@ -1,0 +1,79 @@
+package dsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+)
+
+// randomExpr builds a random expression AST over the window [lo, hi] and
+// domain d.
+func randomExpr(rng *rand.Rand, depth, lo, hi, d int) expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return intLit{v: rng.Intn(d)}
+		}
+		return varRef{offset: lo + rng.Intn(hi-lo+1)}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return unary{op: "!", x: randomExpr(rng, depth-1, lo, hi, d)}
+	case 1:
+		return unary{op: "-", x: randomExpr(rng, depth-1, lo, hi, d)}
+	default:
+		ops := []string{"+", "-", "*", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		return binary{
+			op: ops[rng.Intn(len(ops))],
+			l:  randomExpr(rng, depth-1, lo, hi, d),
+			r:  randomExpr(rng, depth-1, lo, hi, d),
+		}
+	}
+}
+
+// Property: rendering a random AST with String() and re-parsing yields an
+// expression with identical evaluation on every view — the parser and the
+// printer agree on precedence and associativity.
+func TestExprPrintParseRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1789))
+	const lo, hi, d = -1, 0, 3
+	n := 1
+	for i := 0; i <= hi-lo; i++ {
+		n *= d
+	}
+	for trial := 0; trial < 400; trial++ {
+		e := randomExpr(rng, 4, lo, hi, d)
+		src := e.String()
+		parsed, err := ParseExpr(src, nil, lo, hi)
+		if err != nil {
+			t.Fatalf("trial %d: %q does not re-parse: %v", trial, src, err)
+		}
+		for s := 0; s < n; s++ {
+			view := core.Decode(core.LocalState(s), d, hi-lo+1)
+			want := e.eval(view, lo) != 0
+			if got := parsed(view); got != want {
+				t.Fatalf("trial %d: %q evaluates differently on %v: got %v want %v",
+					trial, src, view, got, want)
+			}
+		}
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	f, err := ParseExpr("x[0] == 1 || x[-1] == left", []string{"left", "right"}, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f(core.View{0, 1}) || f(core.View{1, 0}) {
+		t.Fatal("ParseExpr evaluation wrong")
+	}
+	if _, err := ParseExpr("x[0] ==", nil, -1, 0); err == nil {
+		t.Fatal("incomplete expression must error")
+	}
+	if _, err := ParseExpr("x[0] == 1 bogus", nil, -1, 0); err == nil {
+		t.Fatal("trailing input must error")
+	}
+	if _, err := ParseExpr("x[5] == 1", nil, -1, 0); err == nil {
+		t.Fatal("out-of-window ref must error")
+	}
+}

@@ -1,0 +1,117 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+)
+
+// specsDir locates the repository's specs/ directory from the test binary.
+func specsDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		candidate := filepath.Join(dir, "specs")
+		if st, err := os.Stat(candidate); err == nil && st.IsDir() {
+			return candidate
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Skip("specs directory not found")
+		}
+		dir = parent
+	}
+}
+
+// Every shipped spec file must parse and compile.
+func TestAllShippedSpecsParse(t *testing.T) {
+	dir := specsDir(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".gc") {
+			continue
+		}
+		p, err := ParseFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s: empty protocol name", e.Name())
+		}
+		parsed++
+	}
+	if parsed < 5 {
+		t.Fatalf("expected at least 5 shipped specs, parsed %d", parsed)
+	}
+}
+
+// The shipped matchingA.gc must behave exactly like the hand-written
+// Example 4.2 protocol: identical local transitions and legitimacy.
+func TestShippedMatchingAMatchesHandWritten(t *testing.T) {
+	p, err := ParseFile(filepath.Join(specsDir(t), "matchingA.gc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := protocols.MatchingA()
+	ps, hs := p.Compile(), hand.Compile()
+	// Action names differ (A3 split into A3a/A3b etc.), so compare the
+	// transition relation as (src, dst) pairs.
+	pairs := func(sys *core.System) map[[2]core.LocalState]bool {
+		m := map[[2]core.LocalState]bool{}
+		for _, tr := range sys.Trans {
+			m[[2]core.LocalState{tr.Src, tr.Dst}] = true
+		}
+		return m
+	}
+	pp, hh := pairs(ps), pairs(hs)
+	if len(pp) != len(hh) {
+		t.Fatalf("transition counts differ: %d vs %d", len(pp), len(hh))
+	}
+	for k := range hh {
+		if !pp[k] {
+			t.Fatalf("parsed protocol missing transition %v", k)
+		}
+	}
+	for s := 0; s < ps.N(); s++ {
+		if ps.Legit[s] != hs.Legit[s] {
+			t.Fatalf("legitimacy differs at %s", hand.FormatState(core.LocalState(s)))
+		}
+	}
+	// And it model-checks identically at K=6.
+	in, err := explicit.NewInstance(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.CheckStrongConvergence().Converges {
+		t.Fatal("shipped matchingA must converge at K=6")
+	}
+}
+
+func TestShippedMISMatchesHandWritten(t *testing.T) {
+	p, err := ParseFile(filepath.Join(specsDir(t), "mis.gc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := protocols.MaxIndependentSet()
+	ps, hs := p.Compile(), hand.Compile()
+	for s := 0; s < ps.N(); s++ {
+		if ps.Legit[s] != hs.Legit[s] {
+			t.Fatalf("legitimacy differs at state %d", s)
+		}
+		if len(ps.Succ[s]) != len(hs.Succ[s]) {
+			t.Fatalf("successors differ at state %d", s)
+		}
+	}
+}

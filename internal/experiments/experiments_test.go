@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsMatchPaper is the repository's headline integration
+// test: every figure and evaluation claim of the paper must reproduce.
+func TestAllExperimentsMatchPaper(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			out, err := e.Run(&sb)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if !out.Match {
+				t.Fatalf("%s (%s) does not match the paper.\npaper: %s\nmeasured: %s\ndetails:\n%s",
+					e.ID, e.Title, e.Paper, out.Measured, sb.String())
+			}
+			if out.Measured == "" {
+				t.Fatal("empty measured summary")
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range []string{
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12",
+		"T1", "T2", "T3", "T4",
+	} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("f3"); !ok {
+		t.Fatal("ByID must be case-insensitive")
+	}
+	if _, ok := ByID("F99"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+func TestExperimentsWriteDetails(t *testing.T) {
+	// Each experiment must produce some detail output (the harness pipes it
+	// into EXPERIMENTS.md).
+	for _, e := range All() {
+		var sb strings.Builder
+		if _, err := e.Run(&sb); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s wrote no details", e.ID)
+		}
+	}
+}
+
+func BenchmarkAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range All() {
+			if _, err := e.Run(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionExperimentsMatch(t *testing.T) {
+	for _, e := range Extensions() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			out, err := e.Run(&sb)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !out.Match {
+				t.Fatalf("%s does not match: %s\n%s", e.ID, out.Measured, sb.String())
+			}
+		})
+	}
+}
+
+func TestAllWithExtensionsCount(t *testing.T) {
+	if len(AllWithExtensions()) != len(All())+len(Extensions()) {
+		t.Fatal("count mismatch")
+	}
+}

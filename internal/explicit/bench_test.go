@@ -1,0 +1,67 @@
+package explicit
+
+import (
+	"fmt"
+	"testing"
+
+	"paramring/internal/protocols"
+)
+
+func BenchmarkInstanceConstruction(b *testing.B) {
+	p := protocols.SumNotTwoSolution()
+	for _, k := range []int{6, 9, 12} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewInstance(p, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSuccessors(b *testing.B) {
+	in := MustNewInstance(protocols.MatchingA(), 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Successors(uint64(i) % in.NumStates())
+	}
+}
+
+func BenchmarkStrongConvergence(b *testing.B) {
+	p := protocols.AgreementOneSided("t01")
+	for _, k := range []int{6, 10, 14} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			in := MustNewInstance(p, k, WithMaxStates(1<<25))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !in.CheckStrongConvergence().Converges {
+					b.Fatal("verdict changed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRecoveryRadius(b *testing.B) {
+	in := MustNewInstance(protocols.SumNotTwoSolution(), 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.RecoveryRadius()
+	}
+}
+
+func BenchmarkSynthesizeGlobalBaseline(b *testing.B) {
+	p := protocols.SumNotTwoBase()
+	for _, k := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SynthesizeGlobal(p, k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,445 @@
+package explicit
+
+import (
+	"fmt"
+)
+
+// Deadlocks returns all global deadlock states (no enabled process), in
+// increasing state-code order.
+func (in *Instance) Deadlocks() []uint64 {
+	var out []uint64
+	for id := uint64(0); id < in.n; id++ {
+		if in.IsDeadlock(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IllegitimateDeadlocks returns the global deadlocks outside I(K).
+func (in *Instance) IllegitimateDeadlocks() []uint64 {
+	var out []uint64
+	for id := uint64(0); id < in.n; id++ {
+		if !in.inI[id] && in.IsDeadlock(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ClosureViolation describes a transition that leaves I.
+type ClosureViolation struct {
+	From, To uint64
+	Process  int
+	Action   string
+}
+
+// CheckClosure verifies that I(K) is closed in the protocol: every
+// transition from a state in I lands in I. Returns nil if closed, else a
+// witness violation.
+func (in *Instance) CheckClosure() *ClosureViolation {
+	for id := uint64(0); id < in.n; id++ {
+		if !in.inI[id] {
+			continue
+		}
+		for _, t := range in.SuccessorsDetailed(id) {
+			if !in.inI[t.To] {
+				v := ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}
+				return &v
+			}
+		}
+	}
+	return nil
+}
+
+// FindLivelock searches for a livelock: a cycle of global transitions that
+// stays entirely outside I(K) (Section 2.3's definition via Proposition
+// 2.1). It returns the states of one such cycle (in order; the last state
+// has a transition back to the first), or nil when Delta_p | not-I is
+// acyclic. Implemented as an iterative Tarjan SCC over the not-I-restricted
+// transition graph generated on the fly.
+func (in *Instance) FindLivelock() []uint64 {
+	const unvisited = -1
+	index := make([]int32, in.n)
+	low := make([]int32, in.n)
+	onStack := make([]bool, in.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []uint64
+		count   int32
+		frames  []mcFrame
+		sccSeed = uint64(0)
+		found   []uint64
+	)
+	restricted := func(id uint64) []uint64 {
+		if in.inI[id] {
+			return nil
+		}
+		succ := in.Successors(id)
+		out := succ[:0]
+		for _, s := range succ {
+			if !in.inI[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	for root := uint64(0); root < in.n; root++ {
+		if in.inI[root] || index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], mcFrame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.succ == nil {
+				index[v] = count
+				low[v] = count
+				count++
+				stack = append(stack, v)
+				onStack[v] = true
+				f.succ = restricted(v)
+			}
+			advanced := false
+			for f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if w == v {
+					// Self-loop: immediate livelock.
+					return []uint64{v}
+				}
+				if index[w] == unvisited {
+					frames = append(frames, mcFrame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				size := 0
+				for i := len(stack) - 1; ; i-- {
+					size++
+					if stack[i] == v {
+						break
+					}
+				}
+				if size > 1 {
+					sccSeed = v
+					// Member set of this SCC.
+					members := make(map[uint64]bool, size)
+					for i := 0; i < size; i++ {
+						w := stack[len(stack)-1-i]
+						members[w] = true
+					}
+					found = in.cycleWithin(sccSeed, members)
+					return found
+				}
+				// Trivial SCC: pop it.
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type mcFrame struct {
+	v    uint64
+	succ []uint64
+	next int
+}
+
+// cycleWithin extracts an explicit cycle through seed inside a nontrivial
+// SCC given by members: DFS from a successor of seed back to seed.
+func (in *Instance) cycleWithin(seed uint64, members map[uint64]bool) []uint64 {
+	// BFS from seed within members, tracking parents, until seed is re-reached.
+	type edge struct{ from, to uint64 }
+	parent := make(map[uint64]uint64)
+	queue := []uint64{seed}
+	visited := map[uint64]bool{seed: true}
+	var closing *edge
+	for len(queue) > 0 && closing == nil {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range in.Successors(u) {
+			if !members[w] || in.inI[w] {
+				continue
+			}
+			if w == seed {
+				closing = &edge{from: u, to: w}
+				break
+			}
+			if !visited[w] {
+				visited[w] = true
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	if closing == nil {
+		// Should not happen inside a nontrivial SCC.
+		return []uint64{seed}
+	}
+	var rev []uint64
+	for v := closing.from; v != seed; v = parent[v] {
+		rev = append(rev, v)
+	}
+	cycle := []uint64{seed}
+	for i := len(rev) - 1; i >= 0; i-- {
+		cycle = append(cycle, rev[i])
+	}
+	return cycle
+}
+
+// IsLivelock verifies a candidate cycle: consecutive states (cyclically)
+// must be global transitions and every state must be outside I.
+func (in *Instance) IsLivelock(cycle []uint64) bool {
+	if len(cycle) == 0 {
+		return false
+	}
+	for i, s := range cycle {
+		if in.inI[s] {
+			return false
+		}
+		next := cycle[(i+1)%len(cycle)]
+		if !in.HasTransition(s, next) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergenceReport is the verdict of CheckStrongConvergence.
+type ConvergenceReport struct {
+	// Converges is true when the protocol strongly converges to I(K):
+	// no deadlock outside I and no livelock (Proposition 2.1).
+	Converges bool
+	// DeadlockWitness, when non-nil, is a global deadlock outside I.
+	DeadlockWitness *uint64
+	// LivelockWitness, when non-empty, is a cycle of states outside I.
+	LivelockWitness []uint64
+	// StatesExplored counts global states examined (= domain^K; recorded for
+	// the local-vs-global cost experiments).
+	StatesExplored uint64
+}
+
+// CheckStrongConvergence decides strong convergence to I(K) by Proposition
+// 2.1: deadlock-freedom in not-I plus livelock-freedom in Delta_p | not-I.
+func (in *Instance) CheckStrongConvergence() ConvergenceReport {
+	rep := ConvergenceReport{StatesExplored: in.n}
+	for id := uint64(0); id < in.n; id++ {
+		if !in.inI[id] && in.IsDeadlock(id) {
+			d := id
+			rep.DeadlockWitness = &d
+			return rep
+		}
+	}
+	if c := in.FindLivelock(); c != nil {
+		rep.LivelockWitness = c
+		return rep
+	}
+	rep.Converges = true
+	return rep
+}
+
+// CheckWeakConvergence reports whether from every state some computation
+// reaches I (weak convergence), together with the states that cannot reach
+// I at all when the answer is false.
+func (in *Instance) CheckWeakConvergence() (bool, []uint64) {
+	canReach := make([]bool, in.n)
+	var frontier []uint64
+	for id := uint64(0); id < in.n; id++ {
+		if in.inI[id] {
+			canReach[id] = true
+			frontier = append(frontier, id)
+		}
+	}
+	// Backward BFS using generated predecessors.
+	vals := make([]int, in.k)
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		in.DecodeInto(id, vals)
+		for r := 0; r < in.k; r++ {
+			orig := vals[r]
+			for ov := 0; ov < in.d; ov++ {
+				if ov == orig {
+					continue
+				}
+				vals[r] = ov
+				pred := in.Encode(vals)
+				vals[r] = orig
+				if canReach[pred] {
+					continue
+				}
+				if in.HasTransition(pred, id) {
+					canReach[pred] = true
+					frontier = append(frontier, pred)
+				}
+			}
+		}
+		// Self-loop predecessors are irrelevant for reachability.
+	}
+	var stuck []uint64
+	for id := uint64(0); id < in.n; id++ {
+		if !canReach[id] {
+			stuck = append(stuck, id)
+		}
+	}
+	return len(stuck) == 0, stuck
+}
+
+// RecoveryRadius returns the maximum and mean over all states of the
+// shortest number of transitions needed to reach I (states already in I
+// count 0). The bool is false when some state cannot reach I at all (the
+// radius then ignores such states).
+func (in *Instance) RecoveryRadius() (max int, mean float64, allReach bool) {
+	const inf = -1
+	dist := make([]int, in.n)
+	var frontier []uint64
+	for id := uint64(0); id < in.n; id++ {
+		if in.inI[id] {
+			dist[id] = 0
+			frontier = append(frontier, id)
+		} else {
+			dist[id] = inf
+		}
+	}
+	vals := make([]int, in.k)
+	for head := 0; head < len(frontier); head++ {
+		id := frontier[head]
+		in.DecodeInto(id, vals)
+		for r := 0; r < in.k; r++ {
+			orig := vals[r]
+			for ov := 0; ov < in.d; ov++ {
+				if ov == orig {
+					continue
+				}
+				vals[r] = ov
+				pred := in.Encode(vals)
+				vals[r] = orig
+				if dist[pred] != inf {
+					continue
+				}
+				if in.HasTransition(pred, id) {
+					dist[pred] = dist[id] + 1
+					frontier = append(frontier, pred)
+				}
+			}
+		}
+	}
+	allReach = true
+	var sum, cnt uint64
+	for id := uint64(0); id < in.n; id++ {
+		if dist[id] == inf {
+			allReach = false
+			continue
+		}
+		if dist[id] > max {
+			max = dist[id]
+		}
+		sum += uint64(dist[id])
+		cnt++
+	}
+	if cnt > 0 {
+		mean = float64(sum) / float64(cnt)
+	}
+	return max, mean, allReach
+}
+
+// FormatCycle renders a livelock cycle as the paper does, e.g.
+// "<1000, 1100, 0100, ...>".
+func (in *Instance) FormatCycle(cycle []uint64) string {
+	s := "<"
+	for i, id := range cycle {
+		if i > 0 {
+			s += ", "
+		}
+		s += in.Format(id)
+	}
+	return s + ">"
+}
+
+// Computation replays a schedule: starting from state id, it applies, at
+// each step, a transition by the given process (which must be enabled),
+// returning the visited states including the start. An error is returned if
+// a scheduled process is not enabled or has a nondeterministic choice (use
+// ComputationChoose for those).
+func (in *Instance) Computation(start uint64, schedule []int) ([]uint64, error) {
+	states := []uint64{start}
+	cur := start
+	for step, r := range schedule {
+		var tos []uint64
+		for _, t := range in.SuccessorsDetailed(cur) {
+			if t.Process == r {
+				tos = append(tos, t.To)
+			}
+		}
+		switch len(tos) {
+		case 0:
+			return states, fmt.Errorf("explicit: step %d: process %d not enabled in %s", step, r, in.Format(cur))
+		case 1:
+			cur = tos[0]
+		default:
+			return states, fmt.Errorf("explicit: step %d: process %d has %d choices; use ComputationChoose", step, r, len(tos))
+		}
+		states = append(states, cur)
+	}
+	return states, nil
+}
+
+// IsWeaklyFairCycle reports whether a livelock cycle is admissible under a
+// weakly fair daemon: no process that is continuously enabled along the
+// whole cycle fails to execute in it. By Corollary 5.7 every livelock on a
+// unidirectional ring trivially satisfies this (no process is continuously
+// enabled at all), which is the paper's point that weak fairness does not
+// help against livelocks.
+func (in *Instance) IsWeaklyFairCycle(cycle []uint64) bool {
+	if !in.IsLivelock(cycle) {
+		return false
+	}
+	executes := make(map[int]bool)
+	for i, s := range cycle {
+		next := cycle[(i+1)%len(cycle)]
+		for _, t := range in.SuccessorsDetailed(s) {
+			if t.To == next {
+				executes[t.Process] = true
+			}
+		}
+	}
+	for p := 0; p < in.k; p++ {
+		continuously := true
+		for _, s := range cycle {
+			enabled := false
+			for _, e := range in.EnabledProcesses(s) {
+				if e == p {
+					enabled = true
+					break
+				}
+			}
+			if !enabled {
+				continuously = false
+				break
+			}
+		}
+		if continuously && !executes[p] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,438 @@
+package explicit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/protocols"
+)
+
+func mustInstance(t *testing.T, p *core.Protocol, k int, opts ...Option) *Instance {
+	t.Helper()
+	in, err := NewInstance(p, k, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	p := protocols.AgreementBase()
+	if _, err := NewInstance(p, 1); err == nil {
+		t.Fatal("K=1 must be rejected")
+	}
+	if _, err := NewInstance(p, 70); err == nil {
+		t.Fatal("2^70 states must overflow")
+	}
+	if _, err := NewInstance(p, 30); err == nil {
+		t.Fatal("2^30 exceeds default state limit")
+	}
+	if _, err := NewInstance(p, 24, WithMaxStates(1<<25)); err != nil {
+		t.Fatalf("2^24 within raised limit should work: %v", err)
+	}
+}
+
+func TestEncodeDecodeGlobal(t *testing.T) {
+	in := mustInstance(t, protocols.SumNotTwoBase(), 4)
+	if in.NumStates() != 81 {
+		t.Fatalf("NumStates = %d", in.NumStates())
+	}
+	for id := uint64(0); id < in.NumStates(); id++ {
+		if got := in.Encode(in.Decode(id)); got != id {
+			t.Fatalf("roundtrip %d -> %d", id, got)
+		}
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBase(), 3)
+	for name, f := range map[string]func(){
+		"arity":  func() { in.Encode([]int{0}) },
+		"domain": func() { in.Encode([]int{0, 0, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestViewWrapsAroundRing(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBase(), 3)
+	id := in.Encode([]int{1, 0, 1})
+	// Process 0 reads x_2, x_0 = (1, 1).
+	if got := in.View(id, 0); !reflect.DeepEqual(got, core.View{1, 1}) {
+		t.Fatalf("View(0) = %v", got)
+	}
+	if got := in.View(id, 1); !reflect.DeepEqual(got, core.View{1, 0}) {
+		t.Fatalf("View(1) = %v", got)
+	}
+}
+
+func TestInIMatchesConjunction(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBase(), 4)
+	// I = all equal: exactly 0000 and 1111.
+	var count int
+	for id := uint64(0); id < in.NumStates(); id++ {
+		if in.InI(id) {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("|I| = %d, want 2", count)
+	}
+	if !in.InI(in.Encode([]int{1, 1, 1, 1})) || in.InI(in.Encode([]int{1, 0, 1, 0})) {
+		t.Fatal("InI wrong")
+	}
+}
+
+func TestSuccessorsAgreement(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBoth(), 3)
+	id := in.Encode([]int{1, 0, 0})
+	det := in.SuccessorsDetailed(id)
+	// Enabled: P1 (x0=1,x1=0 -> t01), P0 (x2=0,x0=1 -> t10).
+	if len(det) != 2 {
+		t.Fatalf("transitions = %v", det)
+	}
+	if det[0].Process != 0 || det[0].Action != "t10" || det[0].To != in.Encode([]int{0, 0, 0}) {
+		t.Fatalf("first transition = %+v", det[0])
+	}
+	if det[1].Process != 1 || det[1].Action != "t01" || det[1].To != in.Encode([]int{1, 1, 0}) {
+		t.Fatalf("second transition = %+v", det[1])
+	}
+	if got := in.EnabledProcesses(id); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("enabled = %v", got)
+	}
+	if !in.HasTransition(id, in.Encode([]int{0, 0, 0})) {
+		t.Fatal("HasTransition missing")
+	}
+	if in.HasTransition(id, in.Encode([]int{1, 1, 1})) {
+		t.Fatal("HasTransition phantom")
+	}
+}
+
+func TestDeadlocksAgreementOneSided(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementOneSided("t01"), 3)
+	dl := in.Deadlocks()
+	// With only t01, deadlocks are exactly the all-equal states.
+	want := []uint64{in.Encode([]int{0, 0, 0}), in.Encode([]int{1, 1, 1})}
+	if !reflect.DeepEqual(dl, want) {
+		t.Fatalf("deadlocks = %v, want %v", dl, want)
+	}
+	if got := in.IllegitimateDeadlocks(); len(got) != 0 {
+		t.Fatalf("illegitimate deadlocks = %v", got)
+	}
+}
+
+func TestCheckClosureHolds(t *testing.T) {
+	for _, p := range []*core.Protocol{
+		protocols.MatchingA(),
+		protocols.AgreementBoth(),
+		protocols.SumNotTwoSolution(),
+	} {
+		in := mustInstance(t, p, 5)
+		if v := in.CheckClosure(); v != nil {
+			t.Fatalf("%s: closure violated: %+v", p.Name(), *v)
+		}
+	}
+}
+
+func TestCheckClosureViolation(t *testing.T) {
+	// An action that moves 00 (legitimate) to 01 (depends) — craft a clear
+	// violation: legit = all zeros locally; action flips a zero to one.
+	p := core.MustNew(core.Config{
+		Name: "bad", Domain: 2, Lo: -1, Hi: 0,
+		Actions: []core.Action{{
+			Name:  "corrupt",
+			Guard: func(v core.View) bool { return v[0] == 0 && v[1] == 0 },
+			Next:  func(v core.View) []int { return []int{1} },
+		}},
+		Legit: func(v core.View) bool { return v[0] == 0 && v[1] == 0 },
+	})
+	in := mustInstance(t, p, 3)
+	v := in.CheckClosure()
+	if v == nil {
+		t.Fatal("expected closure violation")
+	}
+	if !in.InI(v.From) || in.InI(v.To) {
+		t.Fatal("violation endpoints wrong")
+	}
+}
+
+// The paper's Example 5.2 livelock at K=4:
+// <1000, 1100, 0100, 0110, 0111, 0011, 1011, 1001>.
+func TestAgreementK4PaperLivelock(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBoth(), 4)
+	strs := [][]int{
+		{1, 0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0, 0}, {0, 1, 1, 0},
+		{0, 1, 1, 1}, {0, 0, 1, 1}, {1, 0, 1, 1}, {1, 0, 0, 1},
+	}
+	cycle := make([]uint64, len(strs))
+	for i, s := range strs {
+		cycle[i] = in.Encode(s)
+	}
+	if !in.IsLivelock(cycle) {
+		t.Fatal("the paper's Example 5.2 cycle must be a livelock")
+	}
+	// And the checker must find some livelock on its own.
+	found := in.FindLivelock()
+	if found == nil {
+		t.Fatal("FindLivelock missed the K=4 livelock")
+	}
+	if !in.IsLivelock(found) {
+		t.Fatalf("FindLivelock returned a non-livelock: %s", in.FormatCycle(found))
+	}
+}
+
+func TestIsLivelockRejectsBadCycles(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBoth(), 4)
+	if in.IsLivelock(nil) {
+		t.Fatal("empty cycle is not a livelock")
+	}
+	// A cycle touching I.
+	if in.IsLivelock([]uint64{in.Encode([]int{0, 0, 0, 0})}) {
+		t.Fatal("cycle inside I rejected")
+	}
+	// States outside I but not a transition cycle.
+	c := []uint64{in.Encode([]int{1, 0, 0, 0}), in.Encode([]int{0, 1, 1, 1})}
+	if in.IsLivelock(c) {
+		t.Fatal("non-transition cycle rejected")
+	}
+}
+
+func TestOneSidedAgreementConverges(t *testing.T) {
+	for _, side := range []string{"t01", "t10"} {
+		for k := 2; k <= 7; k++ {
+			in := mustInstance(t, protocols.AgreementOneSided(side), k)
+			rep := in.CheckStrongConvergence()
+			if !rep.Converges {
+				t.Fatalf("agreement/%s K=%d should converge: %+v", side, k, rep)
+			}
+			if rep.StatesExplored != in.NumStates() {
+				t.Fatal("StatesExplored must equal the global state count")
+			}
+		}
+	}
+}
+
+func TestMatchingAModelChecked5678(t *testing.T) {
+	// The paper: "We model-checked this protocol for different sizes of ring
+	// (5,6,7 and 8 processes) and demonstrated its deadlock freedom."
+	for _, k := range []int{5, 6, 7, 8} {
+		in := mustInstance(t, protocols.MatchingA(), k)
+		if got := in.IllegitimateDeadlocks(); len(got) != 0 {
+			t.Fatalf("matchingA K=%d has illegitimate deadlock %s", k, in.Format(got[0]))
+		}
+	}
+}
+
+func TestMatchingBConvergesOnlyAtK5(t *testing.T) {
+	in5 := mustInstance(t, protocols.MatchingB(), 5)
+	if !in5.CheckStrongConvergence().Converges {
+		t.Fatal("Example 4.3 must stabilize for K=5")
+	}
+	in6 := mustInstance(t, protocols.MatchingB(), 6)
+	rep := in6.CheckStrongConvergence()
+	if rep.Converges || rep.DeadlockWitness == nil {
+		t.Fatal("Example 4.3 must deadlock for K=6")
+	}
+}
+
+func TestGoudaAcharyaLivelockK5(t *testing.T) {
+	in := mustInstance(t, protocols.GoudaAcharya(), 5)
+	cycle := in.FindLivelock()
+	if cycle == nil {
+		t.Fatal("Gouda-Acharya fragment must livelock at K=5")
+	}
+	if !in.IsLivelock(cycle) {
+		t.Fatal("witness is not a livelock")
+	}
+	// The paper's concrete K=5 livelock (Figure 8 discussion):
+	// <lslsl, sslsl, sllsl, slssl, slsll, slsls, llsls, lssls, lslls, lslss>.
+	names := []string{"lslsl", "sslsl", "sllsl", "slssl", "slsll", "slsls", "llsls", "lssls", "lslls", "lslss"}
+	paperCycle := make([]uint64, len(names))
+	for i, s := range names {
+		vals := make([]int, len(s))
+		for j, ch := range s {
+			switch ch {
+			case 'l':
+				vals[j] = protocols.MatchLeft
+			case 's':
+				vals[j] = protocols.MatchSelf
+			case 'r':
+				vals[j] = protocols.MatchRight
+			}
+		}
+		paperCycle[i] = in.Encode(vals)
+	}
+	if !in.IsLivelock(paperCycle) {
+		t.Fatal("the paper's Figure 8 livelock must verify")
+	}
+}
+
+func TestComputationReplay(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBoth(), 4)
+	start := in.Encode([]int{1, 0, 0, 0})
+	// The paper's schedule Sch: processes 1,0,2,3,1,0,2,3.
+	states, err := in.Computation(start, []int{1, 0, 2, 3, 1, 0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 9 || states[8] != start {
+		t.Fatalf("schedule must return to start; got %v", states)
+	}
+	// Error on disabled process.
+	if _, err := in.Computation(in.Encode([]int{0, 0, 0, 0}), []int{0}); err == nil {
+		t.Fatal("expected error scheduling a disabled process")
+	}
+}
+
+func TestComputationAmbiguousChoice(t *testing.T) {
+	in := mustInstance(t, protocols.MatchingA(), 4)
+	// sss...: A2 enabled with two choices.
+	start := in.Encode([]int{protocols.MatchSelf, protocols.MatchSelf, protocols.MatchSelf, protocols.MatchSelf})
+	if _, err := in.Computation(start, []int{0}); err == nil {
+		t.Fatal("expected nondeterminism error")
+	}
+}
+
+func TestWeakConvergence(t *testing.T) {
+	// Agreement one-sided strongly converges, hence weakly.
+	in := mustInstance(t, protocols.AgreementOneSided("t01"), 4)
+	ok, stuck := in.CheckWeakConvergence()
+	if !ok {
+		t.Fatalf("one-sided agreement must weakly converge; stuck: %v", stuck)
+	}
+	// Agreement with no actions at all: states outside I can't move.
+	in2 := mustInstance(t, protocols.AgreementBase(), 3)
+	ok2, stuck2 := in2.CheckWeakConvergence()
+	if ok2 || len(stuck2) != 6 {
+		t.Fatalf("empty agreement: ok=%v stuck=%d, want false, 6", ok2, len(stuck2))
+	}
+	// AgreementBoth weakly converges (some path reaches I) despite livelocks.
+	in3 := mustInstance(t, protocols.AgreementBoth(), 4)
+	ok3, _ := in3.CheckWeakConvergence()
+	if !ok3 {
+		t.Fatal("agreement-both must weakly converge")
+	}
+}
+
+func TestRecoveryRadius(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementOneSided("t01"), 4)
+	max, mean, all := in.RecoveryRadius()
+	if !all {
+		t.Fatal("all states must reach I")
+	}
+	if max < 1 || mean <= 0 {
+		t.Fatalf("radius = %d mean=%f", max, mean)
+	}
+	// 1000 needs at least... worst case for t01-only on K=4 is 3 copies.
+	if max > 12 {
+		t.Fatalf("radius %d implausibly large", max)
+	}
+}
+
+func TestDijkstraTokenRingStabilizes(t *testing.T) {
+	follower, bottom := protocols.DijkstraTokenRing(4)
+	in := mustInstance(t, follower, 4,
+		WithProcessActions(0, bottom),
+		WithGlobalPredicate(protocols.TokenRingLegit))
+	if v := in.CheckClosure(); v != nil {
+		t.Fatalf("token ring closure violated: %+v", *v)
+	}
+	rep := in.CheckStrongConvergence()
+	if !rep.Converges {
+		t.Fatalf("Dijkstra token ring (m=4,K=4) must stabilize: %+v", rep)
+	}
+}
+
+func TestDijkstraTokenRingTooFewStatesLivelocks(t *testing.T) {
+	// m < K breaks Dijkstra's protocol: with m=2, K=4 there are illegitimate
+	// executions that never stabilize.
+	follower, bottom := protocols.DijkstraTokenRing(2)
+	in := mustInstance(t, follower, 4,
+		WithProcessActions(0, bottom),
+		WithGlobalPredicate(protocols.TokenRingLegit))
+	rep := in.CheckStrongConvergence()
+	if rep.Converges {
+		t.Fatal("m=2 < K=4 must not stabilize")
+	}
+}
+
+func TestFormatAndFormatCycle(t *testing.T) {
+	in := mustInstance(t, protocols.MatchingA(), 3)
+	id := in.Encode([]int{protocols.MatchLeft, protocols.MatchSelf, protocols.MatchRight})
+	if got := in.Format(id); got != "lsr" {
+		t.Fatalf("Format = %q", got)
+	}
+	got := in.FormatCycle([]uint64{id, id})
+	if got != "<lsr, lsr>" {
+		t.Fatalf("FormatCycle = %q", got)
+	}
+}
+
+// Property: Successors and EnabledProcesses agree — a state has a successor
+// iff some process is enabled — across random protocols and states.
+func TestSuccessorsEnabledAgreementRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(2)
+		moves := map[core.LocalState][]int{}
+		n := d * d
+		for s := 0; s < n; s++ {
+			if rng.Intn(2) == 0 {
+				moves[core.LocalState(s)] = []int{rng.Intn(d)}
+			}
+		}
+		p, err := core.NewFromTable(core.Config{
+			Name: "rnd", Domain: d, Lo: -1, Hi: 0,
+			Legit: func(v core.View) bool { return v[0] == v[1] },
+		}, []core.TableAction{{Name: "m", Moves: moves}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 3 + rng.Intn(3)
+		in := mustInstance(t, p, k)
+		for probe := 0; probe < 50; probe++ {
+			id := uint64(rng.Intn(int(in.NumStates())))
+			succ := in.Successors(id)
+			enabled := in.EnabledProcesses(id)
+			// Note: a "move" to the same value is a self-loop successor, so
+			// enabled processes always yield successors in this model.
+			if (len(succ) > 0) != (len(enabled) > 0) {
+				t.Fatalf("trial %d state %d: succ=%v enabled=%v", trial, id, succ, enabled)
+			}
+			if in.IsDeadlock(id) != (len(enabled) == 0) {
+				t.Fatal("IsDeadlock disagrees with EnabledProcesses")
+			}
+		}
+	}
+}
+
+func TestIsWeaklyFairCycle(t *testing.T) {
+	in := mustInstance(t, protocols.AgreementBoth(), 4)
+	strs := [][]int{
+		{1, 0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0, 0}, {0, 1, 1, 0},
+		{0, 1, 1, 1}, {0, 0, 1, 1}, {1, 0, 1, 1}, {1, 0, 0, 1},
+	}
+	cycle := make([]uint64, len(strs))
+	for i, s := range strs {
+		cycle[i] = in.Encode(s)
+	}
+	// The paper's livelock is weakly fair (Corollary 5.7: nobody is
+	// continuously enabled, so the condition holds vacuously — and in fact
+	// every process executes twice per period).
+	if !in.IsWeaklyFairCycle(cycle) {
+		t.Fatal("the paper's livelock must be weakly fair")
+	}
+	// Not a livelock -> not a fair cycle.
+	if in.IsWeaklyFairCycle([]uint64{in.Encode([]int{0, 0, 0, 0})}) {
+		t.Fatal("non-livelock input must be rejected")
+	}
+}

@@ -1,0 +1,88 @@
+package explicit
+
+import "paramring/internal/core"
+
+// The compiled fast path: for symmetric instances (no distinguished
+// processes), successor generation does not need to re-evaluate guards —
+// the protocol's compiled local transition table maps each local state code
+// directly to its new own-variable values. Successors then reduce to a
+// window decode plus a table lookup per process, which is what makes the
+// K-sweeps of the cost experiments (T1) tractable at K=12.
+//
+// The table is built lazily on first use and shared by all queries. The
+// symbolic path remains in use when WithProcessActions breaks symmetry.
+
+// localTable maps a local state code to the distinct new own values of its
+// outgoing transitions (nil when the state is a local deadlock).
+type localTable [][]int
+
+// buildLocalTable compiles the protocol's transition relation into a
+// lookup table over local state codes.
+func buildLocalTable(p *core.Protocol) localTable {
+	sys := p.Compile()
+	tbl := make(localTable, sys.N())
+	for s := 0; s < sys.N(); s++ {
+		succ := sys.Succ[s]
+		if len(succ) == 0 {
+			continue
+		}
+		vals := make([]int, 0, len(succ))
+		for _, dst := range succ {
+			vals = append(vals, sys.OwnValue(dst))
+		}
+		tbl[s] = vals
+	}
+	return tbl
+}
+
+// fast returns the compiled table, building it on first use; nil when the
+// instance has distinguished processes (the table cannot represent them).
+func (in *Instance) fast() localTable {
+	if len(in.distinguished) > 0 {
+		return nil
+	}
+	if in.table == nil {
+		in.table = buildLocalTable(in.p)
+	}
+	return in.table
+}
+
+// successorsFast generates distinct successors via the compiled table.
+// Returns (nil, false) when the fast path is unavailable.
+func (in *Instance) successorsFast(id uint64, vals []int, view core.View) ([]uint64, bool) {
+	tbl := in.fast()
+	if tbl == nil {
+		return nil, false
+	}
+	var out []uint64
+	in.DecodeInto(id, vals)
+	for r := 0; r < in.k; r++ {
+		in.viewInto(vals, r, view)
+		moves := tbl[core.Encode(view, in.d)]
+		if moves == nil {
+			continue
+		}
+		base := id - uint64(vals[r])*in.po[r]
+		for _, nv := range moves {
+			out = append(out, base+uint64(nv)*in.po[r])
+		}
+	}
+	return out, true
+}
+
+// enabledCountFast counts enabled processes via the compiled table.
+func (in *Instance) enabledCountFast(id uint64, vals []int, view core.View) (int, bool) {
+	tbl := in.fast()
+	if tbl == nil {
+		return 0, false
+	}
+	in.DecodeInto(id, vals)
+	count := 0
+	for r := 0; r < in.k; r++ {
+		in.viewInto(vals, r, view)
+		if tbl[core.Encode(view, in.d)] != nil {
+			count++
+		}
+	}
+	return count, true
+}

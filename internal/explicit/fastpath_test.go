@@ -1,0 +1,91 @@
+package explicit
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/protocols"
+	"paramring/internal/protogen"
+)
+
+// The fast path and the symbolic path must agree exactly on successors and
+// deadlock status — on the zoo and on random protocols.
+func TestFastPathAgreesWithSymbolic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(in *Instance) {
+		t.Helper()
+		for probe := uint64(0); probe < in.NumStates(); probe++ {
+			fast := in.Successors(probe)
+			det := in.SuccessorsDetailed(probe)
+			slow := make([]uint64, 0, len(det))
+			seen := map[uint64]bool{}
+			for _, tr := range det {
+				if !seen[tr.To] {
+					seen[tr.To] = true
+					slow = append(slow, tr.To)
+				}
+			}
+			sortU64(slow)
+			if len(fast) != len(slow) {
+				t.Fatalf("%s state %d: fast %v != slow %v", in.Protocol().Name(), probe, fast, slow)
+			}
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("%s state %d: fast %v != slow %v", in.Protocol().Name(), probe, fast, slow)
+				}
+			}
+			if in.IsDeadlock(probe) != (len(slow) == 0) {
+				t.Fatalf("%s state %d: deadlock disagreement", in.Protocol().Name(), probe)
+			}
+		}
+	}
+	for _, name := range []string{"matchingA", "agreement-both", "sum-not-two-ss", "mis"} {
+		check(MustNewInstance(protocols.All()[name], 4))
+	}
+	for trial := 0; trial < 25; trial++ {
+		p := protogen.Random(rng, protogen.Options{MovePercent: 60, Nondet: true})
+		check(MustNewInstance(p, 5))
+	}
+}
+
+// Distinguished processes must bypass the fast path and stay correct.
+func TestFastPathSkippedForDistinguished(t *testing.T) {
+	follower, bottom := protocols.DijkstraTokenRing(3)
+	in := MustNewInstance(follower, 3,
+		WithProcessActions(0, bottom),
+		WithGlobalPredicate(protocols.TokenRingLegit))
+	if tbl := in.fast(); tbl != nil {
+		t.Fatal("fast path must be unavailable with distinguished processes")
+	}
+	// Bottom's bump must appear in successors of the all-equal state.
+	id := in.Encode([]int{1, 1, 1})
+	succ := in.Successors(id)
+	if len(succ) != 1 || succ[0] != in.Encode([]int{2, 1, 1}) {
+		t.Fatalf("successors = %v", succ)
+	}
+}
+
+func sortU64(xs []uint64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Ablation: compiled table vs symbolic guard evaluation.
+func BenchmarkSuccessorsFastVsSymbolic(b *testing.B) {
+	in := MustNewInstance(protocols.MatchingA(), 8)
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in.Successors(uint64(i) % in.NumStates())
+		}
+	})
+	b.Run("symbolic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in.SuccessorsDetailed(uint64(i) % in.NumStates())
+		}
+	})
+}

@@ -1,0 +1,326 @@
+// Package explicit is the global-state-space substrate: it instantiates a
+// parameterized protocol at a concrete ring size K and model-checks it by
+// explicit enumeration of all domain^K global states.
+//
+// It serves two roles in the reproduction:
+//
+//  1. Oracle. Every local-reasoning verdict (Theorems 4.2 and 5.14, the
+//     synthesis outputs of Section 6) is cross-validated against exhaustive
+//     search for concrete K — the paper itself reports model checking its
+//     Example 4.2 "for different sizes of ring (5,6,7 and 8 processes)".
+//  2. Baseline. It embodies the global-state-exploration approach (STSyn
+//     [17], and the methods of [16,26,27]) whose exponential cost in K the
+//     paper's local method avoids; the benchmark harness measures exactly
+//     that gap.
+package explicit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paramring/internal/core"
+)
+
+// DefaultMaxStates bounds domain^K for an instance (memory guard for the
+// []bool and visitation arrays).
+const DefaultMaxStates = 1 << 24
+
+// Option configures an Instance.
+type Option func(*Instance)
+
+// WithGlobalPredicate replaces the default locally conjunctive I(K) =
+// AND_r LC_r with an arbitrary global predicate over the ring valuation.
+// Needed for protocols whose legitimate set is not locally conjunctive,
+// such as Dijkstra's token ring ("exactly one process enabled").
+func WithGlobalPredicate(f func(vals []int) bool) Option {
+	return func(in *Instance) { in.globalI = f }
+}
+
+// WithProcessActions overrides the actions of the process at ring position
+// pos (0-based), breaking symmetry. Dijkstra's token ring distinguishes
+// process 0 this way.
+func WithProcessActions(pos int, actions []core.Action) Option {
+	return func(in *Instance) {
+		if in.distinguished == nil {
+			in.distinguished = make(map[int][]core.Action)
+		}
+		in.distinguished[pos] = append([]core.Action(nil), actions...)
+	}
+}
+
+// WithMaxStates overrides the state-count guard.
+func WithMaxStates(n uint64) Option {
+	return func(in *Instance) { in.maxStates = n }
+}
+
+// Instance is a protocol instantiated on a ring of K processes. Global
+// states are mixed-radix codes in [0, domain^K): process r contributes
+// vals[r] * domain^r.
+type Instance struct {
+	p  *core.Protocol
+	k  int
+	d  int
+	n  uint64
+	po []uint64 // po[i] = d^i
+
+	lo, hi int
+
+	maxStates     uint64
+	globalI       func(vals []int) bool
+	distinguished map[int][]core.Action
+
+	inI   []bool     // cached I membership per state
+	table localTable // lazily compiled fast path (symmetric instances only)
+}
+
+// NewInstance instantiates p on a ring of k >= 2 processes.
+func NewInstance(p *core.Protocol, k int, opts ...Option) (*Instance, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("explicit: ring size %d < 2", k)
+	}
+	in := &Instance{
+		p:         p,
+		k:         k,
+		d:         p.Domain(),
+		maxStates: DefaultMaxStates,
+	}
+	in.lo, in.hi = p.Window()
+	for _, o := range opts {
+		o(in)
+	}
+	if float64(k)*math.Log2(float64(in.d)) > 62 {
+		return nil, fmt.Errorf("explicit: %d^%d global states overflow uint64", in.d, k)
+	}
+	in.n = 1
+	in.po = make([]uint64, k+1)
+	for i := 0; i <= k; i++ {
+		in.po[i] = in.n
+		if i < k {
+			in.n *= uint64(in.d)
+		}
+	}
+	if in.n > in.maxStates {
+		return nil, fmt.Errorf("explicit: %d^%d = %d global states exceeds limit %d", in.d, k, in.n, in.maxStates)
+	}
+	in.inI = make([]bool, in.n)
+	vals := make([]int, k)
+	for id := uint64(0); id < in.n; id++ {
+		in.DecodeInto(id, vals)
+		in.inI[id] = in.evalI(vals)
+	}
+	return in, nil
+}
+
+// MustNewInstance is NewInstance that panics on error.
+func MustNewInstance(p *core.Protocol, k int, opts ...Option) *Instance {
+	in, err := NewInstance(p, k, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Protocol returns the underlying parameterized protocol.
+func (in *Instance) Protocol() *core.Protocol { return in.p }
+
+// K returns the ring size.
+func (in *Instance) K() int { return in.k }
+
+// NumStates returns domain^K.
+func (in *Instance) NumStates() uint64 { return in.n }
+
+// Encode packs a ring valuation into a state code.
+func (in *Instance) Encode(vals []int) uint64 {
+	if len(vals) != in.k {
+		panic(fmt.Sprintf("explicit: %d values for ring of %d", len(vals), in.k))
+	}
+	var id uint64
+	for r, v := range vals {
+		if v < 0 || v >= in.d {
+			panic(fmt.Sprintf("explicit: value %d out of domain [0,%d)", v, in.d))
+		}
+		id += uint64(v) * in.po[r]
+	}
+	return id
+}
+
+// Decode unpacks a state code into a fresh ring valuation.
+func (in *Instance) Decode(id uint64) []int {
+	vals := make([]int, in.k)
+	in.DecodeInto(id, vals)
+	return vals
+}
+
+// DecodeInto unpacks a state code into vals (len K) without allocating.
+func (in *Instance) DecodeInto(id uint64, vals []int) {
+	for r := 0; r < in.k; r++ {
+		vals[r] = int(id % uint64(in.d))
+		id /= uint64(in.d)
+	}
+}
+
+// evalI evaluates I on a decoded valuation.
+func (in *Instance) evalI(vals []int) bool {
+	if in.globalI != nil {
+		return in.globalI(vals)
+	}
+	view := make(core.View, in.p.W())
+	for r := 0; r < in.k; r++ {
+		in.viewInto(vals, r, view)
+		if !in.p.LegitimateView(view) {
+			return false
+		}
+	}
+	return true
+}
+
+// InI reports whether the state is in the legitimate set I(K).
+func (in *Instance) InI(id uint64) bool { return in.inI[id] }
+
+// viewInto fills view with the window of process r over vals.
+func (in *Instance) viewInto(vals []int, r int, view core.View) {
+	for i := 0; i < len(view); i++ {
+		idx := ((r+in.lo+i)%in.k + in.k) % in.k
+		view[i] = vals[idx]
+	}
+}
+
+// View returns the decoded local view of process r in state id.
+func (in *Instance) View(id uint64, r int) core.View {
+	vals := make([]int, in.k)
+	in.DecodeInto(id, vals)
+	view := make(core.View, in.p.W())
+	in.viewInto(vals, r, view)
+	return view
+}
+
+// actionsFor returns the actions executed by ring position r.
+func (in *Instance) actionsFor(r int) []core.Action {
+	if a, ok := in.distinguished[r]; ok {
+		return a
+	}
+	return in.p.Actions()
+}
+
+// GlobalTransition records one outgoing global transition of a state.
+type GlobalTransition struct {
+	To      uint64
+	Process int
+	Action  string
+}
+
+// SuccessorsDetailed returns every outgoing global transition of id, sorted
+// by (Process, To, Action) and deduplicated.
+func (in *Instance) SuccessorsDetailed(id uint64) []GlobalTransition {
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
+	in.DecodeInto(id, vals)
+	var out []GlobalTransition
+	for r := 0; r < in.k; r++ {
+		in.viewInto(vals, r, view)
+		for _, a := range in.actionsFor(r) {
+			if !a.Guard(view) {
+				continue
+			}
+			for _, nv := range a.Next(view) {
+				if nv < 0 || nv >= in.d {
+					panic(fmt.Sprintf("explicit: action %q writes %d outside domain", a.Name, nv))
+				}
+				to := id + uint64(nv)*in.po[r] - uint64(vals[r])*in.po[r]
+				out = append(out, GlobalTransition{To: to, Process: r, Action: a.Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Process != b.Process {
+			return a.Process < b.Process
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Action < b.Action
+	})
+	// Dedup identical records.
+	w := 0
+	for i, t := range out {
+		if i == 0 || t != out[i-1] {
+			out[w] = t
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Successors returns the distinct successor states of id in sorted order.
+// Symmetric instances use the compiled local-transition table (see
+// fastpath.go); instances with distinguished processes fall back to guard
+// evaluation.
+func (in *Instance) Successors(id uint64) []uint64 {
+	var out []uint64
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
+	if fastOut, ok := in.successorsFast(id, vals, view); ok {
+		out = fastOut
+	} else {
+		det := in.SuccessorsDetailed(id)
+		out = make([]uint64, 0, len(det))
+		for _, t := range det {
+			out = append(out, t.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// EnabledProcesses returns the ring positions with at least one enabled
+// action in state id.
+func (in *Instance) EnabledProcesses(id uint64) []int {
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
+	in.DecodeInto(id, vals)
+	var out []int
+	for r := 0; r < in.k; r++ {
+		in.viewInto(vals, r, view)
+		for _, a := range in.actionsFor(r) {
+			if a.Guard(view) && len(a.Next(view)) > 0 {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HasTransition reports whether (from, to) is a global transition.
+func (in *Instance) HasTransition(from, to uint64) bool {
+	for _, s := range in.Successors(from) {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDeadlock reports whether no process is enabled in id.
+func (in *Instance) IsDeadlock(id uint64) bool {
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
+	if n, ok := in.enabledCountFast(id, vals, view); ok {
+		return n == 0
+	}
+	return len(in.EnabledProcesses(id)) == 0
+}
+
+// Format renders a state compactly using the protocol's value names.
+func (in *Instance) Format(id uint64) string {
+	return in.p.FormatGlobal(in.Decode(id))
+}

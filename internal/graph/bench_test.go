@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, m int, seed int64) *Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+func BenchmarkSCCs(b *testing.B) {
+	for _, n := range []int{32, 256, 2048} {
+		g := randomGraph(n, 4*n, 1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.SCCs()
+			}
+		})
+	}
+}
+
+func BenchmarkElementaryCycles(b *testing.B) {
+	// Sparse random graphs keep cycle counts civilized.
+	for _, n := range []int{16, 64} {
+		g := randomGraph(n, n+n/2, 2)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.ElementaryCycles(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMinimalHittingSets(b *testing.B) {
+	family := [][]int{{0, 1, 2}, {2, 3}, {1, 4}, {0, 5}, {3, 4, 5}}
+	allowed := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		allowed[i] = true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimalHittingSets(family, allowed, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitiveReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(4) == 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.TransitiveReduction()
+	}
+}
+
+func BenchmarkReachableFrom(b *testing.B) {
+	g := randomGraph(4096, 16384, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ReachableFrom(0)
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 100:
+		return "small"
+	case n < 1000:
+		return "medium"
+	default:
+		return "large"
+	}
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCycleLimit is returned (wrapped) when elementary-cycle enumeration
+// exceeds its configured cap. Callers that use cycle enumeration to *prove*
+// the absence of bad structures must treat this as "unknown", never as proof.
+var ErrCycleLimit = errors.New("graph: elementary cycle limit exceeded")
+
+// DefaultCycleLimit bounds ElementaryCycles output. The local state spaces of
+// the paper's protocols are tiny (<= 27 vertices), so this is generous; it
+// exists to keep adversarial/property-test inputs from exploding.
+const DefaultCycleLimit = 200000
+
+// ElementaryCycles enumerates all elementary (simple) directed cycles of g
+// using Johnson's algorithm. Each cycle is a vertex sequence c[0..k-1] with
+// implicit closing edge c[k-1]->c[0], rotated so that c[0] is the smallest
+// vertex. Self-loops yield single-vertex cycles. Cycles are returned in a
+// deterministic order.
+//
+// If more than limit cycles exist, a wrapped ErrCycleLimit is returned along
+// with the cycles found so far. limit <= 0 selects DefaultCycleLimit.
+func (g *Digraph) ElementaryCycles(limit int) ([][]int, error) {
+	if limit <= 0 {
+		limit = DefaultCycleLimit
+	}
+	var (
+		cycles  [][]int
+		blocked = make([]bool, g.n)
+		bmap    = make([][]int, g.n)
+		stack   []int
+	)
+
+	// Johnson processes, for each start vertex s in increasing order, the
+	// subgraph induced on vertices >= s within the SCC of s.
+	var (
+		unblock func(u int)
+		circuit func(v, s int, sub *Digraph) (bool, error)
+	)
+	unblock = func(u int) {
+		blocked[u] = false
+		for _, w := range bmap[u] {
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+		bmap[u] = bmap[u][:0]
+	}
+	circuit = func(v, s int, sub *Digraph) (bool, error) {
+		found := false
+		stack = append(stack, v)
+		blocked[v] = true
+		for _, w := range sub.adj[v] {
+			if w == s {
+				if len(cycles) >= limit {
+					return found, fmt.Errorf("%w (limit %d)", ErrCycleLimit, limit)
+				}
+				cyc := append([]int(nil), stack...)
+				cycles = append(cycles, cyc)
+				found = true
+				continue
+			}
+			if !blocked[w] {
+				f, err := circuit(w, s, sub)
+				if f {
+					found = true
+				}
+				if err != nil {
+					return found, err
+				}
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, w := range sub.adj[v] {
+				bmap[w] = append(bmap[w], v)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		return found, nil
+	}
+
+	for s := 0; s < g.n; s++ {
+		// Subgraph on vertices >= s, restricted to the SCC containing s.
+		high := g.InducedSubgraph(func(v int) bool { return v >= s })
+		_, idx := high.SCCIndex()
+		sccOfS := idx[s]
+		sub := high.InducedSubgraph(func(v int) bool { return idx[v] == sccOfS })
+		if sub.OutDegree(s) == 0 {
+			continue
+		}
+		for _, v := range sub.ReachableSorted(s) {
+			blocked[v] = false
+			bmap[v] = bmap[v][:0]
+		}
+		stack = stack[:0]
+		if _, err := circuit(s, s, sub); err != nil {
+			sortCycles(cycles)
+			return cycles, err
+		}
+	}
+	sortCycles(cycles)
+	return cycles, nil
+}
+
+// ReachableSorted returns the sorted list of vertices reachable from s.
+func (g *Digraph) ReachableSorted(s int) []int {
+	set := g.ReachableFrom(s)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortCycles(cs [][]int) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// CyclesThroughAny returns the elementary cycles that contain at least one
+// vertex satisfying mark.
+func (g *Digraph) CyclesThroughAny(mark func(v int) bool, limit int) ([][]int, error) {
+	all, err := g.ElementaryCycles(limit)
+	var out [][]int
+	for _, c := range all {
+		for _, v := range c {
+			if mark(v) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out, err
+}
+
+// HasCycleThroughAny reports whether some directed cycle passes through a
+// vertex satisfying mark. This needs no cycle enumeration: a vertex lies on a
+// cycle iff it belongs to a nontrivial SCC (or carries a self-loop).
+func (g *Digraph) HasCycleThroughAny(mark func(v int) bool) bool {
+	on := g.VertexOnCycle()
+	for v := 0; v < g.n; v++ {
+		if on[v] && mark(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleEdges converts a cycle vertex sequence into its edge list, including
+// the closing edge.
+func CycleEdges(cycle []int) [][2]int {
+	edges := make([][2]int, 0, len(cycle))
+	for i, u := range cycle {
+		v := cycle[(i+1)%len(cycle)]
+		edges = append(edges, [2]int{u, v})
+	}
+	return edges
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTConfig controls WriteDOT output. All fields are optional; nil funcs fall
+// back to bare vertex numbers / unstyled edges.
+type DOTConfig struct {
+	// Name is the graph name in the DOT header.
+	Name string
+	// VertexLabel returns the display label of a vertex.
+	VertexLabel func(v int) string
+	// VertexAttrs returns extra DOT attributes (e.g. `style=filled,fillcolor=gray`).
+	VertexAttrs func(v int) string
+	// EdgeAttrs returns extra DOT attributes for an edge.
+	EdgeAttrs func(u, v int) string
+	// Include filters which vertices are emitted; nil includes vertices that
+	// have at least one incident edge, plus none of the isolated ones.
+	Include func(v int) bool
+	// RankDir sets the layout direction (e.g. "LR"); empty omits the attribute.
+	RankDir string
+}
+
+// WriteDOT renders g in Graphviz DOT format. Output is deterministic.
+func (g *Digraph) WriteDOT(w io.Writer, cfg DOTConfig) error {
+	name := cfg.Name
+	if name == "" {
+		name = "G"
+	}
+	include := cfg.Include
+	if include == nil {
+		touched := make([]bool, g.n)
+		for _, e := range g.Edges() {
+			touched[e[0]] = true
+			touched[e[1]] = true
+		}
+		include = func(v int) bool { return touched[v] }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	if cfg.RankDir != "" {
+		fmt.Fprintf(&b, "  rankdir=%s;\n", cfg.RankDir)
+	}
+	for v := 0; v < g.n; v++ {
+		if !include(v) {
+			continue
+		}
+		label := fmt.Sprintf("%d", v)
+		if cfg.VertexLabel != nil {
+			label = cfg.VertexLabel(v)
+		}
+		attrs := ""
+		if cfg.VertexAttrs != nil {
+			if a := cfg.VertexAttrs(v); a != "" {
+				attrs = "," + a
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", v, label, attrs)
+	}
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if !include(u) || !include(v) {
+			continue
+		}
+		attrs := ""
+		if cfg.EdgeAttrs != nil {
+			if a := cfg.EdgeAttrs(u, v); a != "" {
+				attrs = " [" + a + "]"
+			}
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", u, v, attrs)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MinimalHittingSets enumerates all inclusion-minimal hitting sets of the
+// given family of sets, drawing elements only from allowed. A hitting set
+// intersects every member of the family. Sets are returned sorted, in
+// deterministic order. The empty family has the single minimal hitting set {}.
+//
+// An error is returned if some family member contains no allowed element (no
+// hitting set exists) or if the number of minimal hitting sets exceeds limit
+// (limit <= 0 selects 10000).
+//
+// This is the engine behind Step 2 of the paper's synthesis methodology:
+// Resolve must hit every illegitimate deadlock cycle of the RCG, using only
+// illegitimate local deadlock states.
+func MinimalHittingSets(family [][]int, allowed map[int]bool, limit int) ([][]int, error) {
+	if limit <= 0 {
+		limit = 10000
+	}
+	// Restrict each set to allowed elements; fail fast if any becomes empty.
+	restricted := make([][]int, len(family))
+	for i, set := range family {
+		var r []int
+		for _, e := range set {
+			if allowed[e] {
+				r = append(r, e)
+			}
+		}
+		if len(r) == 0 {
+			return nil, fmt.Errorf("graph: set %d has no allowed element; no hitting set exists", i)
+		}
+		sort.Ints(r)
+		restricted[i] = dedupSorted(r)
+	}
+	if len(restricted) == 0 {
+		return [][]int{{}}, nil
+	}
+
+	// Depth-first branch on the first un-hit set; collect all hitting sets,
+	// then filter to inclusion-minimal ones. Family sizes here are tiny
+	// (elementary cycles of <=27-vertex graphs), so this is plenty fast.
+	var (
+		results [][]int
+		current []int
+		recurse func(idx int) error
+	)
+	hits := func(set []int, chosen []int) bool {
+		for _, e := range set {
+			for _, c := range chosen {
+				if e == c {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	recurse = func(idx int) error {
+		// Advance past sets already hit.
+		for idx < len(restricted) && hits(restricted[idx], current) {
+			idx++
+		}
+		if idx == len(restricted) {
+			if len(results) >= limit {
+				return fmt.Errorf("graph: hitting-set limit %d exceeded", limit)
+			}
+			res := append([]int(nil), current...)
+			sort.Ints(res)
+			results = append(results, res)
+			return nil
+		}
+		for _, e := range restricted[idx] {
+			current = append(current, e)
+			err := recurse(idx + 1)
+			current = current[:len(current)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, err
+	}
+	return filterMinimal(results), nil
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// filterMinimal removes supersets and duplicates from a slice of sorted sets.
+func filterMinimal(sets [][]int) [][]int {
+	sort.Slice(sets, func(i, j int) bool {
+		if len(sets[i]) != len(sets[j]) {
+			return len(sets[i]) < len(sets[j])
+		}
+		for k := range sets[i] {
+			if sets[i][k] != sets[j][k] {
+				return sets[i][k] < sets[j][k]
+			}
+		}
+		return false
+	})
+	var out [][]int
+	for _, s := range sets {
+		minimal := true
+		for _, kept := range out {
+			if isSubsetSorted(kept, s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func isSubsetSorted(sub, super []int) bool {
+	i := 0
+	for _, x := range super {
+		if i < len(sub) && sub[i] == x {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// MinimalFeedbackSets enumerates the inclusion-minimal vertex sets S (drawn
+// from allowed) whose removal leaves g with no directed cycle containing a
+// vertex satisfying mark. This is Theorem 4.2 turned into a repair objective:
+// break every illegitimate deadlock cycle by resolving only illegitimate
+// local deadlocks.
+func (g *Digraph) MinimalFeedbackSets(mark func(v int) bool, allowed map[int]bool, cycleLimit, setLimit int) ([][]int, error) {
+	bad, err := g.CyclesThroughAny(mark, cycleLimit)
+	if err != nil {
+		return nil, fmt.Errorf("enumerating bad cycles: %w", err)
+	}
+	sets, err := MinimalHittingSets(bad, allowed, setLimit)
+	if err != nil {
+		return nil, err
+	}
+	return sets, nil
+}

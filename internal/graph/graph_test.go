@@ -1,0 +1,672 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("New(4): got N=%d M=%d, want 4, 0", g.N(), g.M())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1) // duplicate must be ignored
+	g.AddEdge(3, 3) // self-loop allowed
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 3) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge gave wrong answers")
+	}
+	if got := g.Succ(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Succ(0) = %v, want [1 2]", got)
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 0 {
+		t.Fatal("OutDegree wrong")
+	}
+	in := g.InDegrees()
+	if !reflect.DeepEqual(in, []int{0, 1, 1, 1}) {
+		t.Fatalf("InDegrees = %v", in)
+	}
+}
+
+func TestSuccSortedAfterUnorderedInserts(t *testing.T) {
+	g := New(5)
+	for _, v := range []int{4, 1, 3, 0, 2} {
+		g.AddEdge(0, v)
+	}
+	if got := g.Succ(0); !sort.IntsAreSorted(got) {
+		t.Fatalf("Succ(0) not sorted: %v", got)
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 5) {
+		t.Fatal("out-of-range HasEdge should be false, not panic")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range AddEdge")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	want := [][2]int{{0, 1}, {0, 2}, {2, 0}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost edge")
+	}
+}
+
+func TestInducedSubgraphPreservesIDs(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	s := g.InducedSubgraph(func(v int) bool { return v != 2 })
+	if s.N() != 4 {
+		t.Fatalf("induced subgraph should keep vertex count, got %d", s.N())
+	}
+	if !s.HasEdge(0, 1) || s.HasEdge(1, 2) || s.HasEdge(2, 3) {
+		t.Fatal("induced subgraph edges wrong")
+	}
+}
+
+func TestRemoveVertices(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.RemoveVertices(map[int]bool{1: true})
+	if r.M() != 0 {
+		t.Fatalf("expected all edges removed, M=%d", r.M())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 1) || tr.HasEdge(0, 1) {
+		t.Fatal("transpose wrong")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	r := g.ReachableFrom(0)
+	for _, v := range []int{0, 1, 2} {
+		if !r[v] {
+			t.Fatalf("vertex %d should be reachable", v)
+		}
+	}
+	if r[3] || r[4] {
+		t.Fatal("vertices 3,4 should not be reachable from 0")
+	}
+	if !g.HasPath(0, 2) || g.HasPath(2, 0) || !g.HasPath(3, 3) {
+		t.Fatal("HasPath wrong")
+	}
+}
+
+// --- SCC tests -------------------------------------------------------------
+
+func TestSCCsSimple(t *testing.T) {
+	// 0->1->2->0 is one SCC; 3 is isolated; 4->3.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(4, 3)
+	comps := g.SCCs()
+	want := [][]int{{0, 1, 2}, {3}, {4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v, want %v", comps, want)
+	}
+}
+
+func TestNontrivialSCCsSelfLoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(1, 1)
+	nt := g.NontrivialSCCs()
+	if len(nt) != 1 || !reflect.DeepEqual(nt[0], []int{1}) {
+		t.Fatalf("NontrivialSCCs = %v", nt)
+	}
+	if !g.HasCycle() {
+		t.Fatal("self-loop is a cycle")
+	}
+}
+
+func TestHasCycleAcyclic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if g.HasCycle() {
+		t.Fatal("DAG reported cyclic")
+	}
+}
+
+func TestVertexOnCycle(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 4)
+	on := g.VertexOnCycle()
+	want := []bool{true, true, false, false, true}
+	if !reflect.DeepEqual(on, want) {
+		t.Fatalf("VertexOnCycle = %v, want %v", on, want)
+	}
+}
+
+func TestCondensation(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	dag, comps := g.Condensation()
+	if len(comps) != 2 {
+		t.Fatalf("want 2 components, got %d: %v", len(comps), comps)
+	}
+	if dag.HasCycle() {
+		t.Fatal("condensation must be acyclic")
+	}
+	if dag.M() != 1 {
+		t.Fatalf("condensation edges = %d, want 1", dag.M())
+	}
+}
+
+// sccBrute computes SCC membership by pairwise mutual reachability.
+func sccBrute(g *Digraph) []int {
+	id := make([]int, g.N())
+	for i := range id {
+		id[i] = -1
+	}
+	next := 0
+	for u := 0; u < g.N(); u++ {
+		if id[u] != -1 {
+			continue
+		}
+		id[u] = next
+		ru := g.ReachableFrom(u)
+		for v := u + 1; v < g.N(); v++ {
+			if id[v] == -1 && ru[v] && g.ReachableFrom(v)[u] {
+				id[v] = next
+			}
+		}
+		next++
+	}
+	return id
+}
+
+func TestSCCsAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(9)
+		g := New(n)
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		_, idx := g.SCCIndex()
+		brute := sccBrute(g)
+		// Compare partitions: same-component relation must agree.
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if (idx[u] == idx[v]) != (brute[u] == brute[v]) {
+					t.Fatalf("trial %d: SCC partition disagrees at (%d,%d)\nedges=%v", trial, u, v, g.Edges())
+				}
+			}
+		}
+	}
+}
+
+// --- cycle enumeration tests ------------------------------------------------
+
+func TestElementaryCyclesTriangle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	cycles, err := g.ElementaryCycles(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2}}
+	if !reflect.DeepEqual(cycles, want) {
+		t.Fatalf("cycles = %v, want %v", cycles, want)
+	}
+}
+
+func TestElementaryCyclesSelfLoopAndTwoCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	cycles, err := g.ElementaryCycles(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0}, {1, 2}}
+	if !reflect.DeepEqual(cycles, want) {
+		t.Fatalf("cycles = %v, want %v", cycles, want)
+	}
+}
+
+func TestElementaryCyclesCompleteGraph(t *testing.T) {
+	// K4 (complete digraph on 4 vertices, no self-loops) has 2C2*... known
+	// count: number of elementary cycles = 20.
+	g := New(4)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	cycles, err := g.ElementaryCycles(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 20 {
+		t.Fatalf("K4 elementary cycles = %d, want 20", len(cycles))
+	}
+}
+
+func TestElementaryCyclesLimit(t *testing.T) {
+	g := New(5)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	_, err := g.ElementaryCycles(3)
+	if err == nil {
+		t.Fatal("expected cycle limit error")
+	}
+}
+
+// cyclesBrute enumerates elementary cycles by DFS over all simple paths.
+func cyclesBrute(g *Digraph) [][]int {
+	var out [][]int
+	n := g.N()
+	onPath := make([]bool, n)
+	var path []int
+	var dfs func(start, v int)
+	dfs = func(start, v int) {
+		onPath[v] = true
+		path = append(path, v)
+		for _, w := range g.Succ(v) {
+			if w == start {
+				out = append(out, append([]int(nil), path...))
+			} else if w > start && !onPath[w] {
+				dfs(start, w)
+			}
+		}
+		onPath[v] = false
+		path = path[:len(path)-1]
+	}
+	for s := 0; s < n; s++ {
+		dfs(s, s)
+	}
+	sortCycles(out)
+	return out
+}
+
+func TestElementaryCyclesAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(7)
+		g := New(n)
+		m := rng.Intn(2*n + 1)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		got, err := g.ElementaryCycles(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := cyclesBrute(g)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: cycles disagree\nedges=%v\ngot=%v\nwant=%v", trial, g.Edges(), got, want)
+		}
+	}
+}
+
+func TestCyclesThroughAny(t *testing.T) {
+	g := New(5)
+	// Cycle A: 0-1, cycle B: 2-3-4.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2)
+	got, err := g.CyclesThroughAny(func(v int) bool { return v == 3 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], []int{2, 3, 4}) {
+		t.Fatalf("CyclesThroughAny = %v", got)
+	}
+	if !g.HasCycleThroughAny(func(v int) bool { return v == 0 }) {
+		t.Fatal("cycle through 0 exists")
+	}
+	if g.HasCycleThroughAny(func(v int) bool { return false }) {
+		t.Fatal("no marked vertices -> no marked cycle")
+	}
+}
+
+func TestHasCycleThroughAnyMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(7)
+		g := New(n)
+		for i := 0; i < rng.Intn(2*n+1); i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		mark := func(v int) bool { return v%2 == 0 }
+		cycles, err := g.CyclesThroughAny(mark, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(cycles) > 0) != g.HasCycleThroughAny(mark) {
+			t.Fatalf("trial %d: HasCycleThroughAny disagrees with enumeration, edges=%v", trial, g.Edges())
+		}
+	}
+}
+
+func TestCycleEdges(t *testing.T) {
+	got := CycleEdges([]int{0, 1, 2})
+	want := [][2]int{{0, 1}, {1, 2}, {2, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CycleEdges = %v", got)
+	}
+	if got := CycleEdges([]int{5}); !reflect.DeepEqual(got, [][2]int{{5, 5}}) {
+		t.Fatalf("self-loop CycleEdges = %v", got)
+	}
+}
+
+// --- hitting set / feedback set tests ---------------------------------------
+
+func allowAll(n int) map[int]bool {
+	m := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+func TestMinimalHittingSetsEmptyFamily(t *testing.T) {
+	got, err := MinimalHittingSets(nil, allowAll(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty family: got %v, want [{}]", got)
+	}
+}
+
+func TestMinimalHittingSetsSimple(t *testing.T) {
+	family := [][]int{{0, 1}, {1, 2}}
+	got, err := MinimalHittingSets(family, allowAll(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1}, {0, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hitting sets = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalHittingSetsRestricted(t *testing.T) {
+	family := [][]int{{0, 1}, {1, 2}}
+	got, err := MinimalHittingSets(family, map[int]bool{0: true, 2: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restricted hitting sets = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalHittingSetsInfeasible(t *testing.T) {
+	_, err := MinimalHittingSets([][]int{{3}}, map[int]bool{0: true}, 0)
+	if err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestMinimalHittingSetsAreHittingAndMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		nf := 1 + rng.Intn(4)
+		family := make([][]int, nf)
+		for i := range family {
+			sz := 1 + rng.Intn(3)
+			s := map[int]bool{}
+			for len(s) < sz {
+				s[rng.Intn(6)] = true
+			}
+			for e := range s {
+				family[i] = append(family[i], e)
+			}
+			sort.Ints(family[i])
+		}
+		sets, err := MinimalHittingSets(family, allowAll(6), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := func(chosen []int) bool {
+			for _, set := range family {
+				ok := false
+				for _, e := range set {
+					for _, c := range chosen {
+						if e == c {
+							ok = true
+						}
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		for _, s := range sets {
+			if !hits(s) {
+				t.Fatalf("trial %d: %v does not hit %v", trial, s, family)
+			}
+			// Minimality: dropping any single element must break it.
+			for drop := range s {
+				reduced := append(append([]int(nil), s[:drop]...), s[drop+1:]...)
+				if hits(reduced) {
+					t.Fatalf("trial %d: %v not minimal (can drop %d) for %v", trial, s, s[drop], family)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimalFeedbackSets(t *testing.T) {
+	// Two illegitimate cycles sharing vertex 1: {0,1} and {1,2}; vertex 1
+	// marked illegitimate. Removing 1 breaks both.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	mark := func(v int) bool { return v == 1 }
+	sets, err := g.MinimalFeedbackSets(mark, map[int]bool{1: true}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || !reflect.DeepEqual(sets[0], []int{1}) {
+		t.Fatalf("feedback sets = %v, want [[1]]", sets)
+	}
+	// Verify: removing the set kills all marked cycles.
+	reduced := g.RemoveVertices(map[int]bool{1: true})
+	if reduced.HasCycleThroughAny(mark) {
+		t.Fatal("feedback set did not break marked cycles")
+	}
+}
+
+func TestFeedbackSetsBreakAllMarkedCyclesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(5)
+		g := New(n)
+		for i := 0; i < rng.Intn(2*n+1); i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		mark := func(v int) bool { return v < n/2 }
+		allowed := map[int]bool{}
+		for v := 0; v < n; v++ {
+			if mark(v) {
+				allowed[v] = true
+			}
+		}
+		sets, err := g.MinimalFeedbackSets(mark, allowed, 0, 0)
+		if err != nil {
+			continue // infeasible under restriction is fine for random inputs
+		}
+		for _, s := range sets {
+			drop := map[int]bool{}
+			for _, v := range s {
+				drop[v] = true
+			}
+			if g.RemoveVertices(drop).HasCycleThroughAny(mark) {
+				t.Fatalf("trial %d: set %v leaves a marked cycle; edges=%v", trial, s, g.Edges())
+			}
+		}
+	}
+}
+
+// --- quick.Check property: subset relation helper ----------------------------
+
+func TestIsSubsetSortedQuick(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		as := make([]int, 0, len(a))
+		seen := map[int]bool{}
+		for _, x := range a {
+			if !seen[int(x%16)] {
+				seen[int(x%16)] = true
+				as = append(as, int(x%16))
+			}
+		}
+		sort.Ints(as)
+		bs := make([]int, 0, len(as)+len(b))
+		bs = append(bs, as...)
+		seenB := map[int]bool{}
+		for _, x := range as {
+			seenB[x] = true
+		}
+		for _, x := range b {
+			if !seenB[int(x%16)+16] {
+				seenB[int(x%16)+16] = true
+				bs = append(bs, int(x%16)+16)
+			}
+		}
+		sort.Ints(bs)
+		// as is always a subset of bs by construction.
+		return isSubsetSorted(as, bs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- DOT output --------------------------------------------------------------
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var b stringsBuilder
+	err := g.WriteDOT(&b, DOTConfig{
+		Name:        "test",
+		VertexLabel: func(v int) string { return string(rune('a' + v)) },
+		EdgeAttrs: func(u, v int) string {
+			if u == 0 {
+				return "style=dashed"
+			}
+			return ""
+		},
+		RankDir: "LR",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`digraph "test"`, `rankdir=LR`, `n0 [label="a"]`, `n0 -> n1 [style=dashed]`, `n1 -> n2;`} {
+		if !containsStr(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaultIncludeSkipsIsolated(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	var b stringsBuilder
+	if err := g.WriteDOT(&b, DOTConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if containsStr(b.String(), "n2 ") {
+		t.Fatalf("isolated vertex emitted:\n%s", b.String())
+	}
+}
+
+// tiny local helpers to avoid importing strings/bytes in many spots
+
+type stringsBuilder struct{ data []byte }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+func (b *stringsBuilder) String() string { return string(b.data) }
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

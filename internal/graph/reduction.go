@@ -1,0 +1,48 @@
+package graph
+
+// TransitiveReduction returns the unique minimal edge subgraph of an
+// acyclic digraph with the same reachability relation — the Hasse diagram
+// of the partial order, which is how the paper draws the Figure 5
+// precedence relation. Panics if g has a cycle (reductions are not unique
+// for cyclic graphs).
+func (g *Digraph) TransitiveReduction() *Digraph {
+	if g.HasCycle() {
+		panic("graph: transitive reduction requires an acyclic graph")
+	}
+	red := New(g.n)
+	for u := 0; u < g.n; u++ {
+		succ := g.adj[u]
+		for _, v := range succ {
+			// Keep u->v unless some other successor w of u reaches v.
+			redundant := false
+			for _, w := range succ {
+				if w == v {
+					continue
+				}
+				if g.HasPath(w, v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				red.AddEdge(u, v)
+			}
+		}
+	}
+	return red
+}
+
+// TransitiveClosure returns the reachability digraph: an edge u->v for
+// every v reachable from u in one or more steps (so u->u appears exactly
+// when u lies on a cycle).
+func (g *Digraph) TransitiveClosure() *Digraph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			for v := range g.ReachableFrom(w) {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}

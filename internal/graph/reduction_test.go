@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransitiveReductionDiamond(t *testing.T) {
+	// 0->1->3, 0->2->3, plus the redundant 0->3.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 3)
+	r := g.TransitiveReduction()
+	if r.HasEdge(0, 3) {
+		t.Fatal("redundant edge 0->3 must be removed")
+	}
+	if r.M() != 4 {
+		t.Fatalf("edges = %d, want 4", r.M())
+	}
+}
+
+func TestTransitiveReductionPanicsOnCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.TransitiveReduction()
+}
+
+// Property: the reduction preserves reachability exactly, and no edge of
+// the reduction is removable.
+func TestTransitiveReductionPreservesReachabilityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		g := New(n)
+		// Random DAG: edges only low -> high.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		r := g.TransitiveReduction()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if g.HasPath(u, v) != r.HasPath(u, v) {
+					t.Fatalf("trial %d: reachability changed at (%d,%d)", trial, u, v)
+				}
+			}
+		}
+		// Minimality: removing any edge breaks reachability.
+		for _, e := range r.Edges() {
+			smaller := New(n)
+			for _, f := range r.Edges() {
+				if f != e {
+					smaller.AddEdge(f[0], f[1])
+				}
+			}
+			if smaller.HasPath(e[0], e[1]) {
+				t.Fatalf("trial %d: edge %v is redundant in the reduction", trial, e)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	c := g.TransitiveClosure()
+	if !c.HasEdge(0, 2) || !c.HasEdge(0, 1) || !c.HasEdge(1, 2) {
+		t.Fatal("closure missing edges")
+	}
+	if c.HasEdge(2, 0) || c.HasEdge(0, 0) {
+		t.Fatalf("closure has phantom edges: %v", c.Edges())
+	}
+	// Cycles close reflexively.
+	g2 := New(2)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 0)
+	c2 := g2.TransitiveClosure()
+	if !c2.HasEdge(0, 0) || !c2.HasEdge(1, 1) {
+		t.Fatal("cycle members must self-reach in the closure")
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import "sort"
+
+// SCCs computes the strongly connected components of g using an iterative
+// Tarjan algorithm. Components are returned with internally sorted vertex
+// lists, ordered by their smallest vertex, so output is deterministic.
+// Isolated vertices form singleton components.
+func (g *Digraph) SCCs() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		comps  [][]int
+		count  int
+		frames []frame
+	)
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.next == 0 {
+				index[v] = count
+				low[v] = count
+				count++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			succ := g.adj[v]
+			for f.next < len(succ) {
+				w := succ[f.next]
+				f.next++
+				if index[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All successors processed: pop frame.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+type frame struct {
+	v    int
+	next int
+}
+
+// SCCIndex returns, for every vertex, the index of its component in the slice
+// returned by SCCs.
+func (g *Digraph) SCCIndex() (comps [][]int, indexOf []int) {
+	comps = g.SCCs()
+	indexOf = make([]int, g.n)
+	for ci, comp := range comps {
+		for _, v := range comp {
+			indexOf[v] = ci
+		}
+	}
+	return comps, indexOf
+}
+
+// NontrivialSCCs returns only the components that contain a cycle: components
+// with at least two vertices, or singletons with a self-loop.
+func (g *Digraph) NontrivialSCCs() [][]int {
+	var out [][]int
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 || g.HasEdge(comp[0], comp[0]) {
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether g contains any directed cycle (self-loops count).
+func (g *Digraph) HasCycle() bool {
+	return len(g.NontrivialSCCs()) > 0
+}
+
+// VertexOnCycle reports, per vertex, whether the vertex lies on some directed
+// cycle (equivalently: belongs to a nontrivial SCC or has a self-loop).
+func (g *Digraph) VertexOnCycle() []bool {
+	on := make([]bool, g.n)
+	for _, comp := range g.NontrivialSCCs() {
+		for _, v := range comp {
+			on[v] = true
+		}
+	}
+	return on
+}
+
+// Condensation returns the DAG of SCCs: vertex i of the result corresponds to
+// comps[i] of SCCs(), with an edge between components whenever any cross edge
+// exists in g.
+func (g *Digraph) Condensation() (dag *Digraph, comps [][]int) {
+	comps, indexOf := g.SCCIndex()
+	dag = New(len(comps))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if indexOf[u] != indexOf[v] {
+				dag.AddEdge(indexOf[u], indexOf[v])
+			}
+		}
+	}
+	return dag, comps
+}

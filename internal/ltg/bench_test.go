@@ -1,0 +1,62 @@
+package ltg
+
+import (
+	"testing"
+
+	"paramring/internal/protocols"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	sys := protocols.MatchingA().Compile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(sys)
+	}
+}
+
+func BenchmarkCheckLivelockFreedom(b *testing.B) {
+	for _, name := range []string{"agreement-t01", "agreement-both", "gouda-acharya", "sum-not-two-ss", "mis"} {
+		p := protocols.All()[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CheckLivelockFreedom(p, CheckOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConfirmWitness(b *testing.B) {
+	p := protocols.AgreementBoth()
+	rep, err := CheckLivelockFreedom(p, CheckOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConfirmWitness(p, rep.Witness, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearExtensions(b *testing.B) {
+	procs := []int{1, 0, 2, 3, 1, 0, 2, 3}
+	dag := DependencyDAG(4, procs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LinearExtensions(dag, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormsPseudoLivelock(b *testing.B) {
+	sys := protocols.SumNotTwoSolution().Compile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FormsPseudoLivelock(sys, sys.Trans)
+	}
+}

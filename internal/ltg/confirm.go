@@ -1,0 +1,86 @@
+package ltg
+
+import (
+	"fmt"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+)
+
+// Confirmation classifies a TrailWitness by bounded explicit search — the
+// mechanized version of the paper's reconstruction attempt for the
+// sum-not-two trail ("if we try to reconstruct the global livelock of a
+// ring of three processes using T_R, we fail!").
+type Confirmation struct {
+	// Confirmed is true when a real livelock using only the witness's
+	// t-arcs exists at some checked ring size.
+	Confirmed bool
+	// K is the smallest ring size with such a livelock (when Confirmed).
+	K int
+	// Cycle is the concrete global livelock (when Confirmed).
+	Cycle []uint64
+	// MaxKChecked records the search bound; !Confirmed means "spurious up
+	// to this bound", not a proof of spuriousness for all K.
+	MaxKChecked int
+}
+
+// ConfirmWitness tries to realize a trail witness as a concrete livelock on
+// rings of size 2..maxK: for each size it asks the explicit checker for a
+// livelock of the protocol restricted to the witness's t-arcs. Because
+// Theorem 5.14 is sufficient but not necessary, a witness can be spurious;
+// this function tells the two cases apart (up to the bound).
+//
+// maxK <= 0 selects 7.
+func ConfirmWitness(p *core.Protocol, w *TrailWitness, maxK int) (Confirmation, error) {
+	if w == nil {
+		return Confirmation{}, fmt.Errorf("ltg: nil witness")
+	}
+	if maxK <= 0 {
+		maxK = 7
+	}
+	conf := Confirmation{MaxKChecked: maxK}
+
+	// Restrict the protocol to the witness t-arcs: a table-driven protocol
+	// with exactly those local transitions. Livelocks of the restriction
+	// are livelocks of p whose schedule uses only witness t-arcs.
+	sys := p.Compile()
+	moves := map[core.LocalState][]int{}
+	for _, t := range w.TArcs {
+		nv := sys.OwnValue(t.Dst)
+		dup := false
+		for _, existing := range moves[t.Src] {
+			if existing == nv {
+				dup = true
+			}
+		}
+		if !dup {
+			moves[t.Src] = append(moves[t.Src], nv)
+		}
+	}
+	lo, hi := p.Window()
+	restricted, err := core.NewFromTable(core.Config{
+		Name:       p.Name() + "/witness",
+		Domain:     p.Domain(),
+		ValueNames: p.ValueNames(),
+		Lo:         lo,
+		Hi:         hi,
+		Legit:      p.LegitimateView,
+	}, []core.TableAction{{Name: "w", Moves: moves}})
+	if err != nil {
+		return conf, fmt.Errorf("ltg: building witness restriction: %w", err)
+	}
+
+	for k := 2; k <= maxK; k++ {
+		in, err := explicit.NewInstance(restricted, k)
+		if err != nil {
+			return conf, err
+		}
+		if cycle := in.FindLivelock(); cycle != nil {
+			conf.Confirmed = true
+			conf.K = k
+			conf.Cycle = cycle
+			return conf, nil
+		}
+	}
+	return conf, nil
+}

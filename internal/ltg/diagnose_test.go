@@ -1,0 +1,98 @@
+package ltg
+
+import (
+	"strings"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/protocols"
+)
+
+func TestDiagnoseAgreementBoth(t *testing.T) {
+	p := protocols.AgreementBoth()
+	d, err := Diagnose(p, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != VerdictPotentialLivelock {
+		t.Fatalf("verdict = %v", d.Verdict)
+	}
+	// 2 t-arcs -> 3 subsets; only {t01, t10} pseudo-livelocks, and it
+	// forms a trail.
+	if d.TotalSubsets != 3 || len(d.Subsets) != 1 {
+		t.Fatalf("subsets: total=%d pseudo=%d", d.TotalSubsets, len(d.Subsets))
+	}
+	if !d.Subsets[0].FormsTrail || d.Subsets[0].Witness == nil {
+		t.Fatal("the pair must form a trail")
+	}
+	sum := d.Summary(p.Compile())
+	if !strings.Contains(sum, "TRAIL") || !strings.Contains(sum, "potential-livelock") {
+		t.Fatalf("summary: %s", sum)
+	}
+}
+
+func TestDiagnoseSumNotTwoAccepted(t *testing.T) {
+	// {t21, t12, t01}: the pair {t21, t12} pseudo-livelocks but forms no
+	// trail — the paper's acceptance argument, now machine-readable.
+	enc := func(a, b int) core.LocalState { return core.Encode(core.View{a, b}, 3) }
+	p, err := core.NewFromTable(core.Config{
+		Name: "snt-accepted", Domain: 3, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return v[0]+v[1] != 2 },
+	}, []core.TableAction{
+		{Name: "t21", Moves: map[core.LocalState][]int{enc(0, 2): {1}}},
+		{Name: "t12", Moves: map[core.LocalState][]int{enc(1, 1): {2}}},
+		{Name: "t01", Moves: map[core.LocalState][]int{enc(2, 0): {1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diagnose(p, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != VerdictFree {
+		t.Fatalf("verdict = %v", d.Verdict)
+	}
+	if len(d.Subsets) == 0 {
+		t.Fatal("the {t21,t12} pseudo-livelock must be reported")
+	}
+	for _, sd := range d.Subsets {
+		if sd.FormsTrail {
+			t.Fatalf("no subset should form a trail: %v", FormatTArcs(p.Compile(), sd.TArcs))
+		}
+	}
+}
+
+func TestDiagnoseEmptyAndErrors(t *testing.T) {
+	d, err := Diagnose(protocols.Coloring(3), CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != VerdictFree || d.TotalSubsets != 0 {
+		t.Fatalf("empty protocol diagnosis: %+v", d)
+	}
+	if _, err := Diagnose(protocols.MatchingB(), CheckOptions{}); err == nil {
+		t.Fatal("self-enabling protocol must be rejected")
+	}
+	if _, err := Diagnose(protocols.MatchingA(), CheckOptions{MaxTArcs: 4}); err == nil {
+		t.Fatal("t-arc overflow must be rejected")
+	}
+}
+
+// Diagnose and CheckLivelockFreedom must agree on the verdict.
+func TestDiagnoseAgreesWithChecker(t *testing.T) {
+	for _, name := range []string{"agreement-t01", "agreement-both", "gouda-acharya", "sum-not-two-ss"} {
+		p := protocols.All()[name]
+		rep, err := CheckLivelockFreedom(p, CheckOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Diagnose(p, CheckOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != d.Verdict {
+			t.Fatalf("%s: checker %v vs diagnosis %v", name, rep.Verdict, d.Verdict)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package ltg implements the Local Transition Graph of Section 5 of the
+// paper and the livelock-freedom machinery around Theorem 5.14.
+//
+// The LTG augments the Right Continuation Graph (s-arcs) with the local
+// transitions of the representative process (t-arcs). For unidirectional
+// rings with self-disabling actions, the paper proves that every livelock —
+// reduced via the precedence-preserving permutation Lemma 5.11 to a
+// *contiguous* livelock — manifests in the LTG as a closed alternating trail
+// T_R whose t-arcs form a pseudo-livelock and which visits an illegitimate
+// local state (Theorem 5.14). The contrapositive proves livelock freedom
+// for every ring size K.
+//
+// The checker in this package searches for such trails as closed walks in a
+// "composite" graph: one composite edge per (t-arc, following s-run), where
+// the s-run's intermediate states must themselves be sources of t-arcs of
+// the candidate trail (the w1 condition of Lemma 5.12 — those are the other
+// |E|-1 enablements of the contiguous livelock, which fire elsewhere in the
+// trail). The search over-approximates trail existence, so a Free verdict is
+// sound; a PotentialLivelock verdict may be spurious, exactly as the paper's
+// sum-not-two example demonstrates (the condition is sufficient, not
+// necessary).
+package ltg
+
+import (
+	"fmt"
+
+	"paramring/internal/core"
+	"paramring/internal/graph"
+	"paramring/internal/rcg"
+)
+
+// LTG is the Local Transition Graph: s-arcs (continuation relation) plus
+// t-arcs (local transitions).
+type LTG struct {
+	sys *core.System
+	r   *rcg.RCG
+}
+
+// Build constructs the LTG of a compiled protocol.
+func Build(sys *core.System) *LTG {
+	return &LTG{sys: sys, r: rcg.Build(sys)}
+}
+
+// System returns the underlying compiled protocol.
+func (l *LTG) System() *core.System { return l.sys }
+
+// RCG returns the continuation-relation component (the s-arcs).
+func (l *LTG) RCG() *rcg.RCG { return l.r }
+
+// SArcs returns the s-arc digraph over local states.
+func (l *LTG) SArcs() *graph.Digraph { return l.r.Graph() }
+
+// TArcs returns the t-arcs (the compiled local transitions).
+func (l *LTG) TArcs() []core.LocalTransition { return l.sys.Trans }
+
+// WriteProjection builds the projection of a t-arc set on the writable
+// variable: a digraph over domain values with one edge per t-arc, from the
+// own-value of its source to the own-value of its destination
+// (Definition 5.13's "repetitive sequence of values" lives in this graph).
+func WriteProjection(sys *core.System, tarcs []core.LocalTransition) *graph.Digraph {
+	g := graph.New(sys.Protocol().Domain())
+	for _, t := range tarcs {
+		g.AddEdge(sys.OwnValue(t.Src), sys.OwnValue(t.Dst))
+	}
+	return g
+}
+
+// FormsPseudoLivelock reports whether a non-empty t-arc set forms a
+// pseudo-livelock: every write-projected edge lies on a directed cycle of
+// the projection (so the writes can repeat indefinitely). This matches the
+// paper's classifications: {t01,t12,t20} and {tij,tji} qualify, while
+// {t21,t12,t01} does not (the 0->1 write can never recur).
+func FormsPseudoLivelock(sys *core.System, tarcs []core.LocalTransition) bool {
+	if len(tarcs) == 0 {
+		return false
+	}
+	g := WriteProjection(sys, tarcs)
+	_, idx := g.SCCIndex()
+	for _, t := range tarcs {
+		u, v := sys.OwnValue(t.Src), sys.OwnValue(t.Dst)
+		if u == v {
+			continue // self-loop edge is trivially on a cycle
+		}
+		if idx[u] != idx[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPseudoLivelockSubset reports whether some non-empty subset of the
+// t-arcs forms a pseudo-livelock — equivalently, whether the full write
+// projection contains any directed cycle.
+func HasPseudoLivelockSubset(sys *core.System, tarcs []core.LocalTransition) bool {
+	return WriteProjection(sys, tarcs).HasCycle()
+}
+
+// MinimalPseudoLivelockSubsets enumerates the subsets of tarcs whose write
+// projections are the elementary cycles of the full projection — the
+// minimal "repeating write sequences". Used by the synthesis walkthrough
+// output to explain why candidate sets fail.
+func MinimalPseudoLivelockSubsets(sys *core.System, tarcs []core.LocalTransition) [][]core.LocalTransition {
+	g := WriteProjection(sys, tarcs)
+	cycles, err := g.ElementaryCycles(0)
+	if err != nil {
+		// The projection graph has at most domain vertices; treat overflow
+		// as "too many to list" and return nothing rather than guessing.
+		return nil
+	}
+	var out [][]core.LocalTransition
+	for _, c := range cycles {
+		onCycle := map[[2]int]bool{}
+		for _, e := range graph.CycleEdges(c) {
+			onCycle[e] = true
+		}
+		var sub []core.LocalTransition
+		for _, t := range tarcs {
+			if onCycle[[2]int{sys.OwnValue(t.Src), sys.OwnValue(t.Dst)}] {
+				sub = append(sub, t)
+			}
+		}
+		if len(sub) > 0 {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// FormatTArcs renders a t-arc set like "{t(00->01), t(11->12)}" with named
+// states and action labels.
+func FormatTArcs(sys *core.System, tarcs []core.LocalTransition) string {
+	p := sys.Protocol()
+	s := "{"
+	for i, t := range tarcs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%s->%s", t.Action, p.FormatState(t.Src), p.FormatState(t.Dst))
+	}
+	return s + "}"
+}

@@ -1,0 +1,164 @@
+package ltg
+
+import (
+	"fmt"
+
+	"paramring/internal/graph"
+)
+
+// Precedence machinery for Definition 5.10 / Lemma 5.11 (Figures 5 and 6 of
+// the paper): the local transitions of a livelock period form a partial
+// order, and every precedence-preserving permutation of the schedule is
+// again a livelock. On a unidirectional ring two scheduled transitions are
+// dependent exactly when their processes share a variable — equal or
+// ring-adjacent processes (a transition of P_i writes x_i and reads
+// x_{i-1}, x_i) — which subsumes both the "enables" and the "collides"
+// clauses of Definition 5.10.
+
+// Dependent reports whether transitions by processes p and q (on a ring of
+// size k) access a common variable.
+func Dependent(k, p, q int) bool {
+	d := (p - q + k) % k
+	return d == 0 || d == 1 || d == k-1
+}
+
+// DependencyDAG builds the precedence DAG over the steps of one livelock
+// period: an edge i -> j (i < j) whenever steps i and j are dependent.
+// procs[i] is the process executing step i.
+func DependencyDAG(k int, procs []int) *graph.Digraph {
+	g := graph.New(len(procs))
+	for i := 0; i < len(procs); i++ {
+		for j := i + 1; j < len(procs); j++ {
+			if Dependent(k, procs[i], procs[j]) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// IndependentPairs returns the pairs of steps (i < j) that are unordered by
+// the precedence relation: no directed path connects them in either
+// direction. For the paper's Example 5.2 schedule this yields exactly the
+// three independent pairs of Figure 5.
+func IndependentPairs(dag *graph.Digraph) [][2]int {
+	n := dag.N()
+	reach := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		reach[v] = dag.ReachableFrom(v)
+	}
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !reach[i][j] && !reach[j][i] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// LinearExtensions enumerates every linear extension of the precedence DAG
+// — every precedence-preserving permutation of the schedule (as sequences
+// of original step indices). Since livelock schedules are defined up to
+// cyclic rotation, step 0 is pinned first, matching the paper's "fix the
+// starting local transition" convention. An error is returned if more than
+// limit extensions exist (limit <= 0 selects 100000).
+func LinearExtensions(dag *graph.Digraph, limit int) ([][]int, error) {
+	if limit <= 0 {
+		limit = 100000
+	}
+	n := dag.N()
+	if n == 0 {
+		return [][]int{{}}, nil
+	}
+	indeg := dag.InDegrees()
+	if indeg[0] != 0 {
+		return nil, fmt.Errorf("ltg: step 0 is not minimal in the precedence order")
+	}
+	var (
+		out     [][]int
+		current []int
+		used    = make([]bool, n)
+		rec     func() error
+	)
+	take := func(v int) {
+		used[v] = true
+		current = append(current, v)
+		for _, w := range dag.Succ(v) {
+			indeg[w]--
+		}
+	}
+	untake := func(v int) {
+		used[v] = false
+		current = current[:len(current)-1]
+		for _, w := range dag.Succ(v) {
+			indeg[w]++
+		}
+	}
+	rec = func() error {
+		if len(current) == n {
+			if len(out) >= limit {
+				return fmt.Errorf("ltg: more than %d linear extensions", limit)
+			}
+			out = append(out, append([]int(nil), current...))
+			return nil
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || indeg[v] != 0 {
+				continue
+			}
+			take(v)
+			err := rec()
+			untake(v)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	take(0)
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PermuteSchedule applies a linear extension (a permutation of step
+// indices) to a process schedule.
+func PermuteSchedule(procs []int, perm []int) []int {
+	out := make([]int, len(perm))
+	for i, step := range perm {
+		out[i] = procs[step]
+	}
+	return out
+}
+
+// ScheduleFromCycle recovers a process schedule from an explicit livelock
+// cycle: procs[i] is a process whose transition realizes the step from
+// cycle[i] to cycle[i+1] (cyclically). With it, the Definition 5.10
+// machinery (DependencyDAG, IndependentPairs, LinearExtensions) applies to
+// ANY model-checker-found livelock, not just hand-written schedules.
+// The instance's ring size k and a position-difference probe identify the
+// writer: exactly one position changes per interleaved step.
+func ScheduleFromCycle(k int, decode func(id uint64) []int, cycle []uint64) ([]int, error) {
+	procs := make([]int, len(cycle))
+	for i := range cycle {
+		from := decode(cycle[i])
+		to := decode(cycle[(i+1)%len(cycle)])
+		writer := -1
+		for r := 0; r < k; r++ {
+			if from[r] != to[r] {
+				if writer != -1 {
+					return nil, fmt.Errorf("ltg: step %d changes more than one position", i)
+				}
+				writer = r
+			}
+		}
+		if writer == -1 {
+			return nil, fmt.Errorf("ltg: step %d is a self-loop; cannot attribute a writer", i)
+		}
+		procs[i] = writer
+	}
+	return procs, nil
+}

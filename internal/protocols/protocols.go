@@ -1,0 +1,338 @@
+// Package protocols is the paper's protocol zoo: every parameterized ring
+// protocol that "Local Reasoning for Global Convergence of Parameterized
+// Rings" defines, synthesizes or analyzes, expressed in the core model.
+//
+// Naming follows the paper:
+//
+//   - MatchingStateSpace / MatchingA / MatchingB — maximal matching on a
+//     bidirectional ring (Example 4.1's state space, the generalizable
+//     Example 4.2 protocol, the non-generalizable Example 4.3 protocol).
+//   - GoudaAcharya — the two-action fragment of Gouda & Acharya's matching
+//     solution whose K=5 livelock illustrates Figure 8.
+//   - Agreement* — Example 5.2 / Section 6's binary agreement.
+//   - Coloring — the m-coloring family (m=2 and m=3 in the paper).
+//   - SumNotTwo* — Section 6's hypothetical sum-not-two protocol.
+package protocols
+
+import "paramring/internal/core"
+
+// Matching domain values. The paper's D_r = {left, right, self}: m_r says
+// whether P_r matches its predecessor (left), its successor (right) or
+// no one (self). Order chosen so compact strings read "l", "s", "r".
+const (
+	MatchLeft = iota
+	MatchSelf
+	MatchRight
+)
+
+// matchingValueNames yields compact state strings like "lls" and "rsr".
+var matchingValueNames = []string{"left", "self", "right"}
+
+// matchingLegit is the paper's LC_r for maximal matching (Example 4.1):
+//
+//	(m_r = right AND m_{r+1} = left) OR
+//	(m_{r-1} = right AND m_r = left) OR
+//	(m_{r-1} = left AND m_r = self AND m_{r+1} = right)
+func matchingLegit(v core.View) bool {
+	prev, own, next := v[0], v[1], v[2]
+	switch {
+	case own == MatchRight && next == MatchLeft:
+		return true
+	case prev == MatchRight && own == MatchLeft:
+		return true
+	case prev == MatchLeft && own == MatchSelf && next == MatchRight:
+		return true
+	}
+	return false
+}
+
+// MatchingStateSpace is the action-free maximal-matching protocol: the raw
+// local state space of Example 4.1 over the bidirectional window [-1, +1].
+// Its RCG is Figure 1 of the paper (27 local states).
+func MatchingStateSpace() *core.Protocol {
+	return core.MustNew(core.Config{
+		Name:       "matching",
+		Domain:     3,
+		ValueNames: matchingValueNames,
+		Lo:         -1,
+		Hi:         1,
+		Legit:      matchingLegit,
+	})
+}
+
+// MatchingA is the generalizable maximal-matching protocol of Example 4.2
+// (synthesized by STSyn for K=6 in the paper and proved deadlock-free for
+// every K by Theorem 4.2 — Figure 2).
+func MatchingA() *core.Protocol {
+	return MatchingStateSpace().WithName("matchingA").WithActions("matchingA",
+		core.Action{
+			Name:  "A1",
+			Guard: func(v core.View) bool { return v[0] == MatchLeft && v[1] != MatchSelf && v[2] == MatchRight },
+			Next:  func(v core.View) []int { return []int{MatchSelf} },
+		},
+		core.Action{
+			Name:  "A2",
+			Guard: func(v core.View) bool { return v[0] == MatchSelf && v[1] == MatchSelf && v[2] == MatchSelf },
+			Next:  func(v core.View) []int { return []int{MatchRight, MatchLeft} },
+		},
+		core.Action{
+			Name: "A3",
+			Guard: func(v core.View) bool {
+				return (v[0] == MatchRight && v[1] == MatchSelf) ||
+					(v[1] == MatchSelf && v[2] == MatchLeft)
+			},
+			Next: func(v core.View) []int {
+				var out []int
+				if v[0] == MatchRight && v[1] == MatchSelf {
+					out = append(out, MatchLeft)
+				}
+				if v[1] == MatchSelf && v[2] == MatchLeft {
+					out = append(out, MatchRight)
+				}
+				return out
+			},
+		},
+		core.Action{
+			Name: "A4",
+			Guard: func(v core.View) bool {
+				return (v[0] == MatchRight && v[1] == MatchRight && v[2] != MatchLeft) ||
+					(v[0] != MatchRight && v[1] == MatchLeft && v[2] == MatchLeft)
+			},
+			Next: func(v core.View) []int {
+				var out []int
+				if v[0] == MatchRight && v[1] == MatchRight && v[2] != MatchLeft {
+					out = append(out, MatchLeft)
+				}
+				if v[0] != MatchRight && v[1] == MatchLeft && v[2] == MatchLeft {
+					out = append(out, MatchRight)
+				}
+				return out
+			},
+		},
+		core.Action{
+			Name: "A5",
+			Guard: func(v core.View) bool {
+				return (v[0] == MatchSelf && v[1] != MatchLeft && v[2] == MatchRight) ||
+					(v[0] == MatchLeft && v[1] != MatchRight && v[2] == MatchSelf)
+			},
+			Next: func(v core.View) []int {
+				var out []int
+				if v[0] == MatchSelf && v[1] != MatchLeft && v[2] == MatchRight {
+					out = append(out, MatchLeft)
+				}
+				if v[0] == MatchLeft && v[1] != MatchRight && v[2] == MatchSelf {
+					out = append(out, MatchRight)
+				}
+				return out
+			},
+		},
+	)
+}
+
+// MatchingB is the non-generalizable maximal-matching protocol of Example
+// 4.3: it stabilizes for K=5 but deadlocks on rings whose size is a multiple
+// of 4 or 6, witnessed by the two RCG cycles through <left,left,self>
+// (Figure 3).
+func MatchingB() *core.Protocol {
+	return MatchingStateSpace().WithName("matchingB").WithActions("matchingB",
+		core.Action{
+			Name:  "B1",
+			Guard: func(v core.View) bool { return v[0] == MatchLeft && v[1] != MatchSelf && v[2] == MatchRight },
+			Next:  func(v core.View) []int { return []int{MatchSelf} },
+		},
+		core.Action{
+			Name: "B2",
+			Guard: func(v core.View) bool {
+				return (v[0] == MatchRight && v[1] == MatchSelf && v[2] == MatchLeft) ||
+					(v[0] == MatchSelf && v[1] == MatchSelf && v[2] == MatchSelf)
+			},
+			Next: func(v core.View) []int { return []int{MatchRight} },
+		},
+		core.Action{
+			Name: "B3",
+			Guard: func(v core.View) bool {
+				return (v[0] == MatchRight && v[1] == MatchRight && v[2] == MatchLeft) ||
+					(v[0] == MatchSelf && v[1] == MatchSelf && v[2] == MatchRight)
+			},
+			Next: func(v core.View) []int { return []int{MatchLeft} },
+		},
+		core.Action{
+			Name: "B4",
+			Guard: func(v core.View) bool {
+				return (v[0] == MatchRight && v[1] != MatchLeft && v[2] != MatchLeft) ||
+					(v[0] != MatchRight && v[1] != MatchRight && v[2] == MatchLeft)
+			},
+			Next: func(v core.View) []int {
+				var out []int
+				if v[0] == MatchRight && v[1] != MatchLeft && v[2] != MatchLeft {
+					out = append(out, MatchLeft)
+				}
+				if v[0] != MatchRight && v[1] != MatchRight && v[2] == MatchLeft {
+					out = append(out, MatchRight)
+				}
+				return out
+			},
+		},
+	)
+}
+
+// GoudaAcharya is the two-action fragment of Gouda & Acharya's matching
+// solution that the paper uses in Figure 8 to show a livelock forming a
+// contiguous trail:
+//
+//	t_ls: m_{i-1} = left AND m_i = left -> m_i := self
+//	t_sl: m_{i-1} != left AND m_i = self -> m_i := left
+//
+// Both actions read only the left neighbor, so the fragment runs on the
+// unidirectional window [-1, 0]. The paper leaves LC implicit for this
+// fragment; we take LC_r = "P_r is disabled" (neither guard holds), making
+// I exactly the fragment's terminal configurations — trivially closed in
+// the protocol — while every global state of the paper's K=5 livelock
+// <lslsl, sslsl, ...> stays outside I (each contains an enabled process,
+// e.g. the matching-inconsistent pair "ll"), as the paper requires.
+func GoudaAcharya() *core.Protocol {
+	tls := func(v core.View) bool { return v[0] == MatchLeft && v[1] == MatchLeft }
+	tsl := func(v core.View) bool { return v[0] != MatchLeft && v[1] == MatchSelf }
+	return core.MustNew(core.Config{
+		Name:       "gouda-acharya",
+		Domain:     3,
+		ValueNames: matchingValueNames,
+		Lo:         -1,
+		Hi:         0,
+		Actions: []core.Action{
+			{
+				Name:  "t_ls",
+				Guard: tls,
+				Next:  func(v core.View) []int { return []int{MatchSelf} },
+			},
+			{
+				Name:  "t_sl",
+				Guard: tsl,
+				Next:  func(v core.View) []int { return []int{MatchLeft} },
+			},
+		},
+		Legit: func(v core.View) bool { return !tls(v) && !tsl(v) },
+	})
+}
+
+// agreementLegit is LC_r for binary agreement: x_{r-1} = x_r.
+func agreementLegit(v core.View) bool { return v[0] == v[1] }
+
+// AgreementBase is the empty (action-free) binary agreement protocol on a
+// unidirectional ring — the synthesis input of Section 6's agreement example.
+func AgreementBase() *core.Protocol {
+	return core.MustNew(core.Config{
+		Name:   "agreement",
+		Domain: 2,
+		Lo:     -1,
+		Hi:     0,
+		Legit:  agreementLegit,
+	})
+}
+
+// AgreementT01 is the correction transition t01: x_{r-1}=1 AND x_r=0 -> x_r:=1.
+func AgreementT01() core.Action {
+	return core.Action{
+		Name:  "t01",
+		Guard: func(v core.View) bool { return v[0] == 1 && v[1] == 0 },
+		Next:  func(v core.View) []int { return []int{1} },
+	}
+}
+
+// AgreementT10 is the correction transition t10: x_{r-1}=0 AND x_r=1 -> x_r:=0.
+func AgreementT10() core.Action {
+	return core.Action{
+		Name:  "t10",
+		Guard: func(v core.View) bool { return v[0] == 0 && v[1] == 1 },
+		Next:  func(v core.View) []int { return []int{0} },
+	}
+}
+
+// AgreementOneSided is the converging agreement protocol with exactly one of
+// the two correction transitions — the paper's accepted synthesis output.
+// side must be "t01" or "t10".
+func AgreementOneSided(side string) *core.Protocol {
+	switch side {
+	case "t01":
+		return AgreementBase().WithActions("agreement/"+side, AgreementT01())
+	case "t10":
+		return AgreementBase().WithActions("agreement/"+side, AgreementT10())
+	default:
+		panic("protocols: side must be t01 or t10")
+	}
+}
+
+// AgreementBoth is Example 5.2's protocol with both t01 and t10 — the
+// version that livelocks (e.g. the K=4 livelock of Figure 5/6) and fails the
+// sufficient condition of Theorem 5.14.
+func AgreementBoth() *core.Protocol {
+	return AgreementBase().WithActions("agreement/both", AgreementT01(), AgreementT10())
+}
+
+// Coloring is the action-free m-coloring protocol on a unidirectional ring:
+// LC_r says a process's color differs from its predecessor's. The paper uses
+// m=3 (Figure 9, synthesis fails) and m=2 (Figure 11, inconclusive —
+// SS 2-coloring on unidirectional rings is in fact impossible).
+func Coloring(m int) *core.Protocol {
+	if m < 2 {
+		panic("protocols: coloring needs at least 2 colors")
+	}
+	return core.MustNew(core.Config{
+		Name:   "coloring",
+		Domain: m,
+		Lo:     -1,
+		Hi:     0,
+		Legit:  func(v core.View) bool { return v[0] != v[1] },
+	})
+}
+
+// SumNotTwoBase is the action-free sum-not-two protocol: domain {0,1,2},
+// unidirectional window, LC_r: x_r + x_{r-1} != 2.
+func SumNotTwoBase() *core.Protocol {
+	return core.MustNew(core.Config{
+		Name:   "sum-not-two",
+		Domain: 3,
+		Lo:     -1,
+		Hi:     0,
+		Legit:  func(v core.View) bool { return v[0]+v[1] != 2 },
+	})
+}
+
+// SumNotTwoSolution is the converging protocol the paper's methodology
+// accepts for sum-not-two (candidate set {t21, t12, t01}), captured by:
+//
+//	(x_r + x_{r-1} = 2) AND (x_r != 2) -> x_r := (x_r + 1) mod 3
+//	(x_r + x_{r-1} = 2) AND (x_r  = 2) -> x_r := (x_r - 1) mod 3
+func SumNotTwoSolution() *core.Protocol {
+	return SumNotTwoBase().WithActions("sum-not-two/solution",
+		core.Action{
+			Name:  "up",
+			Guard: func(v core.View) bool { return v[0]+v[1] == 2 && v[1] != 2 },
+			Next:  func(v core.View) []int { return []int{(v[1] + 1) % 3} },
+		},
+		core.Action{
+			Name:  "down",
+			Guard: func(v core.View) bool { return v[0]+v[1] == 2 && v[1] == 2 },
+			Next:  func(v core.View) []int { return []int{(v[1] + 2) % 3} },
+		},
+	)
+}
+
+// All returns the full zoo keyed by the names used by the CLI tools.
+func All() map[string]*core.Protocol {
+	return map[string]*core.Protocol{
+		"matching":       MatchingStateSpace(),
+		"matchingA":      MatchingA(),
+		"matchingB":      MatchingB(),
+		"gouda-acharya":  GoudaAcharya(),
+		"agreement":      AgreementBase(),
+		"agreement-t01":  AgreementOneSided("t01"),
+		"agreement-t10":  AgreementOneSided("t10"),
+		"agreement-both": AgreementBoth(),
+		"coloring2":      Coloring(2),
+		"coloring3":      Coloring(3),
+		"sum-not-two":    SumNotTwoBase(),
+		"sum-not-two-ss": SumNotTwoSolution(),
+		"mis":            MaxIndependentSet(),
+	}
+}

@@ -1,0 +1,47 @@
+package protocols
+
+import (
+	"testing"
+
+	"paramring/internal/explicit"
+)
+
+// Dijkstra's three-state machine stabilizes for every K >= 3 regardless of
+// the domain size (unlike the K-state ring, which needs m >= K). Checked
+// explicitly for K=3..6.
+func TestDijkstraThreeStateStabilizes(t *testing.T) {
+	follower, bottom, top := DijkstraThreeState()
+	for k := 3; k <= 6; k++ {
+		in, err := explicit.NewInstance(follower, k,
+			explicit.WithProcessActions(0, bottom(k)),
+			explicit.WithProcessActions(k-1, top(k)),
+			explicit.WithGlobalPredicate(ThreeStateLegit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := in.CheckClosure(); v != nil {
+			t.Fatalf("K=%d closure violated: %s -> %s by P%d/%s",
+				k, in.Format(v.From), in.Format(v.To), v.Process, v.Action)
+		}
+		rep := in.CheckStrongConvergence()
+		if !rep.Converges {
+			if rep.DeadlockWitness != nil {
+				t.Fatalf("K=%d deadlock: %s", k, in.Format(*rep.DeadlockWitness))
+			}
+			t.Fatalf("K=%d livelock: %s", k, in.FormatCycle(rep.LivelockWitness))
+		}
+	}
+}
+
+func TestThreeStateLegitCountsPrivileges(t *testing.T) {
+	// All-zero array of 4: privileges? bottom: x1=x0+1? 0 != 1 no; top:
+	// x2=x0 (0=0) and x3 != x2+1 (0 != 1) -> top privileged. Followers
+	// P1: x2 = x1+1? no; x0 = x1+1? no. P2: x3 = x2+1? no; x1 = x2+1? no.
+	// Exactly one privilege -> legitimate.
+	if !ThreeStateLegit([]int{0, 0, 0, 0}) {
+		t.Fatal("all-zeros must be legitimate (top privileged)")
+	}
+	if ThreeStateLegit([]int{0, 1, 0, 1}) {
+		t.Fatal("alternating state has several privileges")
+	}
+}

@@ -1,0 +1,150 @@
+package protocols
+
+import "paramring/internal/core"
+
+// DijkstraTokenRing builds Dijkstra's K-state token ring [Dijkstra 1974],
+// which the paper's Section 5 cites as the classic protocol that converges
+// despite *corrupting* convergence actions (showing non-corruption is an
+// unnecessarily strong livelock-freedom condition).
+//
+// The ring is unidirectional with one distinguished process:
+//
+//	P_0   (bottom):  x_0 = x_{K-1}  ->  x_0 := (x_0 + 1) mod m
+//	P_i   (i > 0):   x_i != x_{i-1} ->  x_i := x_{i-1}
+//
+// It returns the follower protocol (the representative of P_1..P_{K-1}) and
+// the bottom process's action list, to be installed at ring position 0 via
+// explicit.WithProcessActions. Because the protocol is not symmetric and its
+// legitimate set ("exactly one token") is not locally conjunctive, it lives
+// outside the paper's parameterized-local class; it is checked per-K with
+// the explicit model checker using TokenRingLegit as the global predicate.
+// Dijkstra's protocol stabilizes whenever m >= K.
+func DijkstraTokenRing(m int) (follower *core.Protocol, bottom []core.Action) {
+	if m < 2 {
+		panic("protocols: token ring needs domain >= 2")
+	}
+	follower = core.MustNew(core.Config{
+		Name:   "token-ring",
+		Domain: m,
+		Lo:     -1,
+		Hi:     0,
+		Actions: []core.Action{{
+			Name:  "copy",
+			Guard: func(v core.View) bool { return v[0] != v[1] },
+			Next:  func(v core.View) []int { return []int{v[0]} },
+		}},
+		// The real legitimate set is global ("one token"); this local
+		// predicate is a placeholder and must be overridden with
+		// TokenRingLegit when instantiating.
+		Legit: func(v core.View) bool { return v[0] == v[1] },
+	})
+	bottom = []core.Action{{
+		Name:  "bump",
+		Guard: func(v core.View) bool { return v[0] == v[1] },
+		Next:  func(v core.View) []int { return []int{(v[1] + 1) % m} },
+	}}
+	return follower, bottom
+}
+
+// TokenRingLegit is the token ring's global legitimate predicate: exactly
+// one process holds a token (is enabled). P_0 holds a token iff
+// x_0 = x_{K-1}; P_i (i>0) holds one iff x_i != x_{i-1}.
+func TokenRingLegit(vals []int) bool {
+	k := len(vals)
+	tokens := 0
+	if vals[0] == vals[k-1] {
+		tokens++
+	}
+	for i := 1; i < k; i++ {
+		if vals[i] != vals[i-1] {
+			tokens++
+		}
+	}
+	return tokens == 1
+}
+
+// DijkstraThreeState builds Dijkstra's second classic example: the
+// three-state machine on a bidirectional array closed into a ring, with two
+// distinguished processes (the bottom P_0 and the top P_{K-1}) and
+// followers reading both neighbors. Values range over {0, 1, 2}:
+//
+//	bottom P_0:      x_1 = x_0 + 1 (mod 3)            -> x_0 := x_0 + 2 (mod 3)
+//	top    P_{K-1}:  x_{K-2} = x_0 and
+//	                 x_{K-1} != x_{K-2} + 1 (mod 3)    -> x_{K-1} := x_{K-2} + 1 (mod 3)
+//	follower P_i:    x_{i+1} = x_i + 1 (mod 3)         -> x_i := x_i + 1 (mod 3)
+//	                 x_{i-1} = x_i + 1 (mod 3)         -> x_i := x_i + 1 (mod 3)
+//
+// The top reads the bottom's variable — but on a ring the top's right
+// neighbor IS the bottom, so the bidirectional window [-1,1] covers it.
+// Instantiate with explicit.WithProcessActions for positions 0 and K-1 and
+// explicit.WithGlobalPredicate(ThreeStateLegit); legitimacy is again
+// "exactly one privilege". Unlike the K-state ring (which needs m >= K),
+// the three-state machine stabilizes for every K with its fixed domain —
+// verified in the package tests for K=3..6.
+func DijkstraThreeState() (follower *core.Protocol, bottom, top func(k int) []core.Action) {
+	const m = 3
+	follower = core.MustNew(core.Config{
+		Name:   "three-state",
+		Domain: m,
+		Lo:     -1,
+		Hi:     1,
+		Actions: []core.Action{
+			{
+				Name:  "up",
+				Guard: func(v core.View) bool { return v[2] == (v[1]+1)%m },
+				Next:  func(v core.View) []int { return []int{(v[1] + 1) % m} },
+			},
+			{
+				Name:  "down",
+				Guard: func(v core.View) bool { return v[0] == (v[1]+1)%m },
+				Next:  func(v core.View) []int { return []int{(v[1] + 1) % m} },
+			},
+		},
+		Legit: func(v core.View) bool { return true }, // overridden globally
+	})
+	bottom = func(k int) []core.Action {
+		return []core.Action{{
+			Name:  "bottom",
+			Guard: func(v core.View) bool { return v[2] == (v[1]+1)%m },
+			Next:  func(v core.View) []int { return []int{(v[1] + 2) % m} },
+		}}
+	}
+	top = func(k int) []core.Action {
+		// The top's guard needs x_0; with the window [-1,1] on a ring, the
+		// top's right neighbor IS x_0, so the contiguous window suffices.
+		return []core.Action{{
+			Name: "top",
+			Guard: func(v core.View) bool {
+				return v[0] == v[2] && v[1] != (v[0]+1)%m
+			},
+			Next: func(v core.View) []int { return []int{(v[0] + 1) % m} },
+		}}
+	}
+	return follower, bottom, top
+}
+
+// ThreeStateLegit is the "exactly one privilege" predicate for the
+// three-state machine on a ring of K processes.
+func ThreeStateLegit(vals []int) bool {
+	const m = 3
+	k := len(vals)
+	priv := 0
+	// Bottom privilege: x_1 = x_0 + 1.
+	if vals[1%k] == (vals[0]+1)%m {
+		priv++
+	}
+	// Top privilege: x_{K-2} = x_0 and x_{K-1} != x_{K-2} + 1.
+	if vals[(k-2+k)%k] == vals[0] && vals[k-1] != (vals[(k-2+k)%k]+1)%m {
+		priv++
+	}
+	// Follower privileges.
+	for i := 1; i < k-1; i++ {
+		if vals[(i+1)%k] == (vals[i]+1)%m {
+			priv++
+		}
+		if vals[i-1] == (vals[i]+1)%m {
+			priv++
+		}
+	}
+	return priv == 1
+}

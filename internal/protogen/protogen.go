@@ -1,0 +1,145 @@
+// Package protogen generates random parameterized ring protocols for
+// property-based testing. The generators are deterministic given a
+// rand.Rand, and can guarantee structural properties the paper's theorems
+// assume (self-disablement, non-trivial legitimate sets).
+package protogen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paramring/internal/core"
+)
+
+// Options shapes the generated protocol.
+type Options struct {
+	// Domain is the variable domain size (default: random in 2..3).
+	Domain int
+	// Lo, Hi set the read window (default [-1, 0]). Lo <= 0 <= Hi required.
+	Lo, Hi int
+	// SelfDisabling forces every local transition to land in a local
+	// deadlock (the paper's Assumption 2).
+	SelfDisabling bool
+	// MovePercent is the per-state probability (0..100) of having an
+	// outgoing transition (default 40).
+	MovePercent int
+	// Nondet allows up to two candidate writes per enabled state.
+	Nondet bool
+}
+
+func (o *Options) defaults(rng *rand.Rand) {
+	if o.Domain == 0 {
+		o.Domain = 2 + rng.Intn(2)
+	}
+	if o.Lo == 0 && o.Hi == 0 {
+		o.Lo = -1
+	}
+	if o.MovePercent == 0 {
+		o.MovePercent = 40
+	}
+}
+
+// Random generates a protocol with a random transition table and a random
+// (non-empty, non-full if possible) legitimacy predicate.
+func Random(rng *rand.Rand, opts Options) *core.Protocol {
+	opts.defaults(rng)
+	d := opts.Domain
+	w := opts.Hi - opts.Lo + 1
+	n := 1
+	for i := 0; i < w; i++ {
+		n *= d
+	}
+
+	legit := make([]bool, n)
+	anyLegit := false
+	for i := range legit {
+		legit[i] = rng.Intn(2) == 0
+		anyLegit = anyLegit || legit[i]
+	}
+	if !anyLegit {
+		legit[rng.Intn(n)] = true
+	}
+
+	own := -opts.Lo
+	moves := map[core.LocalState][]int{}
+	if opts.SelfDisabling {
+		// Classify own-values into movers and terminals per "context" (the
+		// non-own window positions): movers only write terminal values, so
+		// every transition lands in a deadlock.
+		contexts := n / d
+		for ctx := 0; ctx < contexts; ctx++ {
+			terminal := make([]bool, d)
+			var terms []int
+			for v := 0; v < d; v++ {
+				if rng.Intn(2) == 0 {
+					terminal[v] = true
+					terms = append(terms, v)
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			for ov := 0; ov < d; ov++ {
+				if terminal[ov] || rng.Intn(100) >= opts.MovePercent {
+					continue
+				}
+				st := stateFor(ctx, ov, own, w, d)
+				moves[st] = pick(rng, terms, opts.Nondet)
+			}
+		}
+	} else {
+		for s := 0; s < n; s++ {
+			if rng.Intn(100) >= opts.MovePercent {
+				continue
+			}
+			all := make([]int, d)
+			for v := range all {
+				all[v] = v
+			}
+			moves[core.LocalState(s)] = pick(rng, all, opts.Nondet)
+		}
+	}
+
+	dd := d
+	bits := legit
+	p, err := core.NewFromTable(core.Config{
+		Name:   fmt.Sprintf("rnd-d%d-w%d", d, w),
+		Domain: d,
+		Lo:     opts.Lo,
+		Hi:     opts.Hi,
+		Legit: func(v core.View) bool {
+			return bits[int(core.Encode(v, dd))]
+		},
+	}, []core.TableAction{{Name: "m", Moves: moves}})
+	if err != nil {
+		panic(fmt.Sprintf("protogen: %v", err))
+	}
+	return p
+}
+
+// stateFor builds the local state code with the given context (the mixed
+// radix over non-own positions) and own value.
+func stateFor(ctx, own, ownIdx, w, d int) core.LocalState {
+	view := make(core.View, w)
+	for i := 0; i < w; i++ {
+		if i == ownIdx {
+			view[i] = own
+			continue
+		}
+		view[i] = ctx % d
+		ctx /= d
+	}
+	return core.Encode(view, d)
+}
+
+func pick(rng *rand.Rand, from []int, nondet bool) []int {
+	first := from[rng.Intn(len(from))]
+	out := []int{first}
+	if nondet && len(from) > 1 && rng.Intn(3) == 0 {
+		second := from[rng.Intn(len(from))]
+		if second != first {
+			out = append(out, second)
+		}
+	}
+	return out
+}

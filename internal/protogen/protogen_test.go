@@ -1,0 +1,70 @@
+package protogen
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+)
+
+func TestRandomDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := Random(rng, Options{})
+		if p.Domain() < 2 || p.Domain() > 3 {
+			t.Fatalf("domain = %d", p.Domain())
+		}
+		lo, hi := p.Window()
+		if lo != -1 || hi != 0 {
+			t.Fatalf("window [%d,%d]", lo, hi)
+		}
+		some := false
+		for s := 0; s < p.NumLocalStates(); s++ {
+			if p.Legitimate(core.LocalState(s)) {
+				some = true
+				break
+			}
+		}
+		if !some {
+			t.Fatal("legitimate set must be non-empty")
+		}
+	}
+}
+
+func TestRandomSelfDisabling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		p := Random(rng, Options{SelfDisabling: true, MovePercent: 70, Nondet: true})
+		if !p.Compile().IsSelfDisabling() {
+			t.Fatalf("iteration %d: generator produced self-enabling protocol", i)
+		}
+	}
+}
+
+func TestRandomWiderWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, win := range [][2]int{{-2, 0}, {-1, 1}, {0, 1}} {
+		p := Random(rng, Options{Domain: 2, Lo: win[0], Hi: win[1], SelfDisabling: true, MovePercent: 60})
+		lo, hi := p.Window()
+		if lo != win[0] || hi != win[1] {
+			t.Fatalf("window [%d,%d], want %v", lo, hi, win)
+		}
+		if !p.Compile().IsSelfDisabling() {
+			t.Fatalf("window %v: not self-disabling", win)
+		}
+	}
+}
+
+func TestRandomHasTransitionsSometimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	withMoves := 0
+	for i := 0; i < 60; i++ {
+		p := Random(rng, Options{MovePercent: 60})
+		if len(p.Compile().Trans) > 0 {
+			withMoves++
+		}
+	}
+	if withMoves < 30 {
+		t.Fatalf("only %d/60 protocols had transitions", withMoves)
+	}
+}

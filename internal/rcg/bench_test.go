@@ -1,0 +1,71 @@
+package rcg
+
+import (
+	"fmt"
+	"testing"
+
+	"paramring/internal/protocols"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, name := range []string{"agreement", "matching"} {
+		sys := protocols.All()[name].Compile()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Build(sys)
+			}
+		})
+	}
+}
+
+func BenchmarkCheckDeadlockFreedom(b *testing.B) {
+	for _, name := range []string{"matchingA", "matchingB", "mis"} {
+		r := Build(protocols.All()[name].Compile())
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.CheckDeadlockFreedom(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDeadlockRingSizes(b *testing.B) {
+	r := Build(protocols.MatchingB().Compile())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.DeadlockRingSizes(2, 32)
+	}
+}
+
+func BenchmarkUnrollCycle(b *testing.B) {
+	r := Build(protocols.MatchingB().Compile())
+	rep, err := r.CheckDeadlockFreedom(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := rep.BadCycles[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.UnrollCycle(cycle, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountLegitimate(b *testing.B) {
+	r := Build(protocols.MatchingA().Compile())
+	for _, k := range []int{8, 64, 1024} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.CountLegitimate(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

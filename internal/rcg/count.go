@@ -1,0 +1,157 @@
+package rcg
+
+import (
+	"fmt"
+	"math/big"
+
+	"paramring/internal/core"
+)
+
+// maxCountVertices bounds the transfer-matrix dimension (matrix power is
+// cubic per squaring).
+const maxCountVertices = 512
+
+// CountGlobalStates counts, exactly, the global states of a ring of size K
+// in which EVERY process's local view satisfies pred — without enumerating
+// the global state space. A global state of size K corresponds bijectively
+// to a closed walk of length K through the RCG (each process's view is a
+// vertex, consecutive views overlap, and the ring closes the walk), so the
+// count is trace(A^K) of the pred-induced continuation adjacency matrix.
+// This works for any K, including K below the window width (the wrap-around
+// consistency constraints are exactly the walk-closure constraints).
+//
+// Counts grow exponentially in K, hence the big.Int result.
+func (r *RCG) CountGlobalStates(k int, pred func(core.LocalState) bool) (*big.Int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rcg: ring size %d < 1", k)
+	}
+	n := r.g.N()
+	if n > maxCountVertices {
+		return nil, fmt.Errorf("rcg: %d local states exceed the transfer-matrix limit %d", n, maxCountVertices)
+	}
+	// Collect the vertices satisfying pred and build the induced adjacency.
+	var keep []int
+	for v := 0; v < n; v++ {
+		if pred(core.LocalState(v)) {
+			keep = append(keep, v)
+		}
+	}
+	m := len(keep)
+	if m == 0 {
+		return big.NewInt(0), nil
+	}
+	index := make(map[int]int, m)
+	for i, v := range keep {
+		index[v] = i
+	}
+	a := newMatrix(m)
+	for i, u := range keep {
+		for _, v := range r.g.Succ(u) {
+			if j, ok := index[v]; ok {
+				a.set(i, j, big.NewInt(1))
+			}
+		}
+	}
+	p := a.pow(k)
+	return p.trace(), nil
+}
+
+// CountLegitimate counts |I(K)| — the number of legitimate global states of
+// a ring of size K.
+func (r *RCG) CountLegitimate(k int) (*big.Int, error) {
+	return r.CountGlobalStates(k, func(s core.LocalState) bool { return r.sys.Legit[s] })
+}
+
+// CountDeadlocks counts the global deadlock states of a ring of size K
+// (every process locally deadlocked).
+func (r *RCG) CountDeadlocks(k int) (*big.Int, error) {
+	return r.CountGlobalStates(k, func(s core.LocalState) bool { return r.sys.IsDeadlock[s] })
+}
+
+// CountIllegitimateDeadlocks counts the global deadlocks outside I(K):
+// all-deadlocked states minus the all-deadlocked-and-legitimate ones
+// (I is locally conjunctive, so "outside I" means some view illegitimate).
+func (r *RCG) CountIllegitimateDeadlocks(k int) (*big.Int, error) {
+	all, err := r.CountDeadlocks(k)
+	if err != nil {
+		return nil, err
+	}
+	legit, err := r.CountGlobalStates(k, func(s core.LocalState) bool {
+		return r.sys.IsDeadlock[s] && r.sys.Legit[s]
+	})
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Sub(all, legit), nil
+}
+
+// matrix is a dense square big.Int matrix.
+type matrix struct {
+	n     int
+	cells []*big.Int
+}
+
+func newMatrix(n int) *matrix {
+	m := &matrix{n: n, cells: make([]*big.Int, n*n)}
+	for i := range m.cells {
+		m.cells[i] = new(big.Int)
+	}
+	return m
+}
+
+func (m *matrix) at(i, j int) *big.Int     { return m.cells[i*m.n+j] }
+func (m *matrix) set(i, j int, v *big.Int) { m.cells[i*m.n+j] = v }
+
+func identity(n int) *matrix {
+	m := newMatrix(n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, big.NewInt(1))
+	}
+	return m
+}
+
+func (m *matrix) mul(o *matrix) *matrix {
+	out := newMatrix(m.n)
+	tmp := new(big.Int)
+	for i := 0; i < m.n; i++ {
+		for kk := 0; kk < m.n; kk++ {
+			a := m.at(i, kk)
+			if a.Sign() == 0 {
+				continue
+			}
+			row := kk * m.n
+			outRow := i * m.n
+			for j := 0; j < m.n; j++ {
+				b := o.cells[row+j]
+				if b.Sign() == 0 {
+					continue
+				}
+				tmp.Mul(a, b)
+				out.cells[outRow+j].Add(out.cells[outRow+j], tmp)
+			}
+		}
+	}
+	return out
+}
+
+// pow computes m^k by binary exponentiation (k >= 1).
+func (m *matrix) pow(k int) *matrix {
+	result := identity(m.n)
+	base := m
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.mul(base)
+		}
+		base = base.mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+func (m *matrix) trace() *big.Int {
+	t := new(big.Int)
+	for i := 0; i < m.n; i++ {
+		t.Add(t, m.at(i, i))
+	}
+	return t
+}

@@ -1,0 +1,163 @@
+package rcg
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+	"paramring/internal/protogen"
+)
+
+func countExplicit(t *testing.T, p *core.Protocol, k int, pred func(in *explicit.Instance, id uint64) bool) int64 {
+	t.Helper()
+	in, err := explicit.NewInstance(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int64
+	for id := uint64(0); id < in.NumStates(); id++ {
+		if pred(in, id) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestCountLegitimateAgreement(t *testing.T) {
+	// Agreement's I(K) is always {all zeros, all ones}.
+	r := Build(protocols.AgreementBase().Compile())
+	for k := 1; k <= 20; k++ {
+		got, err := r.CountLegitimate(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(2)) != 0 {
+			t.Fatalf("K=%d: |I| = %s, want 2", k, got)
+		}
+	}
+}
+
+// "No two adjacent ones" counts legitimate states by the Lucas numbers.
+func TestCountLegitimateLucasNumbers(t *testing.T) {
+	p := core.MustNew(core.Config{
+		Name: "no-adjacent-ones", Domain: 2, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return !(v[0] == 1 && v[1] == 1) },
+	})
+	r := Build(p.Compile())
+	// Lucas numbers L(2)=3, L(3)=4, L(4)=7, L(5)=11, ...
+	lucas := []int64{3, 4, 7, 11, 18, 29, 47, 76, 123, 199}
+	for i, want := range lucas {
+		k := i + 2
+		got, err := r.CountLegitimate(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("K=%d: |I| = %s, want %d", k, got, want)
+		}
+	}
+	// And a big K far beyond explicit reach, checked against the Lucas
+	// recurrence L(n) = L(n-1) + L(n-2) computed independently.
+	a, b := big.NewInt(3), big.NewInt(4) // L(2), L(3)
+	for n := 4; n <= 90; n++ {
+		a, b = b, new(big.Int).Add(a, b)
+	}
+	got, err := r.CountLegitimate(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(b) != 0 {
+		t.Fatalf("L(90) = %s, recurrence gives %s", got, b)
+	}
+}
+
+func TestCountMatchesExplicitOnZoo(t *testing.T) {
+	for _, name := range []string{"matchingA", "matchingB", "sum-not-two-ss", "mis", "coloring3"} {
+		p := protocols.All()[name]
+		r := Build(p.Compile())
+		for k := 2; k <= 6; k++ {
+			wantI := countExplicit(t, p, k, func(in *explicit.Instance, id uint64) bool {
+				return in.InI(id)
+			})
+			gotI, err := r.CountLegitimate(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotI.Cmp(big.NewInt(wantI)) != 0 {
+				t.Fatalf("%s K=%d: |I| = %s, explicit %d", name, k, gotI, wantI)
+			}
+			wantD := countExplicit(t, p, k, func(in *explicit.Instance, id uint64) bool {
+				return !in.InI(id) && in.IsDeadlock(id)
+			})
+			gotD, err := r.CountIllegitimateDeadlocks(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotD.Cmp(big.NewInt(wantD)) != 0 {
+				t.Fatalf("%s K=%d: bad deadlocks = %s, explicit %d", name, k, gotD, wantD)
+			}
+		}
+	}
+}
+
+// The Figure 3 narrative in numbers: matching B's illegitimate deadlock
+// counts per ring size (4 at K=4, none at K=5, 6 at K=6, 7 at K=7 — the
+// composite-walk refinement made countable).
+func TestCountMatchingBDeadlockCounts(t *testing.T) {
+	r := Build(protocols.MatchingB().Compile())
+	want := map[int]int64{4: 4, 5: 0, 6: 6, 7: 7}
+	for k, w := range want {
+		got, err := r.CountIllegitimateDeadlocks(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(w)) != 0 {
+			t.Fatalf("K=%d: %s illegitimate deadlocks, want %d", k, got, w)
+		}
+	}
+}
+
+func TestCountGlobalStatesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2023))
+	for trial := 0; trial < 40; trial++ {
+		p := protogen.Random(rng, protogen.Options{MovePercent: 40})
+		r := Build(p.Compile())
+		for k := 2; k <= 5; k++ {
+			want := countExplicit(t, p, k, func(in *explicit.Instance, id uint64) bool {
+				return in.InI(id)
+			})
+			got, err := r.CountLegitimate(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(big.NewInt(want)) != 0 {
+				t.Fatalf("trial %d K=%d: %s vs explicit %d", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	r := Build(protocols.AgreementBase().Compile())
+	if _, err := r.CountLegitimate(0); err == nil {
+		t.Fatal("K=0 must error")
+	}
+	zero, err := r.CountGlobalStates(5, func(core.LocalState) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Sign() != 0 {
+		t.Fatalf("empty predicate count = %s", zero)
+	}
+	// Total state count: pred true everywhere gives domain^K.
+	all, err := r.CountGlobalStates(10, func(core.LocalState) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Cmp(big.NewInt(1024)) != 0 {
+		t.Fatalf("total = %s, want 2^10", all)
+	}
+}

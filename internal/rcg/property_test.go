@@ -1,0 +1,113 @@
+package rcg
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/explicit"
+	"paramring/internal/protogen"
+)
+
+// Theorem 4.2's iff, cross-validated over a spread of window shapes:
+// unidirectional depth-2 ([-2,0]), bidirectional ([-1,1]) and
+// forward-looking ([0,1]). The continuation construction must be correct
+// for all of them. Explicit checking up to K = |local states| covers every
+// elementary cycle length.
+func TestTheorem42WiderWindowsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	windows := [][2]int{{-2, 0}, {-1, 1}, {0, 1}}
+	for trial := 0; trial < 90; trial++ {
+		win := windows[trial%len(windows)]
+		p := protogen.Random(rng, protogen.Options{
+			Domain:      2, // keeps |S_local| <= 8, so K <= 8 suffices
+			Lo:          win[0],
+			Hi:          win[1],
+			MovePercent: 45,
+		})
+		sys := p.Compile()
+		r := Build(sys)
+		rep, err := r.CheckDeadlockFreedom(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicitDeadlock := false
+		for k := 2; k <= sys.N(); k++ {
+			in, err := explicit.NewInstance(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(in.IllegitimateDeadlocks()) > 0 {
+				explicitDeadlock = true
+				break
+			}
+		}
+		if rep.Free == explicitDeadlock {
+			t.Fatalf("trial %d window %v: RCG free=%v but explicit deadlock=%v",
+				trial, win, rep.Free, explicitDeadlock)
+		}
+	}
+}
+
+// Every bad cycle unrolls into a real global deadlock outside I — the
+// constructive direction of Theorem 4.2, across random protocols.
+func TestUnrollCycleAlwaysYieldsDeadlocksRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	checkedCycles := 0
+	for trial := 0; trial < 80; trial++ {
+		p := protogen.Random(rng, protogen.Options{MovePercent: 35})
+		r := Build(p.Compile())
+		rep, err := r.CheckDeadlockFreedom(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cycle := range rep.BadCycles {
+			k := 1
+			if len(cycle) == 1 {
+				k = 2 // explicit instances need K >= 2
+			}
+			vals, err := r.UnrollCycle(cycle, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := explicit.NewInstance(p, len(vals))
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := in.Encode(vals)
+			if !in.IsDeadlock(id) {
+				t.Fatalf("trial %d: unrolled %s is not a deadlock", trial, in.Format(id))
+			}
+			if in.InI(id) {
+				t.Fatalf("trial %d: unrolled %s is inside I", trial, in.Format(id))
+			}
+			checkedCycles++
+			if checkedCycles > 200 {
+				return
+			}
+		}
+	}
+	if checkedCycles < 20 {
+		t.Fatalf("property too weak: only %d cycles checked", checkedCycles)
+	}
+}
+
+// DeadlockRingSizes agrees with explicit search on random protocols — the
+// per-K refinement of Theorem 4.2.
+func TestDeadlockRingSizesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 50; trial++ {
+		p := protogen.Random(rng, protogen.Options{Domain: 2, MovePercent: 40})
+		r := Build(p.Compile())
+		predicted := r.DeadlockRingSizes(2, 6)
+		for k := 2; k <= 6; k++ {
+			in, err := explicit.NewInstance(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actual := len(in.IllegitimateDeadlocks()) > 0
+			if predicted[k] != actual {
+				t.Fatalf("trial %d K=%d: predicted %v explicit %v", trial, k, predicted[k], actual)
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package rcg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+	"paramring/internal/protogen"
+)
+
+func TestContinuationDefinitionMatchesConstruction(t *testing.T) {
+	for _, p := range []*core.Protocol{
+		protocols.MatchingStateSpace(), // window [-1,1]
+		protocols.AgreementBase(),      // window [-1,0]
+		protocols.Coloring(3),
+		protocols.SumNotTwoBase(),
+	} {
+		r := Build(p.Compile())
+		n := p.NumLocalStates()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := Continues(p, core.LocalState(u), core.LocalState(v))
+				if got := r.Graph().HasEdge(u, v); got != want {
+					t.Fatalf("%s: arc (%s,%s): got %v want %v", p.Name(),
+						p.FormatState(core.LocalState(u)), p.FormatState(core.LocalState(v)), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestContinuationWidthOne(t *testing.T) {
+	p := core.MustNew(core.Config{
+		Name: "w1", Domain: 2, Lo: 0, Hi: 0,
+		Legit: func(v core.View) bool { return true },
+	})
+	r := Build(p.Compile())
+	// No shared variables: complete digraph including self-loops.
+	if r.Graph().M() != 4 {
+		t.Fatalf("w=1 RCG edges = %d, want 4", r.Graph().M())
+	}
+}
+
+// Figure 1: the RCG over all 27 local states of maximal matching. Each local
+// state (a,b,c) has exactly d=3 right continuations (b,c,*), so the RCG has
+// 27*3 = 81 s-arcs.
+func TestFigure1MatchingRCGShape(t *testing.T) {
+	p := protocols.MatchingStateSpace()
+	r := Build(p.Compile())
+	if r.Graph().N() != 27 {
+		t.Fatalf("vertices = %d, want 27", r.Graph().N())
+	}
+	if r.Graph().M() != 81 {
+		t.Fatalf("s-arcs = %d, want 81", r.Graph().M())
+	}
+	for u := 0; u < 27; u++ {
+		if d := r.Graph().OutDegree(u); d != 3 {
+			t.Fatalf("out-degree of %s = %d, want 3", p.FormatState(core.LocalState(u)), d)
+		}
+	}
+	// Spot-check from the paper: lls -> lsr is a continuation, lls -> rsl is not.
+	lls := p.Encode(core.View{protocols.MatchLeft, protocols.MatchLeft, protocols.MatchSelf})
+	lsr := p.Encode(core.View{protocols.MatchLeft, protocols.MatchSelf, protocols.MatchRight})
+	rsl := p.Encode(core.View{protocols.MatchRight, protocols.MatchSelf, protocols.MatchLeft})
+	if !r.Graph().HasEdge(int(lls), int(lsr)) {
+		t.Fatal("lls -> lsr must be an s-arc")
+	}
+	if r.Graph().HasEdge(int(lls), int(rsl)) {
+		t.Fatal("lls -> rsl must not be an s-arc")
+	}
+}
+
+// Example 4.2 / Figure 2: the generalizable matching protocol is
+// deadlock-free for every K by Theorem 4.2.
+func TestExample42DeadlockFree(t *testing.T) {
+	r := Build(protocols.MatchingA().Compile())
+	rep, err := r.CheckDeadlockFreedom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Free {
+		t.Fatalf("Example 4.2 must be deadlock-free; bad cycles: %v", rep.BadCycles)
+	}
+	if len(rep.BadCycles) != 0 {
+		t.Fatal("free verdict must carry no bad cycles")
+	}
+	if len(rep.LocalDeadlocks) == 0 {
+		t.Fatal("matching A has local deadlocks (its legitimate configurations)")
+	}
+}
+
+// Example 4.3 / Figure 3: the non-generalizable protocol has exactly two
+// elementary illegitimate deadlock cycles — length 4 <rll,lls,lsr,srl> and
+// length 6 <rll,lls,lsr,srl,rlr,lrl> — both through <left,left,self>.
+func TestExample43Cycles(t *testing.T) {
+	p := protocols.MatchingB()
+	r := Build(p.Compile())
+	rep, err := r.CheckDeadlockFreedom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Free {
+		t.Fatal("Example 4.3 must NOT be deadlock-free for all K")
+	}
+	if got := rep.SortedBadCycleLengths(); !reflect.DeepEqual(got, []int{4, 6}) {
+		t.Fatalf("bad cycle lengths = %v, want [4 6]", got)
+	}
+	lls := p.Encode(core.View{protocols.MatchLeft, protocols.MatchLeft, protocols.MatchSelf})
+	for _, c := range rep.BadCycles {
+		found := false
+		for _, s := range c {
+			if s == lls {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cycle %s does not pass through lls", r.FormatCycle(c))
+		}
+	}
+}
+
+// Resolving the single local deadlock <left,left,self> repairs Example 4.3:
+// with lls no longer a deadlock, the RCG verdict flips to free (the paper's
+// repair remark under Figure 3).
+func TestExample43ResolvingLLSRepairs(t *testing.T) {
+	p := protocols.MatchingB()
+	lls := p.Encode(core.View{protocols.MatchLeft, protocols.MatchLeft, protocols.MatchSelf})
+	repaired := p.WithActions("matchingB+fix", core.Action{
+		Name: "FixLLS",
+		Guard: func(v core.View) bool {
+			return v[0] == protocols.MatchLeft && v[1] == protocols.MatchLeft && v[2] == protocols.MatchSelf
+		},
+		Next: func(v core.View) []int { return []int{protocols.MatchSelf} },
+	})
+	sys := repaired.Compile()
+	if sys.IsDeadlock[lls] {
+		t.Fatal("lls should no longer be a local deadlock")
+	}
+	rep, err := Build(sys).CheckDeadlockFreedom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Free {
+		t.Fatalf("repaired Example 4.3 must be deadlock-free; cycles: %v", rep.BadCycles)
+	}
+}
+
+// Unrolling the Figure 3 cycles produces concrete global deadlocks, verified
+// by the explicit model checker (the forward direction of Theorem 4.2).
+func TestUnrollCycleProducesGlobalDeadlocks(t *testing.T) {
+	p := protocols.MatchingB()
+	r := Build(p.Compile())
+	rep, err := r.CheckDeadlockFreedom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cycle := range rep.BadCycles {
+		for k := 1; k <= 2; k++ {
+			vals, err := r.UnrollCycle(cycle, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := explicit.NewInstance(p, len(vals))
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := in.Encode(vals)
+			if !in.IsDeadlock(id) {
+				t.Fatalf("unrolled cycle %s (k=%d) state %s is not a global deadlock",
+					r.FormatCycle(cycle), k, in.Format(id))
+			}
+			if in.InI(id) {
+				t.Fatalf("unrolled state %s should be outside I", in.Format(id))
+			}
+		}
+	}
+}
+
+func TestUnrollCycleRejectsNonArcs(t *testing.T) {
+	p := protocols.AgreementBase()
+	r := Build(p.Compile())
+	// 00 -> 11 is not an s-arc (suffix 0 != prefix 1).
+	if _, err := r.UnrollCycle([]core.LocalState{0, 3}, 1); err == nil {
+		t.Fatal("expected error for non-continuation cycle")
+	}
+	if _, err := r.UnrollCycle(nil, 1); err == nil {
+		t.Fatal("expected error for empty cycle")
+	}
+}
+
+// DeadlockRingSizes must agree exactly with explicit-state search: this is
+// the iff of Theorem 4.2 instantiated per ring size. Notably K=7 deadlocks
+// via a composite closed walk that the paper's multiples-of-4-or-6 narrative
+// does not list — the explicit checker confirms the walk semantics is right.
+func TestDeadlockRingSizesMatchesExplicit(t *testing.T) {
+	p := protocols.MatchingB()
+	r := Build(p.Compile())
+	predicted := r.DeadlockRingSizes(2, 9)
+	for k := 2; k <= 9; k++ {
+		in, err := explicit.NewInstance(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := len(in.IllegitimateDeadlocks()) > 0
+		if predicted[k] != actual {
+			t.Fatalf("K=%d: RCG predicts deadlock=%v, explicit says %v", k, predicted[k], actual)
+		}
+	}
+	// Anchors from the paper (4 and 6) and our refinement (5 free, 7 not).
+	for k, want := range map[int]bool{4: true, 5: false, 6: true, 7: true} {
+		if predicted[k] != want {
+			t.Fatalf("K=%d: predicted %v, want %v", k, predicted[k], want)
+		}
+	}
+}
+
+func TestMatchingADeadlockRingSizesAllFree(t *testing.T) {
+	r := Build(protocols.MatchingA().Compile())
+	for k, has := range r.DeadlockRingSizes(2, 12) {
+		if has {
+			t.Fatalf("matchingA predicted deadlock at K=%d", k)
+		}
+	}
+}
+
+// Property test for the iff of Theorem 4.2: on random protocols the RCG
+// verdict must agree with explicit deadlock search. The theorem guarantees
+// that if a bad cycle exists, its length n yields a deadlock at K=n (n is at
+// most the number of local deadlock states), and conversely any global
+// deadlock at any K induces a bad cycle. So checking K up to the local state
+// count is a complete cross-validation.
+func TestTheorem42AgainstExplicitRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2012))
+	for trial := 0; trial < 120; trial++ {
+		p := protogen.Random(rng, protogen.Options{MovePercent: 40})
+		sys := p.Compile()
+		r := Build(sys)
+		rep, err := r.CheckDeadlockFreedom(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxK := sys.N()
+		if maxK < 2 {
+			maxK = 2
+		}
+		explicitDeadlock := false
+		for k := 2; k <= maxK; k++ {
+			in, err := explicit.NewInstance(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(in.IllegitimateDeadlocks()) > 0 {
+				explicitDeadlock = true
+				break
+			}
+		}
+		if rep.Free == explicitDeadlock {
+			t.Fatalf("trial %d: Theorem 4.2 disagreement: RCG free=%v but explicit deadlock found=%v (protocol domain %d)",
+				trial, rep.Free, explicitDeadlock, p.Domain())
+		}
+	}
+}
+
+func TestFormatCycle(t *testing.T) {
+	p := protocols.AgreementBase()
+	r := Build(p.Compile())
+	got := r.FormatCycle([]core.LocalState{0, 3})
+	if got != "<00, 11>" {
+		t.Fatalf("FormatCycle = %q", got)
+	}
+}
+
+func TestDeadlockGraphOnlyDeadlockVertices(t *testing.T) {
+	sys := protocols.MatchingA().Compile()
+	r := Build(sys)
+	dg := r.DeadlockGraph()
+	for _, e := range dg.Edges() {
+		if !sys.IsDeadlock[e[0]] || !sys.IsDeadlock[e[1]] {
+			t.Fatalf("edge %v touches a non-deadlock vertex", e)
+		}
+	}
+}

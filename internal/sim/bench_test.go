@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+)
+
+func BenchmarkRunRandomDaemon(b *testing.B) {
+	in := explicit.MustNewInstance(protocols.MatchingA(), 8)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := Run(in, RandomState(in, rng), Random{}, rng, Options{MaxSteps: 100000})
+		if !res.Converged && !res.Deadlocked {
+			b.Fatal("run neither converged nor deadlocked within budget")
+		}
+	}
+}
+
+func BenchmarkInjectFaults(b *testing.B) {
+	in := explicit.MustNewInstance(protocols.AgreementOneSided("t01"), 10, explicit.WithMaxStates(1<<20))
+	rng := rand.New(rand.NewSource(2))
+	legit := in.Encode([]int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InjectFaults(in, legit, 3, rng)
+	}
+}
+
+func BenchmarkContiguousRotation(b *testing.B) {
+	p := protocols.All()["coloring3"]
+	// Use the cyclic candidate protocol, which livelocks: rebuild it here.
+	_ = p
+	in := explicit.MustNewInstance(protocols.GoudaAcharya(), 6)
+	rng := rand.New(rand.NewSource(3))
+	// Find a contiguous single-enablement start: "lslsll" has one enabled.
+	start := in.Encode([]int{protocols.MatchLeft, protocols.MatchSelf, protocols.MatchLeft,
+		protocols.MatchSelf, protocols.MatchLeft, protocols.MatchLeft})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ContiguousRotation(in, start, 10000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paramring/internal/explicit"
+)
+
+// RotationStep records one snapshot of the Figure 7 schematic: the set of
+// enabled processes after each transition of a contiguous-livelock run.
+type RotationStep struct {
+	State   uint64
+	Enabled []int
+}
+
+// ContiguousRotation drives an instance along the canonical schedule of a
+// contiguous livelock (Figure 7): starting from a state whose |E| enabled
+// processes form one contiguous ring segment, the rightmost enablement of
+// the segment departs and propagates around the ring while the remaining
+// |E|-1 enablements stay put; after K-|E| propagations the segment re-forms
+// (rotated by one) and the scenario repeats. In between the re-formations
+// the enabled set is deliberately NOT contiguous — it is the parked segment
+// plus one traveler.
+//
+// It returns the per-step snapshots and whether the run revisited its
+// starting state (closing the livelock) within maxSteps. A run that reaches
+// a deadlock, loses an enablement, or whose propagation dies returns
+// closed=false with the snapshots so far.
+func ContiguousRotation(in *explicit.Instance, start uint64, maxSteps int, rng *rand.Rand) ([]RotationStep, bool, error) {
+	if maxSteps <= 0 {
+		maxSteps = 1000
+	}
+	k := in.K()
+	cur := start
+	enabled := in.EnabledProcesses(cur)
+	steps := []RotationStep{{State: cur, Enabled: enabled}}
+	if len(enabled) == 0 {
+		return steps, false, nil
+	}
+	if !IsContiguousSegment(k, enabled) {
+		return steps, false, fmt.Errorf("sim: initial enabled set %v is not one contiguous segment", enabled)
+	}
+	fire, err := rightmostOfSegment(k, enabled)
+	if err != nil {
+		return steps, false, err
+	}
+	for i := 0; i < maxSteps; i++ {
+		var choices []uint64
+		for _, t := range in.SuccessorsDetailed(cur) {
+			if t.Process == fire {
+				choices = append(choices, t.To)
+			}
+		}
+		if len(choices) == 0 {
+			return steps, false, fmt.Errorf("sim: process %d expected enabled but is not", fire)
+		}
+		cur = choices[rng.Intn(len(choices))]
+		en := in.EnabledProcesses(cur)
+		steps = append(steps, RotationStep{State: cur, Enabled: en})
+		if cur == start {
+			return steps, true, nil
+		}
+		if len(en) != len(enabled) {
+			// Lost an enablement: not a livelock schedule (Lemma 5.5).
+			return steps, false, nil
+		}
+		next := (fire + 1) % k
+		switch {
+		case IsContiguousSegment(k, en):
+			// Segment re-formed (traveler docked on its left); the new
+			// rightmost departs next.
+			fire, err = rightmostOfSegment(k, en)
+			if err != nil {
+				return steps, false, err
+			}
+		case containsInt(en, next):
+			// Keep traveling.
+			fire = next
+		default:
+			// Propagation died mid-ring: not a livelock.
+			return steps, false, nil
+		}
+	}
+	return steps, false, nil
+}
+
+// rightmostOfSegment finds the unique enabled process whose ring successor
+// is disabled. Errors when the enabled set is not one proper segment
+// (|E| == K means every execution collides — impossible inside a livelock
+// by Corollary 5.6).
+func rightmostOfSegment(k int, enabled []int) (int, error) {
+	if len(enabled) == k {
+		return 0, fmt.Errorf("sim: all %d processes enabled; any execution is a collision", k)
+	}
+	isEnabled := map[int]bool{}
+	for _, p := range enabled {
+		isEnabled[p] = true
+	}
+	candidates := []int{}
+	for _, p := range enabled {
+		if !isEnabled[(p+1)%k] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) != 1 {
+		return 0, fmt.Errorf("sim: enabled set %v is not one contiguous segment on a ring of %d", enabled, k)
+	}
+	return candidates[0], nil
+}
+
+// IsContiguousSegment reports whether the enabled set forms one contiguous
+// arc of the ring (the w1 shape of Lemma 5.12), counting wrap-around.
+func IsContiguousSegment(k int, enabled []int) bool {
+	if len(enabled) == 0 || len(enabled) == k {
+		return true
+	}
+	isEnabled := map[int]bool{}
+	for _, p := range enabled {
+		isEnabled[p] = true
+	}
+	// Exactly one boundary enabled->disabled means one segment.
+	boundaries := 0
+	for _, p := range enabled {
+		if !isEnabled[(p+1)%k] {
+			boundaries++
+		}
+	}
+	return boundaries == 1
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+// Package sim executes protocol instances under explicit schedulers
+// (daemons), injects transient faults, and instruments the enablement
+// dynamics that Section 5 of the paper reasons about: enablement
+// conservation (Lemma 5.5), collisions (Definition 5.4 / Corollary 5.6),
+// eventual disabling (Corollary 5.7) and the contiguous-livelock rotation of
+// Figure 7.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paramring/internal/explicit"
+)
+
+// Scheduler picks which enabled process executes next — the paper's
+// nondeterministic interleaving daemon made concrete.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Pick selects one element of enabled (non-empty, sorted ascending).
+	Pick(enabled []int, step int, rng *rand.Rand) int
+}
+
+// Random is the uniformly random daemon.
+type Random struct{}
+
+// Name implements Scheduler.
+func (Random) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (Random) Pick(enabled []int, _ int, rng *rand.Rand) int {
+	return enabled[rng.Intn(len(enabled))]
+}
+
+// RoundRobin cycles process indices 0..K-1, executing a process whenever it
+// is enabled at its turn (skipping disabled ones).
+type RoundRobin struct{ next int }
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (s *RoundRobin) Pick(enabled []int, _ int, _ *rand.Rand) int {
+	// Find the first enabled process >= next, wrapping.
+	best := enabled[0]
+	for _, p := range enabled {
+		if p >= s.next {
+			best = p
+			break
+		}
+	}
+	s.next = best + 1
+	return best
+}
+
+// Rightmost fires the highest-index enabled process; combined with contiguous
+// enablement segments it reproduces the Figure 7 rotation.
+type Rightmost struct{}
+
+// Name implements Scheduler.
+func (Rightmost) Name() string { return "rightmost" }
+
+// Pick implements Scheduler.
+func (Rightmost) Pick(enabled []int, _ int, _ *rand.Rand) int {
+	return enabled[len(enabled)-1]
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Converged is true when a state in I was reached within MaxSteps.
+	Converged bool
+	// Steps is the number of transitions executed before convergence (or
+	// MaxSteps when not converged).
+	Steps int
+	// Trace holds the visited states including start (recorded only when
+	// Options.RecordTrace).
+	Trace []uint64
+	// Procs holds the executing process per step (parallel to Trace[1:]).
+	Procs []int
+	// EnabledCounts holds |E| before each step plus after the final one.
+	EnabledCounts []int
+	// Collisions counts steps where the executing process's successor was
+	// enabled (Definition 5.4; only meaningful on unidirectional rings).
+	Collisions int
+	// Deadlocked is true when the run stopped in a deadlock outside I.
+	Deadlocked bool
+}
+
+// Options tunes Run.
+type Options struct {
+	// MaxSteps bounds the run (default 10000).
+	MaxSteps int
+	// RecordTrace retains the full state/process sequence.
+	RecordTrace bool
+	// StopInI stops as soon as I is reached (default true via NewOptions;
+	// zero value means stop-in-I for convenience).
+	ContinueInsideI bool
+}
+
+// Run executes the instance from start under the scheduler.
+func Run(in *explicit.Instance, start uint64, sched Scheduler, rng *rand.Rand, opts Options) Result {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 10000
+	}
+	res := Result{}
+	cur := start
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, cur)
+	}
+	for step := 0; step < opts.MaxSteps; step++ {
+		if in.InI(cur) && !opts.ContinueInsideI {
+			res.Converged = true
+			res.Steps = step
+			res.EnabledCounts = append(res.EnabledCounts, len(in.EnabledProcesses(cur)))
+			return res
+		}
+		enabled := in.EnabledProcesses(cur)
+		res.EnabledCounts = append(res.EnabledCounts, len(enabled))
+		if len(enabled) == 0 {
+			res.Steps = step
+			res.Deadlocked = !in.InI(cur)
+			res.Converged = in.InI(cur)
+			return res
+		}
+		p := sched.Pick(enabled, step, rng)
+		// Collision bookkeeping: successor of p is p+1 on a unidirectional
+		// ring; a collision is p executing while p+1 is enabled.
+		succ := (p + 1) % in.K()
+		for _, q := range enabled {
+			if q == succ && succ != p {
+				res.Collisions++
+				break
+			}
+		}
+		var choices []uint64
+		for _, t := range in.SuccessorsDetailed(cur) {
+			if t.Process == p {
+				choices = append(choices, t.To)
+			}
+		}
+		if len(choices) == 0 {
+			panic(fmt.Sprintf("sim: scheduler picked disabled process %d", p))
+		}
+		cur = choices[rng.Intn(len(choices))]
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, cur)
+		}
+		res.Procs = append(res.Procs, p)
+	}
+	res.Steps = opts.MaxSteps
+	res.Converged = in.InI(cur)
+	res.EnabledCounts = append(res.EnabledCounts, len(in.EnabledProcesses(cur)))
+	return res
+}
+
+// RandomState returns a uniformly random global state.
+func RandomState(in *explicit.Instance, rng *rand.Rand) uint64 {
+	return uint64(rng.Int63n(int64(in.NumStates())))
+}
+
+// InjectFaults corrupts `count` distinct randomly chosen process variables
+// of the given state with random values — the paper's transient-fault model
+// ("any network configuration" is reachable by faults).
+func InjectFaults(in *explicit.Instance, id uint64, count int, rng *rand.Rand) uint64 {
+	k := in.K()
+	if count > k {
+		count = k
+	}
+	vals := in.Decode(id)
+	perm := rng.Perm(k)
+	d := in.Protocol().Domain()
+	for _, r := range perm[:count] {
+		vals[r] = rng.Intn(d)
+	}
+	return in.Encode(vals)
+}
+
+// Stats aggregates repeated runs.
+type Stats struct {
+	Trials        int
+	Converged     int
+	Deadlocked    int
+	MeanSteps     float64
+	MaxSteps      int
+	MaxEnabled    int
+	AnyCollisions bool
+}
+
+// ConvergenceStats runs `trials` independent runs from random states.
+func ConvergenceStats(in *explicit.Instance, sched func() Scheduler, trials, maxSteps int, rng *rand.Rand) Stats {
+	var st Stats
+	st.Trials = trials
+	totalSteps := 0
+	for i := 0; i < trials; i++ {
+		res := Run(in, RandomState(in, rng), sched(), rng, Options{MaxSteps: maxSteps})
+		if res.Converged {
+			st.Converged++
+			totalSteps += res.Steps
+			if res.Steps > st.MaxSteps {
+				st.MaxSteps = res.Steps
+			}
+		}
+		if res.Deadlocked {
+			st.Deadlocked++
+		}
+		for _, e := range res.EnabledCounts {
+			if e > st.MaxEnabled {
+				st.MaxEnabled = e
+			}
+		}
+		if res.Collisions > 0 {
+			st.AnyCollisions = true
+		}
+	}
+	if st.Converged > 0 {
+		st.MeanSteps = float64(totalSteps) / float64(st.Converged)
+	}
+	return st
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+)
+
+func coloring3Cyclic(t *testing.T) *core.Protocol {
+	t.Helper()
+	enc := func(a, b int) core.LocalState { return core.Encode(core.View{a, b}, 3) }
+	p, err := core.NewFromTable(core.Config{
+		Name: "coloring3+cyc", Domain: 3, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return v[0] != v[1] },
+	}, []core.TableAction{
+		{Name: "t01", Moves: map[core.LocalState][]int{enc(0, 0): {1}}},
+		{Name: "t12", Moves: map[core.LocalState][]int{enc(1, 1): {2}}},
+		{Name: "t20", Moves: map[core.LocalState][]int{enc(2, 2): {0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunConvergesOneSidedAgreement(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementOneSided("t01"), 6)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		res := Run(in, RandomState(in, rng), Random{}, rng, Options{MaxSteps: 1000})
+		if !res.Converged {
+			t.Fatalf("trial %d: one-sided agreement must converge", trial)
+		}
+		if res.Deadlocked {
+			t.Fatal("no deadlock expected")
+		}
+	}
+}
+
+func TestRunSchedulers(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementOneSided("t10"), 5)
+	rng := rand.New(rand.NewSource(2))
+	for _, sched := range []Scheduler{Random{}, &RoundRobin{}, Rightmost{}} {
+		res := Run(in, in.Encode([]int{1, 0, 1, 0, 1}), sched, rng, Options{MaxSteps: 500, RecordTrace: true})
+		if !res.Converged {
+			t.Fatalf("%s: must converge", sched.Name())
+		}
+		if len(res.Trace) == 0 || len(res.Procs) != len(res.Trace)-1 {
+			t.Fatalf("%s: trace bookkeeping wrong", sched.Name())
+		}
+	}
+}
+
+// Lemma 5.5 empirically: on a unidirectional self-disabling instance, |E|
+// never increases along any computation.
+func TestEnablementNeverIncreasesUnidirectional(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []*core.Protocol{
+		protocols.AgreementBoth(),
+		protocols.SumNotTwoSolution(),
+		coloring3Cyclic(t),
+	} {
+		in := explicit.MustNewInstance(p, 6)
+		for trial := 0; trial < 40; trial++ {
+			res := Run(in, RandomState(in, rng), Random{}, rng,
+				Options{MaxSteps: 200, ContinueInsideI: true})
+			for i := 1; i < len(res.EnabledCounts); i++ {
+				if res.EnabledCounts[i] > res.EnabledCounts[i-1] {
+					t.Fatalf("%s: |E| increased from %d to %d at step %d",
+						p.Name(), res.EnabledCounts[i-1], res.EnabledCounts[i], i)
+				}
+			}
+		}
+	}
+}
+
+// Corollary 5.6 empirically: a collision strictly decreases |E|. (The paper
+// says "by 1", but a collision can drop |E| by 2 — the colliding write can
+// simultaneously disable the enabled successor — which only strengthens the
+// corollary: collisions cannot occur inside livelocks.)
+func TestCollisionsDecreaseEnablement(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementBoth(), 6)
+	rng := rand.New(rand.NewSource(4))
+	sawCollision := false
+	for trial := 0; trial < 60; trial++ {
+		cur := RandomState(in, rng)
+		for step := 0; step < 100; step++ {
+			enabled := in.EnabledProcesses(cur)
+			if len(enabled) == 0 {
+				break
+			}
+			p := enabled[rng.Intn(len(enabled))]
+			isEnabled := map[int]bool{}
+			for _, q := range enabled {
+				isEnabled[q] = true
+			}
+			collision := isEnabled[(p+1)%in.K()]
+			var choices []uint64
+			for _, tr := range in.SuccessorsDetailed(cur) {
+				if tr.Process == p {
+					choices = append(choices, tr.To)
+				}
+			}
+			next := choices[rng.Intn(len(choices))]
+			after := len(in.EnabledProcesses(next))
+			if collision {
+				sawCollision = true
+				if after >= len(enabled) {
+					t.Fatalf("collision by P%d did not decrease |E| (%d -> %d)", p, len(enabled), after)
+				}
+			}
+			cur = next
+		}
+	}
+	if !sawCollision {
+		t.Fatal("test never exercised a collision")
+	}
+}
+
+func TestInjectFaults(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementOneSided("t01"), 6)
+	rng := rand.New(rand.NewSource(5))
+	legit := in.Encode([]int{1, 1, 1, 1, 1, 1})
+	changed := false
+	for i := 0; i < 20; i++ {
+		faulty := InjectFaults(in, legit, 2, rng)
+		if faulty != legit {
+			changed = true
+			res := Run(in, faulty, Random{}, rng, Options{MaxSteps: 1000})
+			if !res.Converged {
+				t.Fatal("must recover from 2 faults")
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("fault injection never changed the state")
+	}
+	// count > K clamps.
+	if InjectFaults(in, legit, 100, rng) >= in.NumStates() {
+		t.Fatal("invalid state produced")
+	}
+}
+
+func TestConvergenceStats(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.SumNotTwoSolution(), 5)
+	rng := rand.New(rand.NewSource(6))
+	st := ConvergenceStats(in, func() Scheduler { return Random{} }, 100, 2000, rng)
+	if st.Converged != st.Trials {
+		t.Fatalf("sum-not-two solution: %d/%d converged", st.Converged, st.Trials)
+	}
+	if st.MeanSteps <= 0 && st.MaxSteps > 0 {
+		t.Fatal("stats inconsistent")
+	}
+	if st.Deadlocked != 0 {
+		t.Fatal("no deadlocks expected")
+	}
+}
+
+// Figure 7: the contiguous rotation on a livelocking instance keeps |E|
+// constant, keeps the enabled set contiguous, and closes the cycle.
+func TestContiguousLivelockRotation(t *testing.T) {
+	p := coloring3Cyclic(t)
+	in := explicit.MustNewInstance(p, 6)
+	rng := rand.New(rand.NewSource(7))
+	// c = (0,0,0,0,1,2): P1,P2,P3 enabled (predecessor equal), contiguous.
+	start := in.Encode([]int{0, 0, 0, 0, 1, 2})
+	enabled := in.EnabledProcesses(start)
+	if len(enabled) != 3 || !IsContiguousSegment(6, enabled) {
+		t.Fatalf("fixture wrong: enabled = %v", enabled)
+	}
+	steps, closed, err := ContiguousRotation(in, start, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed {
+		t.Fatal("contiguous run must close a livelock cycle")
+	}
+	for i, s := range steps {
+		if len(s.Enabled) != 3 {
+			t.Fatalf("step %d: |E| = %d, want constant 3 (Lemma 5.5)", i, len(s.Enabled))
+		}
+		// The segment re-forms exactly every K-|E| = 3 steps (Figure 7);
+		// in between it is segment-plus-traveler.
+		if i%3 == 0 && !IsContiguousSegment(6, s.Enabled) {
+			t.Fatalf("step %d: enabled %v should be contiguous at re-formation points", i, s.Enabled)
+		}
+		if in.InI(s.State) {
+			t.Fatalf("step %d: livelock state inside I", i)
+		}
+	}
+	// Corollary 5.7 empirically: no process is continuously enabled over a
+	// full period.
+	period := steps[:len(steps)-1]
+	for proc := 0; proc < 6; proc++ {
+		always := true
+		for _, s := range period {
+			found := false
+			for _, e := range s.Enabled {
+				if e == proc {
+					found = true
+				}
+			}
+			if !found {
+				always = false
+				break
+			}
+		}
+		if always {
+			t.Fatalf("process %d continuously enabled across the livelock period", proc)
+		}
+	}
+}
+
+func TestContiguousRotationStopsOnDeadlock(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementOneSided("t01"), 4)
+	rng := rand.New(rand.NewSource(8))
+	start := in.Encode([]int{1, 0, 0, 0}) // single enablement segment
+	steps, closed, err := ContiguousRotation(in, start, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed {
+		t.Fatal("converging protocol should not close a livelock")
+	}
+	last := steps[len(steps)-1]
+	if len(last.Enabled) != 0 {
+		t.Fatalf("expected termination in a deadlock, enabled=%v", last.Enabled)
+	}
+}
+
+func TestIsContiguousSegment(t *testing.T) {
+	cases := []struct {
+		k       int
+		enabled []int
+		want    bool
+	}{
+		{6, []int{1, 2, 3}, true},
+		{6, []int{5, 0, 1}, true}, // wraps
+		{6, []int{0, 2}, false},
+		{6, []int{}, true},
+		{4, []int{0, 1, 2, 3}, true},
+	}
+	for _, tc := range cases {
+		if got := IsContiguousSegment(tc.k, tc.enabled); got != tc.want {
+			t.Fatalf("IsContiguousSegment(%d, %v) = %v, want %v", tc.k, tc.enabled, got, tc.want)
+		}
+	}
+}
+
+func TestRoundRobinVisitsAllProcesses(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementBoth(), 4)
+	rng := rand.New(rand.NewSource(9))
+	res := Run(in, in.Encode([]int{1, 0, 1, 0}), &RoundRobin{}, rng,
+		Options{MaxSteps: 40, ContinueInsideI: true, RecordTrace: true})
+	seen := map[int]bool{}
+	for _, p := range res.Procs {
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("round robin visited only %v", seen)
+	}
+}
+
+// The adversarial daemon cannot defeat a strongly convergent protocol, and
+// its worst-case step count dominates the shortest-path recovery radius.
+func TestAdversaryCannotDefeatStabilizingProtocol(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.SumNotTwoSolution(), 5)
+	worst, ok := WorstCaseSteps(in, 10000)
+	if !ok {
+		t.Fatal("adversary defeated a strongly convergent protocol (impossible)")
+	}
+	radius, _, all := in.RecoveryRadius()
+	if !all {
+		t.Fatal("all states must reach I")
+	}
+	if worst < radius {
+		t.Fatalf("adversarial worst case %d below shortest-path radius %d", worst, radius)
+	}
+	t.Logf("shortest-path radius %d, adversarial worst case %d", radius, worst)
+}
+
+// Against agreement-both the adversary finds the livelock: some start never
+// converges.
+func TestAdversaryFindsLivelock(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementBoth(), 4)
+	_, ok := WorstCaseSteps(in, 500)
+	if ok {
+		t.Fatal("adversary must be able to keep agreement-both out of I forever")
+	}
+}
+
+func TestAdversaryRunFromLegitimate(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementOneSided("t01"), 4)
+	adv := NewAdversary(in)
+	steps, converged := adv.Run(in.Encode([]int{1, 1, 1, 1}), 100)
+	if !converged || steps != 0 {
+		t.Fatalf("legitimate start: steps=%d converged=%v", steps, converged)
+	}
+}

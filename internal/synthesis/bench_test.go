@@ -1,0 +1,33 @@
+package synthesis
+
+import (
+	"testing"
+
+	"paramring/internal/protocols"
+)
+
+func BenchmarkSynthesizeFirst(b *testing.B) {
+	for _, name := range []string{"agreement", "sum-not-two"} {
+		p := protocols.All()[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Synthesize(p, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSynthesizeAll(b *testing.B) {
+	for _, name := range []string{"agreement", "coloring3", "sum-not-two"} {
+		p := protocols.All()[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = Synthesize(p, Options{All: true}) // coloring3 fails by design
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package synthesis
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/protogen"
+)
+
+// The synthesis output contract (Problem 3.1) on random inputs: whenever
+// the methodology accepts, the synthesized protocol must (1) keep I
+// unchanged, (2) keep Delta|I unchanged and closed, and (3) strongly
+// converge — for every sampled ring size. Failures to synthesize are fine
+// (the methodology is incomplete); wrong acceptances are not.
+func TestSynthesisContractRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1203))
+	accepted, failed := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		// Random action-free unidirectional protocol: a random locally
+		// conjunctive legitimate predicate over (x_{r-1}, x_r). Closure is
+		// trivial (no actions).
+		base := protogen.Random(rng, protogen.Options{MovePercent: 1})
+		if len(base.Compile().Trans) > 0 {
+			// Rare: drop trials that generated actions, to keep closure
+			// trivially true for arbitrary random legitimacy bits.
+			continue
+		}
+		res, err := Synthesize(base, Options{})
+		if err != nil {
+			if errors.Is(err, ErrNoSolution) {
+				failed++
+				continue
+			}
+			// Resolve infeasibility (e.g. no candidate targets) is also a
+			// legitimate failure mode for random inputs.
+			failed++
+			continue
+		}
+		accepted++
+		cand := res.Best()
+		for _, k := range []int{2, 3, 4, 5} {
+			inB, err := explicit.NewInstance(base, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inS, err := explicit.NewInstance(cand.Protocol, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inS.CheckClosure() != nil {
+				t.Fatalf("trial %d K=%d: closure broken", trial, k)
+			}
+			for id := uint64(0); id < inB.NumStates(); id++ {
+				if !inB.InI(id) {
+					continue
+				}
+				if len(inS.Successors(id)) != len(inB.Successors(id)) {
+					t.Fatalf("trial %d K=%d: Delta|I changed at %s", trial, k, inB.Format(id))
+				}
+			}
+			if !inS.CheckStrongConvergence().Converges {
+				t.Fatalf("trial %d K=%d: accepted protocol does not converge", trial, k)
+			}
+		}
+	}
+	if accepted < 15 || failed < 15 {
+		t.Fatalf("distribution too skewed: accepted=%d failed=%d", accepted, failed)
+	}
+}
+
+// Accepted solutions resolve exactly the Resolve set: each resolved state
+// gains outgoing transitions, every other local deadlock stays deadlocked.
+func TestSynthesisResolvesExactlyResolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	checked := 0
+	for trial := 0; trial < 80 && checked < 25; trial++ {
+		base := protogen.Random(rng, protogen.Options{Domain: 3, MovePercent: 1})
+		if len(base.Compile().Trans) > 0 {
+			continue
+		}
+		res, err := Synthesize(base, Options{})
+		if err != nil {
+			continue
+		}
+		checked++
+		cand := res.Best()
+		baseSys := base.Compile()
+		ssSys := cand.Protocol.Compile()
+		inResolve := map[core.LocalState]bool{}
+		for _, s := range cand.Resolve {
+			inResolve[s] = true
+		}
+		for _, d := range baseSys.Deadlocks {
+			if inResolve[d] {
+				if ssSys.IsDeadlock[d] {
+					t.Fatalf("trial %d: resolved state %s still deadlocked", trial, base.FormatState(d))
+				}
+			} else if !ssSys.IsDeadlock[d] {
+				t.Fatalf("trial %d: unresolved deadlock %s gained transitions", trial, base.FormatState(d))
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("too few successful syntheses: %d", checked)
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace renders computations, livelock cycles and experiment tables
+// as text — the presentation layer for the CLI tools and the
+// figure-regeneration harness.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"paramring/internal/explicit"
+)
+
+// Computation is a sequence of global states, optionally annotated with the
+// executing process per step.
+type Computation struct {
+	In     *explicit.Instance
+	States []uint64
+	// Procs[i] executed the transition States[i] -> States[i+1]; may be nil.
+	Procs []int
+}
+
+// String renders "1000 -P1-> 1100 -P0-> 0100" (paper Example 5.2 style).
+func (c Computation) String() string {
+	var b strings.Builder
+	for i, s := range c.States {
+		if i > 0 {
+			if c.Procs != nil && i-1 < len(c.Procs) {
+				fmt.Fprintf(&b, " -P%d-> ", c.Procs[i-1])
+			} else {
+				b.WriteString(" -> ")
+			}
+		}
+		b.WriteString(c.In.Format(s))
+	}
+	return b.String()
+}
+
+// IsCycle reports whether the last state transitions back to the first.
+func (c Computation) IsCycle() bool {
+	if len(c.States) < 1 {
+		return false
+	}
+	return c.In.HasTransition(c.States[len(c.States)-1], c.States[0])
+}
+
+// Table is a minimal text table writer for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

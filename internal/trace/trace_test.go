@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+)
+
+func TestComputationString(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementBoth(), 4)
+	c := Computation{
+		In: in,
+		States: []uint64{
+			in.Encode([]int{1, 0, 0, 0}),
+			in.Encode([]int{1, 1, 0, 0}),
+		},
+		Procs: []int{1},
+	}
+	got := c.String()
+	if got != "1000 -P1-> 1100" {
+		t.Fatalf("String = %q", got)
+	}
+	c.Procs = nil
+	if c.String() != "1000 -> 1100" {
+		t.Fatalf("String without procs = %q", c.String())
+	}
+}
+
+func TestComputationIsCycle(t *testing.T) {
+	in := explicit.MustNewInstance(protocols.AgreementBoth(), 4)
+	states := [][]int{
+		{1, 0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0, 0}, {0, 1, 1, 0},
+		{0, 1, 1, 1}, {0, 0, 1, 1}, {1, 0, 1, 1}, {1, 0, 0, 1},
+	}
+	c := Computation{In: in}
+	for _, s := range states {
+		c.States = append(c.States, in.Encode(s))
+	}
+	if !c.IsCycle() {
+		t.Fatal("the paper's livelock must be a cycle")
+	}
+	c.States = c.States[:3]
+	if c.IsCycle() {
+		t.Fatal("prefix is not a cycle")
+	}
+	if (Computation{In: in}).IsCycle() {
+		t.Fatal("empty computation is not a cycle")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("K", "verdict")
+	tb.AddRow(4, true)
+	tb.AddRow(12, "free")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "K ") || !strings.Contains(lines[0], "verdict") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "4") || !strings.Contains(lines[3], "free") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+}

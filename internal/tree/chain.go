@@ -1,0 +1,184 @@
+package tree
+
+import (
+	"fmt"
+
+	"paramring/internal/core"
+)
+
+// Chain is the explicit-state oracle for tree specs: a rooted path (chain)
+// of n processes instantiated concretely. Chains are complete witnesses for
+// the tree deadlock theorem — any deadlocked tree yields a deadlocked chain
+// by restriction to a root-to-corrupt-node path — so validating against
+// chains validates the all-trees verdict.
+type Chain struct {
+	spec *Spec
+	n    int
+	d    int
+	pow  []uint64
+	size uint64
+}
+
+// NewChain instantiates the spec on a path of n >= 1 nodes (node 0 is the
+// root; node i's parent is node i-1).
+func NewChain(spec *Spec, n int) (*Chain, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tree: chain needs at least one node, got %d", n)
+	}
+	d := spec.Rep.Domain()
+	c := &Chain{spec: spec, n: n, d: d}
+	c.size = 1
+	c.pow = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		c.pow[i] = c.size
+		c.size *= uint64(d)
+		if c.size > 1<<24 {
+			return nil, fmt.Errorf("tree: chain state space too large (%d^%d)", d, n)
+		}
+	}
+	return c, nil
+}
+
+// NumStates returns d^n.
+func (c *Chain) NumStates() uint64 { return c.size }
+
+// Decode unpacks a state code.
+func (c *Chain) Decode(id uint64) []int {
+	vals := make([]int, c.n)
+	for i := 0; i < c.n; i++ {
+		vals[i] = int(id % uint64(c.d))
+		id /= uint64(c.d)
+	}
+	return vals
+}
+
+// Encode packs node values.
+func (c *Chain) Encode(vals []int) uint64 {
+	if len(vals) != c.n {
+		panic(fmt.Sprintf("tree: %d values for chain of %d", len(vals), c.n))
+	}
+	var id uint64
+	for i, v := range vals {
+		id += uint64(v) * c.pow[i]
+	}
+	return id
+}
+
+// InI evaluates the tree legitimate predicate: root LC plus every non-root
+// node's LC over (parent, self).
+func (c *Chain) InI(id uint64) bool {
+	vals := c.Decode(id)
+	if !c.spec.RootLegit(vals[0]) {
+		return false
+	}
+	for i := 1; i < c.n; i++ {
+		if !c.spec.Rep.LegitimateView(core.View{vals[i-1], vals[i]}) {
+			return false
+		}
+	}
+	return true
+}
+
+// Successors enumerates the outgoing global transitions of id.
+func (c *Chain) Successors(id uint64) []uint64 {
+	vals := c.Decode(id)
+	var out []uint64
+	// Root.
+	rootView := core.View{vals[0]}
+	for _, a := range c.spec.RootActions {
+		if !a.Guard(rootView) {
+			continue
+		}
+		for _, nv := range a.Next(rootView) {
+			out = append(out, id+uint64(nv)*c.pow[0]-uint64(vals[0])*c.pow[0])
+		}
+	}
+	// Non-root nodes.
+	for i := 1; i < c.n; i++ {
+		view := core.View{vals[i-1], vals[i]}
+		for _, a := range c.spec.Rep.Actions() {
+			if !a.Guard(view) {
+				continue
+			}
+			for _, nv := range a.Next(view) {
+				out = append(out, id+uint64(nv)*c.pow[i]-uint64(vals[i])*c.pow[i])
+			}
+		}
+	}
+	return out
+}
+
+// IsDeadlock reports that no node is enabled.
+func (c *Chain) IsDeadlock(id uint64) bool { return len(c.Successors(id)) == 0 }
+
+// IllegitimateDeadlocks enumerates global deadlocks outside I.
+func (c *Chain) IllegitimateDeadlocks() []uint64 {
+	var out []uint64
+	for id := uint64(0); id < c.size; id++ {
+		if !c.InI(id) && c.IsDeadlock(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// HasLivelock reports whether the transition graph restricted to states
+// outside I contains a cycle (iterative DFS 3-coloring).
+func (c *Chain) HasLivelock() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, c.size)
+	type frame struct {
+		v    uint64
+		succ []uint64
+		next int
+	}
+	for root := uint64(0); root < c.size; root++ {
+		if color[root] != white || c.InI(root) {
+			continue
+		}
+		stack := []frame{{v: root}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.succ == nil {
+				f.succ = c.Successors(f.v)
+			}
+			advanced := false
+			for f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if c.InI(w) {
+					continue
+				}
+				switch color[w] {
+				case gray:
+					return true
+				case white:
+					color[w] = gray
+					stack = append(stack, frame{v: w})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// StronglyConverges decides Proposition 2.1 on the chain.
+func (c *Chain) StronglyConverges() bool {
+	return len(c.IllegitimateDeadlocks()) == 0 && !c.HasLivelock()
+}

@@ -1,0 +1,133 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"paramring/internal/core"
+)
+
+// Synthesis for trees. Because self-disabling top-down tree protocols can
+// never livelock (see the package comment), adding convergence reduces to
+// deadlock repair: give every illegitimate local deadlock that is reachable
+// below a deadlocked root a self-disabling escape transition, and similarly
+// repair illegitimate root deadlocks. No NPL/PL search, no candidate
+// backtracking — the acyclic topology removes the hard part of the ring
+// methodology, which is exactly why the paper calls rings "especially
+// challenging".
+
+// SynthesisResult is the outcome of Synthesize.
+type SynthesisResult struct {
+	// Spec is the revised, stabilizing specification.
+	Spec *Spec
+	// Chosen are the added non-root local transitions.
+	Chosen []core.LocalTransition
+	// RootChosen are the added root transitions (old value -> new value).
+	RootChosen [][2]int
+	// Steps is a human-readable narrative.
+	Steps []string
+}
+
+// Synthesize adds convergence to a tree spec: after it, the spec is
+// strongly self-stabilizing over ALL rooted trees (given closure of the
+// input predicates, which holds trivially for action-free inputs).
+//
+// It fails when some illegitimate deadlock has no self-disabling escape —
+// e.g. when every alternative own-value is itself illegitimate and enabled.
+func Synthesize(s *Spec, actionName string) (*SynthesisResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if actionName == "" {
+		actionName = "conv"
+	}
+	sys := s.Rep.Compile()
+	if !sys.IsSelfDisabling() {
+		return nil, fmt.Errorf("tree: base protocol %q has self-enabling transitions", s.Rep.Name())
+	}
+	d := s.Rep.Domain()
+	res := &SynthesisResult{}
+	logf := func(format string, args ...any) {
+		res.Steps = append(res.Steps, fmt.Sprintf(format, args...))
+	}
+
+	// Root repair: every illegitimate root deadlock moves to a legitimate
+	// root-deadlock value.
+	rootMoves := map[core.LocalState][]int{}
+	for v := 0; v < d; v++ {
+		if !s.rootDeadlocked(v) || s.RootLegit(v) {
+			continue
+		}
+		target := -1
+		for nv := 0; nv < d; nv++ {
+			if nv != v && s.rootDeadlocked(nv) && s.RootLegit(nv) {
+				target = nv
+				break
+			}
+		}
+		if target < 0 {
+			return nil, fmt.Errorf("tree: root value %d has no legitimate deadlocked escape", v)
+		}
+		rootMoves[core.LocalState(v)] = []int{target}
+		res.RootChosen = append(res.RootChosen, [2]int{v, target})
+	}
+	logf("root repair: %d illegitimate root deadlock(s) resolved", len(res.RootChosen))
+
+	// Non-root repair: every illegitimate local deadlock escapes to a
+	// local deadlock outside the resolved set. Resolve ALL illegitimate
+	// deadlocks (reachability on trees means any of them can occur below a
+	// deadlocked root unless proven otherwise; resolving all is always
+	// safe and keeps the construction simple).
+	resolve := map[core.LocalState]bool{}
+	for _, st := range sys.IllegitimateDeadlocks() {
+		resolve[st] = true
+	}
+	moves := map[core.LocalState][]int{}
+	var resolved []core.LocalState
+	for st := range resolve {
+		resolved = append(resolved, st)
+	}
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i] < resolved[j] })
+	for _, st := range resolved {
+		view := s.Rep.Decode(st)
+		own := s.Rep.OwnIndex()
+		target := core.LocalState(-1)
+		for nv := 0; nv < d; nv++ {
+			if nv == view[own] {
+				continue
+			}
+			dst := make(core.View, len(view))
+			copy(dst, view)
+			dst[own] = nv
+			code := s.Rep.Encode(dst)
+			if sys.IsDeadlock[code] && !resolve[code] {
+				target = code
+				break
+			}
+		}
+		if target < 0 {
+			return nil, fmt.Errorf("tree: local deadlock %s has no self-disabling escape", s.Rep.FormatState(st))
+		}
+		moves[st] = []int{sys.OwnValue(target)}
+		res.Chosen = append(res.Chosen, core.LocalTransition{Src: st, Dst: target, Action: actionName})
+	}
+	logf("non-root repair: %d illegitimate local deadlock(s) resolved", len(res.Chosen))
+
+	ta := core.TableAction{Name: actionName, Moves: moves}
+	rep := s.Rep.WithActions(s.Rep.Name()+"/ss", ta.Action(d))
+	rootTA := core.TableAction{Name: actionName + "-root", Moves: rootMoves}
+	rootActions := append(append([]core.Action(nil), s.RootActions...), rootTA.Action(d))
+
+	res.Spec = &Spec{Rep: rep, RootActions: rootActions, RootLegit: s.RootLegit}
+
+	// Re-verify: deadlock-freedom over all trees plus self-disablement.
+	ok, dl, err := res.Spec.StabilizingForAllTrees()
+	if err != nil {
+		return nil, fmt.Errorf("tree: re-verification: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("tree: revision is not stabilizing (deadlock-free=%v)", dl.Free)
+	}
+	logf("re-verified: stabilizing over all rooted trees")
+	return res, nil
+}

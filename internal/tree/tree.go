@@ -1,0 +1,251 @@
+// Package tree extends the paper's local-reasoning machinery from rings to
+// rooted trees — the first item on the paper's future-work list (Section 8),
+// anticipated by the Section 4 remark that "our definition of continuation
+// relation naturally extends to network topologies other than rings".
+//
+// Model: a parameterized top-down tree protocol. Every non-root process
+// owns x over a finite domain and reads (x_parent, x_self) — the window
+// [-1, 0] of the ring model reinterpreted with "left neighbor" = parent.
+// The root is distinguished: it reads only x_root and runs its own actions;
+// its legitimacy predicate constrains x_root alone. The protocol is
+// parameterized over ALL rooted trees of every shape and size.
+//
+// Two results, both strictly easier than their ring counterparts because
+// trees are acyclic (the paper: "some researchers consider acyclic
+// topologies for compositional design of self-stabilization"):
+//
+//   - Deadlock-freedom (analog of Theorem 4.2, necessary and sufficient):
+//     a global deadlock outside I exists in SOME tree iff the root can be
+//     deadlocked in an illegitimate value, or an illegitimate non-root
+//     local deadlock is reachable from a root-deadlock value through the
+//     continuation relation restricted to local deadlocks. Reachability
+//     replaces the ring's cycle condition: a witness tree is simply the
+//     path (chain) spelled by the walk.
+//
+//   - Livelock-freedom (no ring analog needed): every self-disabling
+//     top-down tree protocol is livelock-free on every tree, uncondition-
+//     ally. Proof by induction on depth: the root's local state never
+//     changes after its (at most one, by self-disablement) step, so each
+//     depth-1 process sees a fixed parent value and is self-terminating,
+//     and so on down the tree — total work is finite, so no computation is
+//     infinite. This makes *deadlock*-freedom the whole story on trees,
+//     which is why 2-coloring — impossible on unidirectional rings
+//     (Figure 11) — stabilizes on all trees (see the package tests).
+package tree
+
+import (
+	"errors"
+	"fmt"
+
+	"paramring/internal/core"
+	"paramring/internal/graph"
+)
+
+// Spec is a parameterized rooted-tree protocol.
+type Spec struct {
+	// Rep is the representative non-root process; its window must be
+	// [-1, 0] (parent, self).
+	Rep *core.Protocol
+	// RootActions are the distinguished root's guarded commands over the
+	// one-variable view [x_root].
+	RootActions []core.Action
+	// RootLegit is the root's legitimacy predicate over x_root.
+	RootLegit func(x int) bool
+}
+
+// Validate checks the spec's shape.
+func (s *Spec) Validate() error {
+	if s.Rep == nil {
+		return errors.New("tree: representative protocol is required")
+	}
+	lo, hi := s.Rep.Window()
+	if lo != -1 || hi != 0 {
+		return fmt.Errorf("tree: representative window must be [-1,0], got [%d,%d]", lo, hi)
+	}
+	if s.RootLegit == nil {
+		return errors.New("tree: root legitimacy predicate is required")
+	}
+	for i, a := range s.RootActions {
+		if a.Guard == nil || a.Next == nil {
+			return fmt.Errorf("tree: root action %d (%q) missing Guard or Next", i, a.Name)
+		}
+	}
+	return nil
+}
+
+// rootDeadlocked reports whether the root is deadlocked at value v.
+func (s *Spec) rootDeadlocked(v int) bool {
+	view := core.View{v}
+	for _, a := range s.RootActions {
+		if a.Guard(view) && len(a.Next(view)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RootTransitions compiles the root's explicit transition list.
+func (s *Spec) RootTransitions() []core.LocalTransition {
+	var out []core.LocalTransition
+	d := s.Rep.Domain()
+	for v := 0; v < d; v++ {
+		view := core.View{v}
+		for _, a := range s.RootActions {
+			if !a.Guard(view) {
+				continue
+			}
+			for _, nv := range a.Next(view) {
+				out = append(out, core.LocalTransition{
+					Src: core.LocalState(v), Dst: core.LocalState(nv), Action: a.Name,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DeadlockReport is the verdict of CheckDeadlockFreedom over all trees.
+type DeadlockReport struct {
+	// Free means no tree of any shape has a global deadlock outside I.
+	Free bool
+	// RootWitness, when set, is an illegitimate root value at which the
+	// root alone deadlocks (a one-node witness tree).
+	RootWitness *int
+	// PathWitness, when non-empty, is a chain witness: element 0 is the
+	// root's value, the rest are the non-root values down the path; the
+	// final node is an illegitimate local deadlock.
+	PathWitness []int
+}
+
+// CheckDeadlockFreedom decides deadlock-freedom outside I over ALL rooted
+// trees (necessary and sufficient; the tree analog of Theorem 4.2).
+func (s *Spec) CheckDeadlockFreedom() (DeadlockReport, error) {
+	if err := s.Validate(); err != nil {
+		return DeadlockReport{}, err
+	}
+	var rep DeadlockReport
+	sys := s.Rep.Compile()
+	d := s.Rep.Domain()
+
+	// Case (a): the root alone is a deadlocked illegitimate tree.
+	for v := 0; v < d; v++ {
+		if s.rootDeadlocked(v) && !s.RootLegit(v) {
+			vv := v
+			rep.RootWitness = &vv
+			return rep, nil
+		}
+	}
+
+	// Case (b): BFS over non-root local deadlocks. A non-root state (p, x)
+	// can hang below a deadlocked root value v iff p == v; a state (x, y)
+	// can hang below state (p, x) (shared variable x). Searching for a
+	// reachable illegitimate local deadlock; parent pointers give the
+	// witness chain.
+	type node struct {
+		state  core.LocalState
+		parent int // index into order; -1 for first level
+		rootV  int
+	}
+	var order []node
+	seen := map[core.LocalState]bool{}
+	push := func(st core.LocalState, parent, rootV int) {
+		if seen[st] {
+			return
+		}
+		seen[st] = true
+		order = append(order, node{state: st, parent: parent, rootV: rootV})
+	}
+	for v := 0; v < d; v++ {
+		if !s.rootDeadlocked(v) {
+			continue
+		}
+		for x := 0; x < d; x++ {
+			st := core.Encode(core.View{v, x}, d)
+			if sys.IsDeadlock[st] {
+				push(st, -1, v)
+			}
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		cur := order[i]
+		view := s.Rep.Decode(cur.state)
+		if !sys.Legit[cur.state] {
+			// Reconstruct the chain.
+			var chainRev []int
+			for j := i; j != -1; j = order[j].parent {
+				chainRev = append(chainRev, s.Rep.Decode(order[j].state)[1])
+			}
+			chain := []int{cur.rootV}
+			for j := len(chainRev) - 1; j >= 0; j-- {
+				chain = append(chain, chainRev[j])
+			}
+			rep.PathWitness = chain
+			return rep, nil
+		}
+		// Children: states (view[1], y).
+		for y := 0; y < d; y++ {
+			st := core.Encode(core.View{view[1], y}, d)
+			if sys.IsDeadlock[st] {
+				push(st, i, cur.rootV)
+			}
+		}
+	}
+	rep.Free = true
+	return rep, nil
+}
+
+// CheckLivelockFreedom decides livelock-freedom over all trees: it holds
+// unconditionally for self-disabling specs (see the package comment for the
+// depth-induction argument). Non-self-disabling specs are rejected, exactly
+// as in the ring checker — and for the same reason: the chain-collapse
+// transformation does not preserve livelocks.
+func (s *Spec) CheckLivelockFreedom() (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	sys := s.Rep.Compile()
+	if !sys.IsSelfDisabling() {
+		return false, fmt.Errorf("tree: representative process has self-enabling transitions (e.g. %s)",
+			sys.FormatTransition(sys.SelfEnabling()[0]))
+	}
+	// Root self-disablement: every root transition must land in a root
+	// deadlock value.
+	for _, t := range s.RootTransitions() {
+		if !s.rootDeadlocked(int(t.Dst)) {
+			return false, fmt.Errorf("tree: root action %q is self-enabling (value %d -> %d)", t.Action, t.Src, t.Dst)
+		}
+	}
+	return true, nil
+}
+
+// StabilizingForAllTrees combines both checks: closure is assumed (the
+// caller's LC must be closed, as in Problem 3.1), deadlock-freedom comes
+// from the continuation analysis, livelock-freedom from self-disablement.
+func (s *Spec) StabilizingForAllTrees() (bool, DeadlockReport, error) {
+	dl, err := s.CheckDeadlockFreedom()
+	if err != nil {
+		return false, dl, err
+	}
+	ll, err := s.CheckLivelockFreedom()
+	if err != nil {
+		return false, dl, err
+	}
+	return dl.Free && ll, dl, nil
+}
+
+// ContinuationGraph exposes the parent-to-child continuation relation over
+// the non-root local states (for rendering and analysis): an arc
+// (p,x) -> (x,y) for all p, x, y.
+func (s *Spec) ContinuationGraph() *graph.Digraph {
+	d := s.Rep.Domain()
+	g := graph.New(d * d)
+	for p := 0; p < d; p++ {
+		for x := 0; x < d; x++ {
+			src := int(core.Encode(core.View{p, x}, d))
+			for y := 0; y < d; y++ {
+				g.AddEdge(src, int(core.Encode(core.View{x, y}, d)))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,432 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+)
+
+// treeColoring builds top-down m-coloring on trees: LC is "child differs
+// from parent", the root is always legitimate, and a clashing child bumps
+// its color. This is the tree counterpart of the paper's ring coloring — and
+// unlike the unidirectional ring (Figure 11), 2-coloring works here.
+func treeColoring(t testing.TB, m int) *Spec {
+	t.Helper()
+	rep, err := core.New(core.Config{
+		Name:   "tree-coloring",
+		Domain: m,
+		Lo:     -1,
+		Hi:     0,
+		Actions: []core.Action{{
+			Name:  "bump",
+			Guard: func(v core.View) bool { return v[0] == v[1] },
+			Next:  func(v core.View) []int { return []int{(v[1] + 1) % m} },
+		}},
+		Legit: func(v core.View) bool { return v[0] != v[1] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Spec{
+		Rep:       rep,
+		RootLegit: func(x int) bool { return true },
+	}
+}
+
+// treeAgreement: every node copies its parent; stabilizes to all-equal.
+func treeAgreement(t testing.TB) *Spec {
+	t.Helper()
+	rep, err := core.New(core.Config{
+		Name:   "tree-agreement",
+		Domain: 2,
+		Lo:     -1,
+		Hi:     0,
+		Actions: []core.Action{{
+			Name:  "copy",
+			Guard: func(v core.View) bool { return v[0] != v[1] },
+			Next:  func(v core.View) []int { return []int{v[0]} },
+		}},
+		Legit: func(v core.View) bool { return v[0] == v[1] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Spec{Rep: rep, RootLegit: func(x int) bool { return true }}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Spec{}).Validate(); err == nil {
+		t.Fatal("empty spec must fail")
+	}
+	badWindow := core.MustNew(core.Config{
+		Name: "w", Domain: 2, Lo: -1, Hi: 1,
+		Legit: func(v core.View) bool { return true },
+	})
+	if err := (&Spec{Rep: badWindow, RootLegit: func(int) bool { return true }}).Validate(); err == nil {
+		t.Fatal("window [-1,1] must fail")
+	}
+	s := treeColoring(t, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.RootActions = []core.Action{{Name: "broken"}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("nil-guard root action must fail")
+	}
+}
+
+// 2-coloring stabilizes on ALL trees — impossible on unidirectional rings.
+func TestTwoColoringStabilizesOnAllTrees(t *testing.T) {
+	s := treeColoring(t, 2)
+	ok, rep, err := s.StabilizingForAllTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !rep.Free {
+		t.Fatalf("tree 2-coloring must stabilize for all trees: %+v", rep)
+	}
+	// Cross-validate on chains of several lengths.
+	for n := 1; n <= 6; n++ {
+		c, err := NewChain(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.StronglyConverges() {
+			t.Fatalf("chain n=%d does not converge", n)
+		}
+	}
+}
+
+func TestThreeColoringStabilizesOnAllTrees(t *testing.T) {
+	s := treeColoring(t, 3)
+	ok, _, err := s.StabilizingForAllTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tree 3-coloring must stabilize")
+	}
+}
+
+func TestAgreementStabilizesOnAllTrees(t *testing.T) {
+	s := treeAgreement(t)
+	ok, _, err := s.StabilizingForAllTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tree agreement must stabilize")
+	}
+	for n := 2; n <= 6; n++ {
+		c, err := NewChain(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.StronglyConverges() {
+			t.Fatalf("chain n=%d does not converge", n)
+		}
+	}
+}
+
+func TestEmptyProtocolHasPathWitness(t *testing.T) {
+	rep := core.MustNew(core.Config{
+		Name: "empty", Domain: 2, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return v[0] != v[1] },
+	})
+	s := &Spec{Rep: rep, RootLegit: func(int) bool { return true }}
+	dl, err := s.CheckDeadlockFreedom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Free {
+		t.Fatal("empty coloring must deadlock on some tree")
+	}
+	if dl.PathWitness == nil {
+		t.Fatalf("expected a path witness, got %+v", dl)
+	}
+	// Validate the witness chain explicitly.
+	c, err := NewChain(s, len(dl.PathWitness))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.Encode(dl.PathWitness)
+	if !c.IsDeadlock(id) || c.InI(id) {
+		t.Fatalf("witness %v is not an illegitimate global deadlock", dl.PathWitness)
+	}
+}
+
+func TestRootWitness(t *testing.T) {
+	rep := core.MustNew(core.Config{
+		Name: "rootbad", Domain: 2, Lo: -1, Hi: 0,
+		Actions: []core.Action{{
+			Name:  "fix",
+			Guard: func(v core.View) bool { return v[0] == v[1] },
+			Next:  func(v core.View) []int { return []int{1 - v[1]} },
+		}},
+		Legit: func(v core.View) bool { return v[0] != v[1] },
+	})
+	// Root with no actions and RootLegit false at value 1: the root alone
+	// is an illegitimate deadlocked tree.
+	s := &Spec{Rep: rep, RootLegit: func(x int) bool { return x == 0 }}
+	dl, err := s.CheckDeadlockFreedom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Free || dl.RootWitness == nil || *dl.RootWitness != 1 {
+		t.Fatalf("expected root witness 1, got %+v", dl)
+	}
+}
+
+func TestLivelockFreedomRejectsSelfEnabling(t *testing.T) {
+	rep := core.MustNew(core.Config{
+		Name: "selfen", Domain: 2, Lo: -1, Hi: 0,
+		Actions: []core.Action{{
+			Name:  "flip",
+			Guard: func(v core.View) bool { return true },
+			Next:  func(v core.View) []int { return []int{1 - v[1]} },
+		}},
+		Legit: func(v core.View) bool { return v[0] == v[1] },
+	})
+	s := &Spec{Rep: rep, RootLegit: func(int) bool { return true }}
+	if _, err := s.CheckLivelockFreedom(); err == nil {
+		t.Fatal("self-enabling rep must be rejected")
+	}
+}
+
+func TestLivelockFreedomRejectsSelfEnablingRoot(t *testing.T) {
+	s := treeColoring(t, 2)
+	s.RootActions = []core.Action{{
+		Name:  "spin",
+		Guard: func(v core.View) bool { return true },
+		Next:  func(v core.View) []int { return []int{1 - v[0]} },
+	}}
+	if _, err := s.CheckLivelockFreedom(); err == nil {
+		t.Fatal("self-enabling root must be rejected")
+	}
+}
+
+func TestRootTransitionsAndContinuationGraph(t *testing.T) {
+	s := treeColoring(t, 2)
+	s.RootActions = []core.Action{{
+		Name:  "toZero",
+		Guard: func(v core.View) bool { return v[0] == 1 },
+		Next:  func(v core.View) []int { return []int{0} },
+	}}
+	ts := s.RootTransitions()
+	if len(ts) != 1 || ts[0].Src != 1 || ts[0].Dst != 0 {
+		t.Fatalf("root transitions = %v", ts)
+	}
+	g := s.ContinuationGraph()
+	// (p,x) -> (x,y): 4 states, each with 2 children states = 8 arcs.
+	if g.M() != 8 {
+		t.Fatalf("continuation arcs = %d, want 8", g.M())
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	s := treeColoring(t, 2)
+	if _, err := NewChain(s, 0); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := NewChain(s, 40); err == nil {
+		t.Fatal("oversized chain must fail")
+	}
+	c, err := NewChain(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 8 {
+		t.Fatalf("NumStates = %d", c.NumStates())
+	}
+	for id := uint64(0); id < c.NumStates(); id++ {
+		if got := c.Encode(c.Decode(id)); got != id {
+			t.Fatalf("roundtrip %d -> %d", id, got)
+		}
+	}
+}
+
+// Property: the all-trees deadlock verdict agrees with exhaustive chain
+// checking (chains are complete witnesses for tree deadlocks).
+func TestTreeDeadlockTheoremAgainstChainsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 120; trial++ {
+		d := 2 + rng.Intn(2)
+		n := d * d
+		legitBits := make([]bool, n)
+		for i := range legitBits {
+			legitBits[i] = rng.Intn(2) == 0
+		}
+		moves := map[core.LocalState][]int{}
+		for st := 0; st < n; st++ {
+			if rng.Intn(100) < 40 {
+				moves[core.LocalState(st)] = []int{rng.Intn(d)}
+			}
+		}
+		dd := d
+		bits := legitBits
+		rep, err := core.NewFromTable(core.Config{
+			Name: "rnd", Domain: d, Lo: -1, Hi: 0,
+			Legit: func(v core.View) bool { return bits[int(core.Encode(v, dd))] },
+		}, []core.TableAction{{Name: "m", Moves: moves}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootLegitVal := rng.Intn(d)
+		s := &Spec{Rep: rep, RootLegit: func(x int) bool { return x != rootLegitVal }}
+		dl, err := s.CheckDeadlockFreedom()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chainHasDeadlock := false
+		maxLen := n + 1
+		for cn := 1; cn <= maxLen; cn++ {
+			c, err := NewChain(s, cn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.IllegitimateDeadlocks()) > 0 {
+				chainHasDeadlock = true
+				break
+			}
+		}
+		if dl.Free == chainHasDeadlock {
+			t.Fatalf("trial %d: tree verdict free=%v but chain deadlock=%v", trial, dl.Free, chainHasDeadlock)
+		}
+	}
+}
+
+// Property: self-disabling tree protocols never livelock on chains (the
+// depth-induction theorem, checked empirically).
+func TestSelfDisablingTreesNeverLivelockRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 80; trial++ {
+		d := 2 + rng.Intn(2)
+		// Self-disabling generator: per parent value, movers write terminals.
+		moves := map[core.LocalState][]int{}
+		for p := 0; p < d; p++ {
+			terminal := make([]bool, d)
+			var terms []int
+			for v := 0; v < d; v++ {
+				if rng.Intn(2) == 0 {
+					terminal[v] = true
+					terms = append(terms, v)
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			for own := 0; own < d; own++ {
+				if terminal[own] || rng.Intn(100) >= 70 {
+					continue
+				}
+				moves[core.Encode(core.View{p, own}, d)] = []int{terms[rng.Intn(len(terms))]}
+			}
+		}
+		dd := d
+		rep, err := core.NewFromTable(core.Config{
+			Name: "rnd", Domain: d, Lo: -1, Hi: 0,
+			Legit: func(v core.View) bool { return int(core.Encode(v, dd))%2 == 0 },
+		}, []core.TableAction{{Name: "m", Moves: moves}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &Spec{Rep: rep, RootLegit: func(int) bool { return true }}
+		free, err := s.CheckLivelockFreedom()
+		if err != nil || !free {
+			t.Fatalf("trial %d: self-disabling spec rejected: %v", trial, err)
+		}
+		for cn := 2; cn <= 5; cn++ {
+			c, err := NewChain(s, cn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.HasLivelock() {
+				t.Fatalf("trial %d: chain n=%d livelocks despite self-disablement", trial, cn)
+			}
+		}
+	}
+}
+
+func TestSynthesizeTreeColoring(t *testing.T) {
+	// Action-free 2-coloring on trees: synthesis must produce a stabilizing
+	// spec (the ring version is impossible — Figure 11).
+	rep := core.MustNew(core.Config{
+		Name: "tree-coloring-base", Domain: 2, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return v[0] != v[1] },
+	})
+	s := &Spec{Rep: rep, RootLegit: func(int) bool { return true }}
+	res, err := Synthesize(s, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 2 {
+		t.Fatalf("chosen = %v, want the two illegitimate deadlocks (0,0) and (1,1) resolved", res.Chosen)
+	}
+	for n := 1; n <= 6; n++ {
+		c, err := NewChain(res.Spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.StronglyConverges() {
+			t.Fatalf("synthesized tree coloring fails on chain n=%d", n)
+		}
+	}
+}
+
+func TestSynthesizeTreeAgreementWithRootRepair(t *testing.T) {
+	// Agreement to the value 0: LC is x_parent == x_self, root legitimate
+	// only at 0. The root deadlocks everywhere (no actions), so value 1 is
+	// an illegitimate root deadlock needing repair.
+	rep := core.MustNew(core.Config{
+		Name: "tree-agree0", Domain: 2, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return v[0] == v[1] },
+	})
+	s := &Spec{Rep: rep, RootLegit: func(x int) bool { return x == 0 }}
+	res, err := Synthesize(s, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RootChosen) != 1 || res.RootChosen[0] != [2]int{1, 0} {
+		t.Fatalf("root repair = %v, want [[1 0]]", res.RootChosen)
+	}
+	for n := 1; n <= 6; n++ {
+		c, err := NewChain(res.Spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.StronglyConverges() {
+			t.Fatalf("chain n=%d fails", n)
+		}
+	}
+}
+
+func TestSynthesizeTreeNoEscapeFails(t *testing.T) {
+	// Domain 2 with LC false everywhere below parent value 0: both (0,0)
+	// and (0,1) are illegitimate deadlocks, so neither can serve as the
+	// other's self-disabling escape.
+	rep := core.MustNew(core.Config{
+		Name: "tree-stuck", Domain: 2, Lo: -1, Hi: 0,
+		Legit: func(v core.View) bool { return v[0] == 1 },
+	})
+	s := &Spec{Rep: rep, RootLegit: func(int) bool { return true }}
+	if _, err := Synthesize(s, "conv"); err == nil {
+		t.Fatal("expected failure: no self-disabling escape exists")
+	}
+}
+
+func TestSynthesizeRejectsSelfEnablingBase(t *testing.T) {
+	rep := core.MustNew(core.Config{
+		Name: "tree-selfen", Domain: 2, Lo: -1, Hi: 0,
+		Actions: []core.Action{{
+			Name:  "flip",
+			Guard: func(v core.View) bool { return true },
+			Next:  func(v core.View) []int { return []int{1 - v[1]} },
+		}},
+		Legit: func(v core.View) bool { return v[0] == v[1] },
+	})
+	s := &Spec{Rep: rep, RootLegit: func(int) bool { return true }}
+	if _, err := Synthesize(s, "conv"); err == nil {
+		t.Fatal("expected rejection of self-enabling base")
+	}
+}

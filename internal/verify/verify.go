@@ -1,0 +1,256 @@
+// Package verify is the one-call verification facade: it composes the
+// paper's local theorems (rcg, ltg), witness confirmation, and optional
+// bounded explicit cross-validation into a single structured report — the
+// API a downstream user reaches for first.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"paramring/internal/core"
+	"paramring/internal/explicit"
+	"paramring/internal/graph"
+	"paramring/internal/ltg"
+	"paramring/internal/rcg"
+)
+
+// Status is the overall verdict for a property across all ring sizes.
+type Status int
+
+const (
+	// Proved: the property holds for EVERY ring size K.
+	Proved Status = iota + 1
+	// Refuted: a concrete counterexample exists (witness attached).
+	Refuted
+	// Inconclusive: the sufficient condition failed but no counterexample
+	// was found within the search bound.
+	Inconclusive
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Proved:
+		return "proved"
+	case Refuted:
+		return "refuted"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options tunes Protocol verification.
+type Options struct {
+	// ConfirmMaxK bounds the witness-confirmation search (default 7).
+	ConfirmMaxK int
+	// CrossValidateMaxK, when > 1, additionally model-checks every ring
+	// size 2..CrossValidateMaxK exhaustively and reports disagreements
+	// (they would indicate a bug, not a protocol property).
+	CrossValidateMaxK int
+	// Check tunes the Theorem 5.14 search.
+	Check ltg.CheckOptions
+	// BoundedFallbackMaxK, when > 1, resolves Inconclusive livelock
+	// verdicts by exhaustive livelock search for every ring size up to the
+	// bound: if none is found the verdict stays Inconclusive but
+	// LivelockBoundedFreeK records the bound (useful for bidirectional
+	// protocols, where Theorem 5.14 covers contiguous livelocks only).
+	BoundedFallbackMaxK int
+}
+
+// Report is the combined verification outcome.
+type Report struct {
+	// Deadlock is the Theorem 4.2 verdict: Proved or Refuted (the theorem
+	// is exact, so never Inconclusive).
+	Deadlock Status
+	// DeadlockDetail is the underlying RCG report (witness cycles etc.).
+	DeadlockDetail rcg.DeadlockReport
+	// DeadlockWitnessK, when Refuted, is the smallest witness ring size.
+	DeadlockWitnessK int
+
+	// Livelock is the Theorem 5.14 verdict: Proved (free for all K),
+	// Refuted (trail confirmed as a real livelock), or Inconclusive
+	// (trail found but not reconstructible within the bound). For
+	// bidirectional rings a Proved verdict covers contiguous livelocks
+	// only (see ContiguousOnly).
+	Livelock Status
+	// LivelockDetail is the underlying LTG report.
+	LivelockDetail ltg.Report
+	// LivelockWitnessK, when Refuted, is the confirmed livelock's ring size.
+	LivelockWitnessK int
+	// ContiguousOnly mirrors ltg.Report.ContiguousOnly.
+	ContiguousOnly bool
+	// LivelockSkipped is set (with the reason) when the protocol violates
+	// Assumption 2 and Theorem 5.14 does not apply.
+	LivelockSkipped string
+	// LivelockBoundedFreeK, when > 0, records that exhaustive search found
+	// no livelock for any ring size 2..LivelockBoundedFreeK (set only for
+	// Inconclusive verdicts with Options.BoundedFallbackMaxK).
+	LivelockBoundedFreeK int
+
+	// SelfStabilizing is true when both properties are Proved on a
+	// unidirectional ring: the protocol strongly stabilizes for every K
+	// (Proposition 2.1, given closure).
+	SelfStabilizing bool
+
+	// CrossValidated lists the ring sizes checked exhaustively; any
+	// disagreement panics in tests and is reported here otherwise.
+	CrossValidated []int
+	// Disagreements lists cross-validation conflicts (always empty unless
+	// an implementation bug exists).
+	Disagreements []string
+}
+
+// Protocol runs the full local-reasoning verification pipeline.
+func Protocol(p *core.Protocol, opts Options) (*Report, error) {
+	if opts.ConfirmMaxK <= 0 {
+		opts.ConfirmMaxK = 7
+	}
+	rep := &Report{}
+	sys := p.Compile()
+
+	// Theorem 4.2. A modest witness cap keeps dense deadlock graphs (e.g.
+	// action-free protocols, where every local state is a deadlock) cheap:
+	// the Free verdict is SCC-based and remains valid when witness
+	// enumeration hits the limit.
+	r := rcg.Build(sys)
+	dl, err := r.CheckDeadlockFreedom(256)
+	if err != nil && !errors.Is(err, graph.ErrCycleLimit) {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	rep.DeadlockDetail = dl
+	if dl.Free {
+		rep.Deadlock = Proved
+	} else {
+		rep.Deadlock = Refuted
+		rep.DeadlockWitnessK = smallestWitness(dl)
+	}
+
+	// Theorem 5.14.
+	ll, err := ltg.CheckLivelockFreedom(p, opts.Check)
+	if err != nil {
+		rep.LivelockSkipped = err.Error()
+		rep.Livelock = Inconclusive
+	} else {
+		rep.LivelockDetail = ll
+		rep.ContiguousOnly = ll.ContiguousOnly
+		switch ll.Verdict {
+		case ltg.VerdictFree:
+			rep.Livelock = Proved
+		case ltg.VerdictPotentialLivelock:
+			conf, err := ltg.ConfirmWitness(p, ll.Witness, opts.ConfirmMaxK)
+			if err != nil {
+				return nil, fmt.Errorf("verify: %w", err)
+			}
+			if conf.Confirmed {
+				rep.Livelock = Refuted
+				rep.LivelockWitnessK = conf.K
+			} else {
+				rep.Livelock = Inconclusive
+			}
+		default:
+			rep.Livelock = Inconclusive
+		}
+	}
+
+	// Bounded fallback for inconclusive livelock verdicts.
+	if rep.Livelock == Inconclusive && opts.BoundedFallbackMaxK > 1 {
+		freeUpTo := 0
+		for k := 2; k <= opts.BoundedFallbackMaxK; k++ {
+			in, err := explicit.NewInstance(p, k)
+			if err != nil {
+				return nil, fmt.Errorf("verify: bounded fallback K=%d: %w", k, err)
+			}
+			if c := in.FindLivelock(); c != nil {
+				rep.Livelock = Refuted
+				rep.LivelockWitnessK = k
+				freeUpTo = 0
+				break
+			}
+			freeUpTo = k
+		}
+		rep.LivelockBoundedFreeK = freeUpTo
+	}
+
+	rep.SelfStabilizing = rep.Deadlock == Proved && rep.Livelock == Proved &&
+		!rep.ContiguousOnly && rep.LivelockSkipped == ""
+
+	// Optional exhaustive cross-validation.
+	for k := 2; k <= opts.CrossValidateMaxK; k++ {
+		in, err := explicit.NewInstance(p, k)
+		if err != nil {
+			return nil, fmt.Errorf("verify: cross-validation K=%d: %w", k, err)
+		}
+		rep.CrossValidated = append(rep.CrossValidated, k)
+		hasDeadlock := len(in.IllegitimateDeadlocks()) > 0
+		if hasDeadlock && rep.Deadlock == Proved {
+			rep.Disagreements = append(rep.Disagreements,
+				fmt.Sprintf("K=%d: explicit deadlock contradicts Theorem 4.2 Proved", k))
+		}
+		if !hasDeadlock && rep.Deadlock == Refuted && containsK(dl, k) {
+			rep.Disagreements = append(rep.Disagreements,
+				fmt.Sprintf("K=%d: Theorem 4.2 witness size not reproduced", k))
+		}
+		if rep.Livelock == Proved && in.FindLivelock() != nil {
+			rep.Disagreements = append(rep.Disagreements,
+				fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+		}
+	}
+	return rep, nil
+}
+
+// Summary renders a human-readable digest.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadlock-freedom (all K): %v", r.Deadlock)
+	if r.Deadlock == Refuted {
+		fmt.Fprintf(&b, " (witness ring size %d)", r.DeadlockWitnessK)
+	}
+	b.WriteString("; livelock-freedom")
+	if r.ContiguousOnly {
+		b.WriteString(" (contiguous only)")
+	}
+	fmt.Fprintf(&b, ": %v", r.Livelock)
+	if r.Livelock == Refuted {
+		fmt.Fprintf(&b, " (livelock at K=%d)", r.LivelockWitnessK)
+	}
+	if r.LivelockSkipped != "" {
+		b.WriteString(" [Theorem 5.14 not applicable]")
+	}
+	if r.LivelockBoundedFreeK > 0 {
+		fmt.Fprintf(&b, " (no livelock up to K=%d)", r.LivelockBoundedFreeK)
+	}
+	if r.SelfStabilizing {
+		b.WriteString("; SELF-STABILIZING FOR EVERY K")
+	}
+	if len(r.Disagreements) > 0 {
+		fmt.Fprintf(&b, "; DISAGREEMENTS: %v", r.Disagreements)
+	}
+	return b.String()
+}
+
+func smallestWitness(dl rcg.DeadlockReport) int {
+	best := 0
+	for _, c := range dl.BadCycles {
+		if best == 0 || len(c) < best {
+			best = len(c)
+		}
+	}
+	if best == 1 {
+		// Rings need at least two processes; a self-loop witness doubles.
+		return 2
+	}
+	return best
+}
+
+func containsK(dl rcg.DeadlockReport, k int) bool {
+	for _, c := range dl.BadCycles {
+		if len(c) == k || (len(c) == 1 && k == 2) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+	"paramring/internal/protogen"
+)
+
+func TestProtocolAgreementOneSided(t *testing.T) {
+	rep, err := Protocol(protocols.AgreementOneSided("t01"), Options{CrossValidateMaxK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlock != Proved || rep.Livelock != Proved {
+		t.Fatalf("verdicts: %+v", rep)
+	}
+	if !rep.SelfStabilizing {
+		t.Fatal("one-sided agreement is self-stabilizing for every K")
+	}
+	if len(rep.Disagreements) != 0 {
+		t.Fatalf("disagreements: %v", rep.Disagreements)
+	}
+	if !strings.Contains(rep.Summary(), "SELF-STABILIZING") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+func TestProtocolAgreementBothRefuted(t *testing.T) {
+	rep, err := Protocol(protocols.AgreementBoth(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlock != Proved {
+		t.Fatal("agreement-both has no illegitimate deadlocks")
+	}
+	if rep.Livelock != Refuted {
+		t.Fatalf("livelock verdict %v, want refuted (the trail is real)", rep.Livelock)
+	}
+	if rep.LivelockWitnessK < 2 {
+		t.Fatalf("witness K = %d", rep.LivelockWitnessK)
+	}
+	if rep.SelfStabilizing {
+		t.Fatal("must not claim stabilization")
+	}
+}
+
+func TestProtocolMatchingBDeadlockRefuted(t *testing.T) {
+	rep, err := Protocol(protocols.MatchingB(), Options{CrossValidateMaxK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlock != Refuted || rep.DeadlockWitnessK != 4 {
+		t.Fatalf("deadlock: %v witnessK=%d", rep.Deadlock, rep.DeadlockWitnessK)
+	}
+	if rep.LivelockSkipped == "" {
+		t.Fatal("matchingB is self-enabling: Theorem 5.14 must be reported inapplicable")
+	}
+	if len(rep.Disagreements) != 0 {
+		t.Fatalf("disagreements: %v", rep.Disagreements)
+	}
+	if !strings.Contains(rep.Summary(), "witness ring size 4") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+func TestProtocolSumNotTwoSpuriousInconclusiveVsAcceptedProved(t *testing.T) {
+	// The accepted solution proves clean.
+	rep, err := Protocol(protocols.SumNotTwoSolution(), Options{CrossValidateMaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SelfStabilizing {
+		t.Fatalf("sum-not-two solution must verify: %s", rep.Summary())
+	}
+}
+
+func TestProtocolMISContiguousOnly(t *testing.T) {
+	rep, err := Protocol(protocols.MaxIndependentSet(), Options{CrossValidateMaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlock != Proved || rep.Livelock != Proved {
+		t.Fatalf("verdicts: %s", rep.Summary())
+	}
+	if !rep.ContiguousOnly {
+		t.Fatal("MIS is bidirectional: ContiguousOnly must be set")
+	}
+	if rep.SelfStabilizing {
+		t.Fatal("bidirectional Proved covers contiguous livelocks only; the facade must not over-claim")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Proved.String() != "proved" || Refuted.String() != "refuted" || Inconclusive.String() != "inconclusive" {
+		t.Fatal("status strings")
+	}
+	if Status(42).String() == "" {
+		t.Fatal("unknown status renders")
+	}
+}
+
+// The facade must never over-claim: whenever it reports SelfStabilizing,
+// exhaustive checking at sampled ring sizes must agree.
+func TestProtocolNeverOverClaimsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	claimed := 0
+	for trial := 0; trial < 250; trial++ {
+		p := protogen.Random(rng, protogen.Options{SelfDisabling: true, MovePercent: 60})
+		rep, err := Protocol(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.SelfStabilizing {
+			continue
+		}
+		claimed++
+		for k := 2; k <= 6; k++ {
+			in, err := explicit.NewInstance(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr := in.CheckStrongConvergence()
+			if !cr.Converges {
+				t.Fatalf("trial %d: facade claims stabilization but K=%d fails: %+v", trial, k, cr)
+			}
+		}
+	}
+	if claimed < 15 {
+		t.Fatalf("too few stabilization claims to be meaningful: %d", claimed)
+	}
+}
+
+func TestBoundedFallbackResolvesMatchingA(t *testing.T) {
+	// matchingA's Theorem 5.14 check is inconclusive (bidirectional, 18
+	// t-arcs); the bounded fallback certifies livelock-freedom up to K=6.
+	rep, err := Protocol(protocols.MatchingA(), Options{BoundedFallbackMaxK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Livelock != Inconclusive || rep.LivelockBoundedFreeK != 6 {
+		t.Fatalf("livelock=%v boundedFreeK=%d", rep.Livelock, rep.LivelockBoundedFreeK)
+	}
+	if !strings.Contains(rep.Summary(), "no livelock up to K=6") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+func TestBoundedFallbackRefutesMatchingBStyleLivelock(t *testing.T) {
+	// matchingB is self-enabling (Theorem 5.14 inapplicable); Gouda-Acharya
+	// has an unconfirmed... actually confirmed witness. Use a bidirectional
+	// livelocking fixture: the coloring2 resolution livelocks at K=4, but
+	// it is unidirectional and gets Refuted via ConfirmWitness already.
+	// matchingB exercises the LivelockSkipped + fallback path:
+	rep, err := Protocol(protocols.MatchingB(), Options{BoundedFallbackMaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LivelockSkipped == "" {
+		t.Fatal("matchingB must report Theorem 5.14 inapplicable")
+	}
+	// No livelock exists for matchingB at K<=5 (its failures are deadlocks).
+	if rep.LivelockBoundedFreeK != 5 {
+		t.Fatalf("boundedFreeK=%d", rep.LivelockBoundedFreeK)
+	}
+}

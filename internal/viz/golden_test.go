@@ -1,0 +1,56 @@
+package viz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paramring/internal/ltg"
+	"paramring/internal/protocols"
+	"paramring/internal/rcg"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden-file tests pin the exact DOT output of the figure renderer: the
+// output is deterministic by design (sorted vertices and edges), so any
+// change to figure rendering shows up as a readable diff.
+func TestGoldenFigures(t *testing.T) {
+	cases := []struct {
+		file string
+		gen  func() string
+	}{
+		{"agreement-both-ltg.dot", func() string {
+			return LTGDOT(ltg.Build(protocols.AgreementBoth().Compile()), Options{Name: "agreement-both"})
+		}},
+		{"matchingA-deadlock-rcg.dot", func() string {
+			return RCGDOT(rcg.Build(protocols.MatchingA().Compile()), Options{Name: "figure2", OnlyDeadlocks: true})
+		}},
+		{"sum-not-two-ss-ltg.dot", func() string {
+			return LTGDOT(ltg.Build(protocols.SumNotTwoSolution().Compile()), Options{Name: "figure12", RankDir: "LR"})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			got := tc.gen()
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("figure output changed; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// Package viz renders RCGs and LTGs in Graphviz DOT, regenerating the
+// paper's figures: legitimate local states are drawn as filled nodes,
+// illegitimate ones as plain double circles, s-arcs (continuation relation)
+// as dashed edges and t-arcs (local transitions) as solid labeled edges —
+// matching the visual conventions of Figures 1-4 and 8-12.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paramring/internal/core"
+	"paramring/internal/ltg"
+	"paramring/internal/rcg"
+)
+
+// Options controls figure rendering.
+type Options struct {
+	// Name is the DOT graph name (defaults to the protocol name).
+	Name string
+	// OnlyDeadlocks restricts vertices to local deadlock states (Figures 2
+	// and 3 draw the continuation relation over local deadlocks only).
+	OnlyDeadlocks bool
+	// IncludeSArcs includes the continuation relation (default true via
+	// NewOptions-like semantics: the zero value includes them; set
+	// OmitSArcs to drop).
+	OmitSArcs bool
+	// OmitTArcs drops local transitions (RCG-only figures).
+	OmitTArcs bool
+	// RankDir sets the Graphviz layout direction (e.g. "LR").
+	RankDir string
+	// Highlight lists local states to emphasize (drawn bold red).
+	Highlight []core.LocalState
+}
+
+// RCGDOT renders the Right Continuation Graph of a protocol.
+func RCGDOT(r *rcg.RCG, opts Options) string {
+	opts.OmitTArcs = true
+	return render(r.System(), r, nil, opts)
+}
+
+// LTGDOT renders the full Local Transition Graph (s-arcs + t-arcs).
+func LTGDOT(l *ltg.LTG, opts Options) string {
+	return render(l.System(), l.RCG(), l.TArcs(), opts)
+}
+
+func render(sys *core.System, r *rcg.RCG, tarcs []core.LocalTransition, opts Options) string {
+	p := sys.Protocol()
+	name := opts.Name
+	if name == "" {
+		name = p.Name()
+	}
+	include := func(v int) bool {
+		return !opts.OnlyDeadlocks || sys.IsDeadlock[v]
+	}
+	highlight := map[core.LocalState]bool{}
+	for _, h := range opts.Highlight {
+		highlight[h] = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	if opts.RankDir != "" {
+		fmt.Fprintf(&b, "  rankdir=%s;\n", opts.RankDir)
+	}
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+
+	var vertices []int
+	for v := 0; v < sys.N(); v++ {
+		if include(v) {
+			vertices = append(vertices, v)
+		}
+	}
+	sort.Ints(vertices)
+	for _, v := range vertices {
+		label := p.FormatState(core.LocalState(v))
+		attrs := []string{}
+		if sys.Legit[v] {
+			attrs = append(attrs, "style=filled", "fillcolor=lightgray")
+		} else {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if highlight[core.LocalState(v)] {
+			attrs = append(attrs, "color=red", "penwidth=2")
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q,%s];\n", v, label, strings.Join(attrs, ","))
+	}
+	if !opts.OmitSArcs {
+		for _, e := range r.Graph().Edges() {
+			if include(e[0]) && include(e[1]) {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed,color=gray40];\n", e[0], e[1])
+			}
+		}
+	}
+	if !opts.OmitTArcs {
+		for _, t := range tarcs {
+			if include(int(t.Src)) && include(int(t.Dst)) {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=%q,penwidth=1.5];\n", t.Src, t.Dst, t.Action)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/ltg"
+	"paramring/internal/protocols"
+	"paramring/internal/rcg"
+)
+
+func TestRCGDOTFigure1(t *testing.T) {
+	r := rcg.Build(protocols.MatchingStateSpace().Compile())
+	dot := RCGDOT(r, Options{Name: "figure1"})
+	if !strings.Contains(dot, `digraph "figure1"`) {
+		t.Fatal("missing graph name")
+	}
+	// All 27 vertices present.
+	if got := strings.Count(dot, "label="); got != 27 {
+		t.Fatalf("vertices = %d, want 27", got)
+	}
+	// 81 s-arcs, all dashed.
+	if got := strings.Count(dot, "style=dashed"); got != 81 {
+		t.Fatalf("s-arcs = %d, want 81", got)
+	}
+	if strings.Contains(dot, "penwidth=1.5") {
+		t.Fatal("RCG must not contain t-arcs")
+	}
+	// Spot labels.
+	for _, want := range []string{`"lls"`, `"rsr"`, `"sss"`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("missing label %s", want)
+		}
+	}
+}
+
+func TestRCGDOTOnlyDeadlocks(t *testing.T) {
+	r := rcg.Build(protocols.MatchingA().Compile())
+	dot := RCGDOT(r, Options{OnlyDeadlocks: true})
+	// Figure 2: exactly the 11 local deadlocks of Example 4.2.
+	if got := strings.Count(dot, "label="); got != 11 {
+		t.Fatalf("deadlock vertices = %d, want 11", got)
+	}
+}
+
+func TestLTGDOTHasBothArcTypes(t *testing.T) {
+	l := ltg.Build(protocols.AgreementBoth().Compile())
+	dot := LTGDOT(l, Options{RankDir: "LR"})
+	if !strings.Contains(dot, "style=dashed") {
+		t.Fatal("missing s-arcs")
+	}
+	if !strings.Contains(dot, `label="t01"`) || !strings.Contains(dot, `label="t10"`) {
+		t.Fatal("missing labeled t-arcs")
+	}
+	if !strings.Contains(dot, "rankdir=LR") {
+		t.Fatal("missing rankdir")
+	}
+	// Legitimate states filled, illegitimate double circles.
+	if !strings.Contains(dot, "fillcolor=lightgray") || !strings.Contains(dot, "shape=doublecircle") {
+		t.Fatal("legitimacy styling missing")
+	}
+}
+
+func TestLTGDOTHighlight(t *testing.T) {
+	p := protocols.AgreementBoth()
+	l := ltg.Build(p.Compile())
+	h := core.Encode(core.View{1, 0}, 2)
+	dot := LTGDOT(l, Options{Highlight: []core.LocalState{h}})
+	if !strings.Contains(dot, "color=red") {
+		t.Fatal("highlight missing")
+	}
+}
+
+func TestLTGDOTOmitSArcs(t *testing.T) {
+	l := ltg.Build(protocols.AgreementBoth().Compile())
+	dot := LTGDOT(l, Options{OmitSArcs: true})
+	if strings.Contains(dot, "style=dashed") {
+		t.Fatal("s-arcs should be omitted")
+	}
+}
