@@ -110,7 +110,10 @@ func BenchmarkFigure9to12Synthesis(b *testing.B) {
 
 // BenchmarkTable1LocalVsGlobal is the headline: the Local sub-benchmarks do
 // a complete all-K verification on the 9-state local space; the Global/K=n
-// ones model-check one instance exhaustively and scale as 3^n.
+// ones model-check one instance exhaustively and scale as 3^n. The Global
+// side runs both engines — seq pins the explicit checker to one worker,
+// par follows GOMAXPROCS — so `-cpu 1,2,4,8` shows the parallel scaling
+// shape on top of the exponential sweep.
 func BenchmarkTable1LocalVsGlobal(b *testing.B) {
 	p := protocols.SumNotTwoSolution()
 	b.Run("Local/all-K", func(b *testing.B) {
@@ -126,15 +129,26 @@ func BenchmarkTable1LocalVsGlobal(b *testing.B) {
 		}
 	})
 	for _, k := range []int{4, 6, 8, 10, 12} {
-		b.Run(fmt.Sprintf("Global/K=%d", k), func(b *testing.B) {
+		b.Run(fmt.Sprintf("Global/seq/K=%d", k), func(b *testing.B) {
+			in, err := explicit.NewInstance(p, k, explicit.WithMaxStates(1<<24), explicit.WithWorkers(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !in.CheckStrongConvergenceSeq().Converges {
+					b.Fatal("unexpected verdict")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Global/par/K=%d", k), func(b *testing.B) {
 			in, err := explicit.NewInstance(p, k, explicit.WithMaxStates(1<<24))
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rep := in.CheckStrongConvergence()
-				if !rep.Converges {
+				if !in.CheckStrongConvergence().Converges {
 					b.Fatal("unexpected verdict")
 				}
 			}
@@ -152,18 +166,26 @@ func BenchmarkTable1LocalVsGlobal(b *testing.B) {
 		}
 	})
 	for _, k := range []int{4, 6, 8} {
-		b.Run(fmt.Sprintf("Global/matchingA/K=%d", k), func(b *testing.B) {
-			in, err := explicit.NewInstance(ma, k)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if got := in.IllegitimateDeadlocks(); len(got) != 0 {
-					b.Fatal("unexpected deadlock")
+		for _, mode := range []struct {
+			name string
+			opts []explicit.Option
+		}{
+			{"seq", []explicit.Option{explicit.WithWorkers(1)}},
+			{"par", nil},
+		} {
+			b.Run(fmt.Sprintf("Global/%s/matchingA/K=%d", mode.name, k), func(b *testing.B) {
+				in, err := explicit.NewInstance(ma, k, mode.opts...)
+				if err != nil {
+					b.Fatal(err)
 				}
-			}
-		})
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if got := in.IllegitimateDeadlocks(); len(got) != 0 {
+						b.Fatal("unexpected deadlock")
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -179,14 +201,19 @@ func BenchmarkTable4GlobalSynthesis(b *testing.B) {
 		{"coloring3", 3},
 	} {
 		p := protocols.All()[tc.name]
-		b.Run(fmt.Sprintf("%s/K=%d", tc.name, tc.k), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := explicit.SynthesizeGlobal(p, tc.k, 0); err != nil {
-					b.Fatal(err)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(fmt.Sprintf("%s/%s/K=%d", mode.name, tc.name, tc.k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := explicit.SynthesizeGlobalWorkers(p, tc.k, 0, mode.workers); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

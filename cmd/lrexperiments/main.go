@@ -7,21 +7,26 @@
 //	lrexperiments             # run everything
 //	lrexperiments -id F3      # run one experiment
 //	lrexperiments -summary    # one line per experiment
+//	lrexperiments -workers 4  # fan experiments out concurrently
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"paramring/internal/experiments"
 )
 
 func main() {
-	id := flag.String("id", "", "run a single experiment (F1..F12, T1..T4, X1..X4)")
+	id := flag.String("id", "", "run a single experiment (F1..F12, T1..T4, X1..X8)")
 	summary := flag.Bool("summary", false, "print only the one-line verdicts")
 	paperOnly := flag.Bool("paper-only", false, "skip the extension experiments (X*)")
+	workers := flag.Int("workers", 1,
+		"run up to this many experiments concurrently, buffering output and printing in order (1 streams; note concurrent runs add timing noise to T1/T4)")
 	flag.Parse()
 
 	var list []experiments.Experiment
@@ -39,34 +44,82 @@ func main() {
 		list = experiments.AllWithExtensions()
 	}
 
-	allMatch := true
-	for _, e := range list {
-		var detail io.Writer = os.Stdout
-		if *summary {
-			detail = io.Discard
-		} else {
-			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		}
-		out, err := e.Run(detail)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
-			allMatch = false
-			continue
-		}
-		if *summary {
-			fmt.Printf("%-4s match=%-5v %s\n", e.ID, out.Match, out.Measured)
-		} else {
-			fmt.Printf("paper:    %s\nmeasured: %s\nmatch:    %v\n", e.Paper, out.Measured, out.Match)
-			if out.Note != "" {
-				fmt.Printf("note:     %s\n", out.Note)
-			}
-			fmt.Println()
-		}
-		if !out.Match {
-			allMatch = false
-		}
-	}
-	if !allMatch {
+	if !run(list, *summary, *workers) {
 		os.Exit(1)
 	}
+}
+
+// run executes the experiments — streaming when workers is 1, otherwise
+// fanned out with per-experiment output buffers flushed in list order so
+// the report reads identically at any concurrency level — and reports
+// whether every experiment matched the paper.
+func run(list []experiments.Experiment, summary bool, workers int) bool {
+	type result struct {
+		out  experiments.Outcome
+		err  error
+		body string
+	}
+	results := make([]result, len(list))
+	if workers <= 1 {
+		for i, e := range list {
+			var detail io.Writer = io.Discard
+			if !summary {
+				detail = os.Stdout
+				fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+			}
+			out, err := e.Run(detail)
+			results[i] = result{out: out, err: err}
+			report(e, results[i].out, results[i].err, summary)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, e := range list {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, e experiments.Experiment) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				var buf bytes.Buffer
+				var detail io.Writer = &buf
+				if summary {
+					detail = io.Discard
+				}
+				out, err := e.Run(detail)
+				results[i] = result{out: out, err: err, body: buf.String()}
+			}(i, e)
+		}
+		wg.Wait()
+		for i, e := range list {
+			if !summary {
+				fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+				fmt.Print(results[i].body)
+			}
+			report(e, results[i].out, results[i].err, summary)
+		}
+	}
+	allMatch := true
+	for _, r := range results {
+		if r.err != nil || !r.out.Match {
+			allMatch = false
+		}
+	}
+	return allMatch
+}
+
+// report prints one experiment's verdict in the selected format.
+func report(e experiments.Experiment, out experiments.Outcome, err error, summary bool) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+		return
+	}
+	if summary {
+		fmt.Printf("%-4s match=%-5v %s\n", e.ID, out.Match, out.Measured)
+		return
+	}
+	fmt.Printf("paper:    %s\nmeasured: %s\nmatch:    %v\n", e.Paper, out.Measured, out.Match)
+	if out.Note != "" {
+		fmt.Printf("note:     %s\n", out.Note)
+	}
+	fmt.Println()
 }

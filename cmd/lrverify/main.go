@@ -7,6 +7,7 @@
 //
 //	lrverify -protocol agreement-t01
 //	lrverify -protocol matchingB        # prints the deadlock cycles
+//	lrverify -protocol matchingA -xk 7  # explicit oracle at K=2..7
 //	lrverify -list
 package main
 
@@ -14,10 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"paramring/internal/cli"
+	"paramring/internal/core"
+	"paramring/internal/explicit"
 	"paramring/internal/ltg"
 	"paramring/internal/rcg"
+	"paramring/internal/trace"
 )
 
 func main() {
@@ -26,6 +32,8 @@ func main() {
 	list := flag.Bool("list", false, "list available protocols")
 	maxT := flag.Int("max-tarcs", 16, "exact livelock search limit (2^n subsets)")
 	explain := flag.Bool("explain", false, "print the full pseudo-livelock/trail diagnosis")
+	xk := flag.Int("xk", 0, "cross-validate with the explicit-state oracle for every ring size 2..xk")
+	workers := flag.Int("workers", 0, "explicit-engine worker count for -xk (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -117,4 +125,62 @@ func main() {
 	if rep.Free && llRep.Verdict == ltg.VerdictFree && !llRep.ContiguousOnly {
 		fmt.Println("\n=> strongly self-stabilizing for EVERY ring size K (Proposition 2.1)")
 	}
+
+	if *xk > 1 {
+		if err := crossValidate(p, *xk, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "lrverify: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// crossValidate model-checks every ring size 2..maxK with the explicit
+// oracle, fanning the per-K instances out across workers and printing the
+// results as one K-ordered table (so the output is independent of
+// scheduling).
+func crossValidate(p *core.Protocol, maxK, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type row struct {
+		states   uint64
+		illegit  int
+		converge bool
+		livelock bool
+		err      error
+	}
+	rows := make([]row, maxK+1)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for k := 2; k <= maxK; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(workers))
+			if err != nil {
+				rows[k].err = err
+				return
+			}
+			rep := in.CheckStrongConvergence()
+			rows[k] = row{
+				states:   in.NumStates(),
+				illegit:  len(in.IllegitimateDeadlocks()),
+				converge: rep.Converges,
+				livelock: rep.LivelockWitness != nil,
+			}
+		}(k)
+	}
+	wg.Wait()
+	fmt.Printf("\nexplicit cross-validation (K=2..%d, %d workers):\n", maxK, workers)
+	tb := trace.NewTable("K", "global states", "illegitimate deadlocks", "livelock", "strongly converges")
+	for k := 2; k <= maxK; k++ {
+		if rows[k].err != nil {
+			return fmt.Errorf("K=%d: %w", k, rows[k].err)
+		}
+		tb.AddRow(k, rows[k].states, rows[k].illegit, rows[k].livelock, rows[k].converge)
+	}
+	fmt.Print(tb.String())
+	return nil
 }

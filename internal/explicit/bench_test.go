@@ -29,16 +29,45 @@ func BenchmarkSuccessors(b *testing.B) {
 	}
 }
 
+// BenchmarkStrongConvergence compares the sequential reference against the
+// frontier-parallel engine; run with -cpu 1,2,4,8 to see the scaling shape
+// (the seq side pins workers to 1, the par side follows GOMAXPROCS).
 func BenchmarkStrongConvergence(b *testing.B) {
 	p := protocols.AgreementOneSided("t01")
 	for _, k := range []int{6, 10, 14} {
-		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+		b.Run(fmt.Sprintf("seq/K=%d", k), func(b *testing.B) {
+			in := MustNewInstance(p, k, WithMaxStates(1<<25), WithWorkers(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !in.CheckStrongConvergenceSeq().Converges {
+					b.Fatal("verdict changed")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("par/K=%d", k), func(b *testing.B) {
 			in := MustNewInstance(p, k, WithMaxStates(1<<25))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if !in.CheckStrongConvergence().Converges {
 					b.Fatal("verdict changed")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryRadiusParallel times the CAS-bitset backward BFS against
+// the sequential FIFO BFS on the same instance size.
+func BenchmarkRecoveryRadiusParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			in := MustNewInstance(protocols.SumNotTwoSolution(), 8, WithWorkers(mode.workers))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in.RecoveryRadius()
 			}
 		})
 	}

@@ -2,42 +2,68 @@ package explicit
 
 import (
 	"fmt"
+
+	"paramring/internal/core"
 )
 
 // Deadlocks returns all global deadlock states (no enabled process), in
-// increasing state-code order.
+// increasing state-code order. With WithWorkers > 1 the scan is sharded
+// across contiguous code ranges; the merged order is identical.
 func (in *Instance) Deadlocks() []uint64 {
+	if in.workers > 1 {
+		return in.collectStatesParallel(func(id uint64, vals []int, view core.View) bool {
+			return in.isDeadlockScratch(id, vals, view)
+		})
+	}
 	var out []uint64
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
 	for id := uint64(0); id < in.n; id++ {
-		if in.IsDeadlock(id) {
+		if in.isDeadlockScratch(id, vals, view) {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// IllegitimateDeadlocks returns the global deadlocks outside I(K).
+// IllegitimateDeadlocks returns the global deadlocks outside I(K) — the
+// states Theorem 4.2 predicts from local deadlock cycles in the RCG. The
+// explicit scan (sharded like Deadlocks when WithWorkers > 1) is the oracle
+// those predictions are cross-validated against.
 func (in *Instance) IllegitimateDeadlocks() []uint64 {
+	if in.workers > 1 {
+		return in.collectStatesParallel(func(id uint64, vals []int, view core.View) bool {
+			return !in.inI[id] && in.isDeadlockScratch(id, vals, view)
+		})
+	}
 	var out []uint64
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
 	for id := uint64(0); id < in.n; id++ {
-		if !in.inI[id] && in.IsDeadlock(id) {
+		if !in.inI[id] && in.isDeadlockScratch(id, vals, view) {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// ClosureViolation describes a transition that leaves I.
+// ClosureViolation describes a transition that leaves I — a failure of
+// the closure half of self-stabilization (Section 2.2), which both
+// Theorem 4.2 and the Section 6 synthesis assume.
 type ClosureViolation struct {
 	From, To uint64
 	Process  int
 	Action   string
 }
 
-// CheckClosure verifies that I(K) is closed in the protocol: every
-// transition from a state in I lands in I. Returns nil if closed, else a
-// witness violation.
+// CheckClosure verifies that I(K) is closed in the protocol (the closure
+// half of self-stabilization, Section 2.2): every transition from a state
+// in I lands in I. Returns nil if closed, else the violation with the
+// smallest source state code.
 func (in *Instance) CheckClosure() *ClosureViolation {
+	if in.workers > 1 {
+		return in.checkClosureParallel()
+	}
 	for id := uint64(0); id < in.n; id++ {
 		if !in.inI[id] {
 			continue
@@ -59,6 +85,26 @@ func (in *Instance) CheckClosure() *ClosureViolation {
 // acyclic. Implemented as an iterative Tarjan SCC over the not-I-restricted
 // transition graph generated on the fly.
 func (in *Instance) FindLivelock() []uint64 {
+	return in.findLivelock(func(id uint64) []uint64 {
+		if in.inI[id] {
+			return nil
+		}
+		succ := in.Successors(id)
+		out := succ[:0]
+		for _, s := range succ {
+			if !in.inI[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	})
+}
+
+// findLivelock is the Tarjan core of FindLivelock, parameterized over the
+// provider of not-I-restricted successor lists so that the parallel checker
+// can feed it the pre-materialized CSR adjacency: same traversal order over
+// the same (sorted) adjacency means the same witness cycle either way.
+func (in *Instance) findLivelock(restricted func(id uint64) []uint64) []uint64 {
 	const unvisited = -1
 	index := make([]int32, in.n)
 	low := make([]int32, in.n)
@@ -73,19 +119,6 @@ func (in *Instance) FindLivelock() []uint64 {
 		sccSeed = uint64(0)
 		found   []uint64
 	)
-	restricted := func(id uint64) []uint64 {
-		if in.inI[id] {
-			return nil
-		}
-		succ := in.Successors(id)
-		out := succ[:0]
-		for _, s := range succ {
-			if !in.inI[s] {
-				out = append(out, s)
-			}
-		}
-		return out
-	}
 	for root := uint64(0); root < in.n; root++ {
 		if in.inI[root] || index[root] != unvisited {
 			continue
@@ -240,10 +273,26 @@ type ConvergenceReport struct {
 
 // CheckStrongConvergence decides strong convergence to I(K) by Proposition
 // 2.1: deadlock-freedom in not-I plus livelock-freedom in Delta_p | not-I.
+// With WithWorkers > 1 it runs the frontier-parallel engine (see
+// parallel.go); verdicts and witnesses are identical to the sequential
+// reference either way.
 func (in *Instance) CheckStrongConvergence() ConvergenceReport {
+	if in.workers > 1 {
+		return in.checkStrongConvergenceParallel()
+	}
+	return in.CheckStrongConvergenceSeq()
+}
+
+// CheckStrongConvergenceSeq is the single-threaded reference
+// implementation of CheckStrongConvergence. It is kept exported so tests
+// and the Table-1 benchmarks can cross-check and time the parallel engine
+// against it regardless of the instance's worker setting.
+func (in *Instance) CheckStrongConvergenceSeq() ConvergenceReport {
 	rep := ConvergenceReport{StatesExplored: in.n}
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
 	for id := uint64(0); id < in.n; id++ {
-		if !in.inI[id] && in.IsDeadlock(id) {
+		if !in.inI[id] && in.isDeadlockScratch(id, vals, view) {
 			d := id
 			rep.DeadlockWitness = &d
 			return rep
@@ -258,46 +307,15 @@ func (in *Instance) CheckStrongConvergence() ConvergenceReport {
 }
 
 // CheckWeakConvergence reports whether from every state some computation
-// reaches I (weak convergence), together with the states that cannot reach
-// I at all when the answer is false.
+// reaches I (weak convergence, Section 2.2), together with the states that
+// cannot reach I at all when the answer is false. The backward BFS from I
+// runs level-parallel when WithWorkers > 1; reachability is
+// order-independent, so the stuck set is identical.
 func (in *Instance) CheckWeakConvergence() (bool, []uint64) {
-	canReach := make([]bool, in.n)
-	var frontier []uint64
-	for id := uint64(0); id < in.n; id++ {
-		if in.inI[id] {
-			canReach[id] = true
-			frontier = append(frontier, id)
-		}
-	}
-	// Backward BFS using generated predecessors.
-	vals := make([]int, in.k)
-	for len(frontier) > 0 {
-		id := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		in.DecodeInto(id, vals)
-		for r := 0; r < in.k; r++ {
-			orig := vals[r]
-			for ov := 0; ov < in.d; ov++ {
-				if ov == orig {
-					continue
-				}
-				vals[r] = ov
-				pred := in.Encode(vals)
-				vals[r] = orig
-				if canReach[pred] {
-					continue
-				}
-				if in.HasTransition(pred, id) {
-					canReach[pred] = true
-					frontier = append(frontier, pred)
-				}
-			}
-		}
-		// Self-loop predecessors are irrelevant for reachability.
-	}
+	dist := in.recoveryDistances()
 	var stuck []uint64
 	for id := uint64(0); id < in.n; id++ {
-		if !canReach[id] {
+		if dist[id] < 0 {
 			stuck = append(stuck, id)
 		}
 	}
@@ -306,52 +324,22 @@ func (in *Instance) CheckWeakConvergence() (bool, []uint64) {
 
 // RecoveryRadius returns the maximum and mean over all states of the
 // shortest number of transitions needed to reach I (states already in I
-// count 0). The bool is false when some state cannot reach I at all (the
-// radius then ignores such states).
+// count 0) — the convergence-time metric of the X3 experiment. The bool is
+// false when some state cannot reach I at all (the radius then ignores
+// such states). Shares the (optionally parallel) backward BFS with
+// CheckWeakConvergence; BFS distances are unique, so worker count never
+// changes the answer.
 func (in *Instance) RecoveryRadius() (max int, mean float64, allReach bool) {
-	const inf = -1
-	dist := make([]int, in.n)
-	var frontier []uint64
-	for id := uint64(0); id < in.n; id++ {
-		if in.inI[id] {
-			dist[id] = 0
-			frontier = append(frontier, id)
-		} else {
-			dist[id] = inf
-		}
-	}
-	vals := make([]int, in.k)
-	for head := 0; head < len(frontier); head++ {
-		id := frontier[head]
-		in.DecodeInto(id, vals)
-		for r := 0; r < in.k; r++ {
-			orig := vals[r]
-			for ov := 0; ov < in.d; ov++ {
-				if ov == orig {
-					continue
-				}
-				vals[r] = ov
-				pred := in.Encode(vals)
-				vals[r] = orig
-				if dist[pred] != inf {
-					continue
-				}
-				if in.HasTransition(pred, id) {
-					dist[pred] = dist[id] + 1
-					frontier = append(frontier, pred)
-				}
-			}
-		}
-	}
+	dist := in.recoveryDistances()
 	allReach = true
 	var sum, cnt uint64
 	for id := uint64(0); id < in.n; id++ {
-		if dist[id] == inf {
+		if dist[id] < 0 {
 			allReach = false
 			continue
 		}
-		if dist[id] > max {
-			max = dist[id]
+		if int(dist[id]) > max {
+			max = int(dist[id])
 		}
 		sum += uint64(dist[id])
 		cnt++

@@ -37,13 +37,13 @@ func buildLocalTable(p *core.Protocol) localTable {
 
 // fast returns the compiled table, building it on first use; nil when the
 // instance has distinguished processes (the table cannot represent them).
+// The build is guarded by a sync.Once so that the parallel checker's
+// workers can race to the first successor query safely.
 func (in *Instance) fast() localTable {
 	if len(in.distinguished) > 0 {
 		return nil
 	}
-	if in.table == nil {
-		in.table = buildLocalTable(in.p)
-	}
+	in.tableOnce.Do(func() { in.table = buildLocalTable(in.p) })
 	return in.table
 }
 

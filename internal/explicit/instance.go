@@ -17,7 +17,9 @@ package explicit
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"paramring/internal/core"
 )
@@ -54,6 +56,24 @@ func WithMaxStates(n uint64) Option {
 	return func(in *Instance) { in.maxStates = n }
 }
 
+// WithWorkers sets the number of worker goroutines the instance uses for
+// its whole-state-space operations (CheckStrongConvergence, Deadlocks,
+// CheckWeakConvergence, RecoveryRadius, CheckClosure and instance
+// construction). n <= 0 selects runtime.GOMAXPROCS(0), which is also the
+// default; n == 1 forces the sequential reference path. Parallel and
+// sequential paths return identical results (same verdicts, same
+// witnesses), so the choice is purely a time/space trade-off: the global
+// side of the paper's Table 1 is domain^K work that the local method
+// avoids entirely, and the workers only shrink the constant, never the
+// exponent.
+//
+// With n > 1 the protocol's Guard/Next closures and any WithGlobalPredicate
+// function are invoked from multiple goroutines concurrently; they must be
+// safe for concurrent use (pure functions, as all zoo protocols are).
+func WithWorkers(n int) Option {
+	return func(in *Instance) { in.workers = n }
+}
+
 // Instance is a protocol instantiated on a ring of K processes. Global
 // states are mixed-radix codes in [0, domain^K): process r contributes
 // vals[r] * domain^r.
@@ -67,11 +87,13 @@ type Instance struct {
 	lo, hi int
 
 	maxStates     uint64
+	workers       int
 	globalI       func(vals []int) bool
 	distinguished map[int][]core.Action
 
-	inI   []bool     // cached I membership per state
-	table localTable // lazily compiled fast path (symmetric instances only)
+	inI       []bool     // cached I membership per state
+	table     localTable // lazily compiled fast path (symmetric instances only)
+	tableOnce sync.Once  // guards the lazy build under concurrent queries
 }
 
 // NewInstance instantiates p on a ring of k >= 2 processes.
@@ -86,8 +108,12 @@ func NewInstance(p *core.Protocol, k int, opts ...Option) (*Instance, error) {
 		maxStates: DefaultMaxStates,
 	}
 	in.lo, in.hi = p.Window()
+	in.workers = runtime.GOMAXPROCS(0)
 	for _, o := range opts {
 		o(in)
+	}
+	if in.workers <= 0 {
+		in.workers = runtime.GOMAXPROCS(0)
 	}
 	if float64(k)*math.Log2(float64(in.d)) > 62 {
 		return nil, fmt.Errorf("explicit: %d^%d global states overflow uint64", in.d, k)
@@ -104,11 +130,13 @@ func NewInstance(p *core.Protocol, k int, opts ...Option) (*Instance, error) {
 		return nil, fmt.Errorf("explicit: %d^%d = %d global states exceeds limit %d", in.d, k, in.n, in.maxStates)
 	}
 	in.inI = make([]bool, in.n)
-	vals := make([]int, k)
-	for id := uint64(0); id < in.n; id++ {
-		in.DecodeInto(id, vals)
-		in.inI[id] = in.evalI(vals)
-	}
+	in.forEachChunk(func(lo, hi uint64) {
+		vals := make([]int, k)
+		for id := lo; id < hi; id++ {
+			in.DecodeInto(id, vals)
+			in.inI[id] = in.evalI(vals)
+		}
+	})
 	return in, nil
 }
 
@@ -129,6 +157,9 @@ func (in *Instance) K() int { return in.k }
 
 // NumStates returns domain^K.
 func (in *Instance) NumStates() uint64 { return in.n }
+
+// Workers returns the effective worker count (see WithWorkers).
+func (in *Instance) Workers() int { return in.workers }
 
 // Encode packs a ring valuation into a state code.
 func (in *Instance) Encode(vals []int) uint64 {
@@ -258,9 +289,17 @@ func (in *Instance) SuccessorsDetailed(id uint64) []GlobalTransition {
 // fastpath.go); instances with distinguished processes fall back to guard
 // evaluation.
 func (in *Instance) Successors(id uint64) []uint64 {
-	var out []uint64
 	vals := make([]int, in.k)
 	view := make(core.View, in.p.W())
+	return in.successorsScratch(id, vals, view)
+}
+
+// successorsScratch is Successors with caller-provided decode scratch,
+// avoiding two allocations per state in the whole-space scan loops. The
+// returned slice is freshly allocated (sorted, deduplicated) and safe to
+// retain.
+func (in *Instance) successorsScratch(id uint64, vals []int, view core.View) []uint64 {
+	var out []uint64
 	if fastOut, ok := in.successorsFast(id, vals, view); ok {
 		out = fastOut
 	} else {
@@ -302,7 +341,15 @@ func (in *Instance) EnabledProcesses(id uint64) []int {
 
 // HasTransition reports whether (from, to) is a global transition.
 func (in *Instance) HasTransition(from, to uint64) bool {
-	for _, s := range in.Successors(from) {
+	vals := make([]int, in.k)
+	view := make(core.View, in.p.W())
+	return in.hasTransitionScratch(from, to, vals, view)
+}
+
+// hasTransitionScratch is HasTransition with caller-provided scratch; used
+// by the predecessor-generating BFS loops (sequential and parallel alike).
+func (in *Instance) hasTransitionScratch(from, to uint64, vals []int, view core.View) bool {
+	for _, s := range in.successorsScratch(from, vals, view) {
 		if s == to {
 			return true
 		}
@@ -310,10 +357,16 @@ func (in *Instance) HasTransition(from, to uint64) bool {
 	return false
 }
 
-// IsDeadlock reports whether no process is enabled in id.
+// IsDeadlock reports whether no process is enabled in id (the global
+// deadlock of Section 2.2: every guard false at every position).
 func (in *Instance) IsDeadlock(id uint64) bool {
 	vals := make([]int, in.k)
 	view := make(core.View, in.p.W())
+	return in.isDeadlockScratch(id, vals, view)
+}
+
+// isDeadlockScratch is IsDeadlock with caller-provided scratch.
+func (in *Instance) isDeadlockScratch(id uint64, vals []int, view core.View) bool {
 	if n, ok := in.enabledCountFast(id, vals, view); ok {
 		return n == 0
 	}

@@ -1,0 +1,454 @@
+package explicit
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"paramring/internal/core"
+)
+
+// The frontier-parallel engine. The global side of the paper's Table 1 is
+// domain^K work by construction — local reasoning (Theorems 4.2 and 5.14)
+// avoids the exponent, and this file only shrinks the constant so the
+// oracle/baseline comparison runs as fast as the hardware allows:
+//
+//   - state scans (deadlock search, Deadlocks, CheckClosure) are split into
+//     one contiguous code range per worker, with a CAS-min merge so the
+//     reported witness is exactly the sequential one (the smallest id);
+//   - the backward BFS of CheckWeakConvergence/RecoveryRadius runs
+//     level-synchronously with a lock-free CAS bitset claiming states, so
+//     the computed distances are the (unique) BFS distances regardless of
+//     worker interleaving;
+//   - livelock detection (the cycle search of Proposition 2.1) builds the
+//     not-I-restricted transition graph in parallel as a CSR adjacency and
+//     then runs the same sequential Tarjan over it, so the witness cycle is
+//     bit-identical to FindLivelock's. Tarjan itself stays serial — Amdahl
+//     caps the speedup, but successor generation (a window decode plus a
+//     table lookup per process per state) dominates the sequential profile.
+//
+// Every parallel path returns results identical to the sequential reference
+// (kept under the same exported names with workers == 1) and is exercised
+// against it by TestParallelMatchesSequential under -race.
+
+// chunkFor returns the half-open range of chunk w when [0, n) is split into
+// workers contiguous chunks.
+func chunkFor(n uint64, workers, w int) (lo, hi uint64) {
+	size := (n + uint64(workers) - 1) / uint64(workers)
+	lo = uint64(w) * size
+	hi = lo + size
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// forEachChunk runs fn concurrently on one contiguous range of state codes
+// per worker and waits for all of them. With a single worker it runs fn
+// inline.
+func (in *Instance) forEachChunk(fn func(lo, hi uint64)) {
+	if in.workers <= 1 || in.n == 0 {
+		fn(0, in.n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < in.workers; w++ {
+		lo, hi := chunkFor(in.n, in.workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// bitset is a lock-free concurrent bitset over state codes: TrySet claims a
+// bit with a CAS loop so exactly one worker wins each state.
+type bitset []uint64
+
+func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
+
+// TrySet atomically sets bit id and reports whether this call changed it
+// (i.e. the caller claimed the state).
+func (b bitset) TrySet(id uint64) bool {
+	word := &b[id/64]
+	mask := uint64(1) << (id % 64)
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Get atomically reads bit id.
+func (b bitset) Get(id uint64) bool {
+	return atomic.LoadUint64(&b[id/64])&(uint64(1)<<(id%64)) != 0
+}
+
+// firstIllegitimateDeadlockParallel scans all states for the smallest-coded
+// global deadlock outside I. Workers CAS-min their first hit and bail out
+// early once a lower-ranged worker has already won, so the result equals
+// the sequential ascending scan's first hit.
+func (in *Instance) firstIllegitimateDeadlockParallel() (uint64, bool) {
+	var best atomic.Uint64
+	best.Store(math.MaxUint64)
+	in.forEachChunk(func(lo, hi uint64) {
+		vals := make([]int, in.k)
+		view := make(core.View, in.p.W())
+		for id := lo; id < hi; id++ {
+			if id%4096 == 0 && best.Load() < lo {
+				return // a lower chunk already found one; ours cannot win
+			}
+			if in.inI[id] || !in.isDeadlockScratch(id, vals, view) {
+				continue
+			}
+			for {
+				cur := best.Load()
+				if id >= cur || best.CompareAndSwap(cur, id) {
+					break
+				}
+			}
+			return // the first hit in an ascending chunk is the chunk's min
+		}
+	})
+	id := best.Load()
+	return id, id != math.MaxUint64
+}
+
+// collectStatesParallel returns, in increasing state-code order, every
+// state satisfying pred. Per-chunk slices are concatenated in chunk order,
+// so the result is identical to a sequential ascending scan.
+func (in *Instance) collectStatesParallel(pred func(id uint64, vals []int, view core.View) bool) []uint64 {
+	parts := make([][]uint64, in.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < in.workers; w++ {
+		lo, hi := chunkFor(in.n, in.workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			vals := make([]int, in.k)
+			view := make(core.View, in.p.W())
+			var out []uint64
+			for id := lo; id < hi; id++ {
+				if pred(id, vals, view) {
+					out = append(out, id)
+				}
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []uint64
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// parallelEdgeBudget bounds the CSR adjacency the parallel livelock check
+// materializes (edges are bounded by states x ring size). Past the budget
+// the check falls back to the on-the-fly sequential Tarjan — correctness is
+// unaffected, only the speedup of the livelock phase.
+const parallelEdgeBudget = 1 << 27
+
+// notIGraph is the Delta_p | not-I transition graph in compressed sparse
+// row form: states in I have an empty row, successors are the sorted
+// deduplicated not-I successors — exactly what FindLivelock's restricted()
+// generates on the fly.
+type notIGraph struct {
+	off   []uint64
+	edges []uint32
+}
+
+// succ returns the not-I successors of id as a fresh slice (the Tarjan
+// frames retain it), matching the sequential restricted() contract.
+func (g *notIGraph) succ(id uint64) []uint64 {
+	lo, hi := g.off[id], g.off[id+1]
+	if lo == hi {
+		return nil
+	}
+	out := make([]uint64, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = uint64(g.edges[i])
+	}
+	return out
+}
+
+// buildNotIGraphParallel materializes Delta_p | not-I with one worker per
+// contiguous state range; per-chunk edge lists are stitched in chunk order
+// so the layout is independent of scheduling. Returns false when the
+// instance is too large for the CSR budget (caller falls back to the
+// sequential path).
+func (in *Instance) buildNotIGraphParallel() (*notIGraph, bool) {
+	if in.n > math.MaxUint32 || in.n*uint64(in.k) > parallelEdgeBudget {
+		return nil, false
+	}
+	type chunk struct {
+		lo, hi uint64
+		deg    []uint32
+		edges  []uint32
+	}
+	chunks := make([]chunk, in.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < in.workers; w++ {
+		lo, hi := chunkFor(in.n, in.workers, w)
+		chunks[w] = chunk{lo: lo, hi: hi}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(c *chunk) {
+			defer wg.Done()
+			vals := make([]int, in.k)
+			view := make(core.View, in.p.W())
+			c.deg = make([]uint32, c.hi-c.lo)
+			for id := c.lo; id < c.hi; id++ {
+				if in.inI[id] {
+					continue
+				}
+				n := 0
+				for _, s := range in.successorsScratch(id, vals, view) {
+					if !in.inI[s] {
+						c.edges = append(c.edges, uint32(s))
+						n++
+					}
+				}
+				c.deg[id-c.lo] = uint32(n)
+			}
+		}(&chunks[w])
+	}
+	wg.Wait()
+	g := &notIGraph{off: make([]uint64, in.n+1)}
+	total := 0
+	for _, c := range chunks {
+		total += len(c.edges)
+	}
+	g.edges = make([]uint32, 0, total)
+	var off uint64
+	for _, c := range chunks {
+		for i := c.lo; i < c.hi; i++ {
+			g.off[i] = off
+			off += uint64(c.deg[i-c.lo])
+		}
+		g.edges = append(g.edges, c.edges...)
+	}
+	g.off[in.n] = off
+	return g, true
+}
+
+// checkStrongConvergenceParallel is the workers > 1 path of
+// CheckStrongConvergence; see the file comment for why each phase produces
+// exactly the sequential verdict and witnesses.
+func (in *Instance) checkStrongConvergenceParallel() ConvergenceReport {
+	rep := ConvergenceReport{StatesExplored: in.n}
+	if id, ok := in.firstIllegitimateDeadlockParallel(); ok {
+		d := id
+		rep.DeadlockWitness = &d
+		return rep
+	}
+	var cycle []uint64
+	if g, ok := in.buildNotIGraphParallel(); ok {
+		cycle = in.findLivelock(g.succ)
+	} else {
+		cycle = in.FindLivelock()
+	}
+	if cycle != nil {
+		rep.LivelockWitness = cycle
+		return rep
+	}
+	rep.Converges = true
+	return rep
+}
+
+// recoveryDistancesParallel runs the backward BFS from I level-
+// synchronously: each level's frontier is split among workers, predecessors
+// are claimed through the CAS bitset (exactly one worker wins a state), and
+// the level barrier makes the claimed distances visible before the next
+// level reads them. BFS distances are unique, so the dist array equals the
+// sequential one for any worker count.
+func (in *Instance) recoveryDistancesParallel() []int32 {
+	dist := make([]int32, in.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	seen := newBitset(in.n)
+	frontier := in.collectStatesParallel(func(id uint64, _ []int, _ core.View) bool {
+		return in.inI[id]
+	})
+	for _, id := range frontier {
+		seen.TrySet(id)
+		dist[id] = 0
+	}
+	for level := int32(0); len(frontier) > 0; level++ {
+		parts := make([][]uint64, in.workers)
+		var wg sync.WaitGroup
+		size := (len(frontier) + in.workers - 1) / in.workers
+		for w := 0; w < in.workers; w++ {
+			lo := w * size
+			hi := lo + size
+			if lo >= len(frontier) {
+				break
+			}
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(w int, slice []uint64) {
+				defer wg.Done()
+				vals := make([]int, in.k)
+				svals := make([]int, in.k)
+				view := make(core.View, in.p.W())
+				var next []uint64
+				for _, id := range slice {
+					in.DecodeInto(id, vals)
+					for r := 0; r < in.k; r++ {
+						orig := vals[r]
+						for ov := 0; ov < in.d; ov++ {
+							if ov == orig {
+								continue
+							}
+							vals[r] = ov
+							pred := in.Encode(vals)
+							vals[r] = orig
+							if seen.Get(pred) {
+								continue
+							}
+							if !in.hasTransitionScratch(pred, id, svals, view) {
+								continue
+							}
+							if seen.TrySet(pred) {
+								dist[pred] = level + 1
+								next = append(next, pred)
+							}
+						}
+					}
+				}
+				parts[w] = next
+			}(w, frontier[lo:hi])
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, p := range parts {
+			frontier = append(frontier, p...)
+		}
+	}
+	return dist
+}
+
+// recoveryDistancesSeq is the sequential reference: the FIFO backward BFS
+// RecoveryRadius has always used, emitting the dist array.
+func (in *Instance) recoveryDistancesSeq() []int32 {
+	dist := make([]int32, in.n)
+	var frontier []uint64
+	for id := uint64(0); id < in.n; id++ {
+		if in.inI[id] {
+			dist[id] = 0
+			frontier = append(frontier, id)
+		} else {
+			dist[id] = -1
+		}
+	}
+	vals := make([]int, in.k)
+	svals := make([]int, in.k)
+	view := make(core.View, in.p.W())
+	for head := 0; head < len(frontier); head++ {
+		id := frontier[head]
+		in.DecodeInto(id, vals)
+		for r := 0; r < in.k; r++ {
+			orig := vals[r]
+			for ov := 0; ov < in.d; ov++ {
+				if ov == orig {
+					continue
+				}
+				vals[r] = ov
+				pred := in.Encode(vals)
+				vals[r] = orig
+				if dist[pred] >= 0 {
+					continue
+				}
+				if in.hasTransitionScratch(pred, id, svals, view) {
+					dist[pred] = dist[id] + 1
+					frontier = append(frontier, pred)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// recoveryDistances returns, per state, the length of the shortest
+// computation into I (0 inside I, -1 when I is unreachable) — the substrate
+// shared by CheckWeakConvergence and RecoveryRadius.
+func (in *Instance) recoveryDistances() []int32 {
+	if in.workers > 1 {
+		return in.recoveryDistancesParallel()
+	}
+	return in.recoveryDistancesSeq()
+}
+
+// checkClosureParallel scans the states of I for the smallest-coded closure
+// violation, mirroring CheckClosure's ascending scan with a CAS-min merge
+// and early bail-out.
+func (in *Instance) checkClosureParallel() *ClosureViolation {
+	var best atomic.Uint64
+	best.Store(math.MaxUint64)
+	found := make([]*ClosureViolation, in.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < in.workers; w++ {
+		lo, hi := chunkFor(in.n, in.workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				if id%4096 == 0 && best.Load() < lo {
+					return
+				}
+				if !in.inI[id] {
+					continue
+				}
+				for _, t := range in.SuccessorsDetailed(id) {
+					if in.inI[t.To] {
+						continue
+					}
+					v := ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}
+					found[w] = &v
+					for {
+						cur := best.Load()
+						if id >= cur || best.CompareAndSwap(cur, id) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	id := best.Load()
+	if id == math.MaxUint64 {
+		return nil
+	}
+	for _, v := range found {
+		if v != nil && v.From == id {
+			return v
+		}
+	}
+	return nil
+}

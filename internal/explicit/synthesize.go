@@ -3,7 +3,10 @@ package explicit
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"paramring/internal/core"
 )
@@ -41,10 +44,28 @@ type GlobalSynthesisResult struct {
 
 // SynthesizeGlobal searches for recovery transitions making base strongly
 // converge at ring size k. maxCandidates caps the number of candidate
-// protocols model-checked (<= 0 selects 4096).
+// protocols model-checked (<= 0 selects 4096). Candidates are
+// model-checked across runtime.GOMAXPROCS(0) workers; see
+// SynthesizeGlobalWorkers for the determinism contract.
 func SynthesizeGlobal(base *core.Protocol, k int, maxCandidates int) (*GlobalSynthesisResult, error) {
+	return SynthesizeGlobalWorkers(base, k, maxCandidates, 0)
+}
+
+// SynthesizeGlobalWorkers is SynthesizeGlobal with an explicit worker
+// count (0 selects runtime.GOMAXPROCS(0); 1 is the sequential reference).
+// Candidates carry their enumeration index, workers claim indices from a
+// shared counter, and the result is the converging candidate with the
+// LOWEST index — so the chosen protocol, CandidatesTried, and
+// StatesExplored are identical to the sequential search for any worker
+// count. Workers stop claiming once an index below every unclaimed one has
+// converged, preserving the early-exit that makes the per-K baseline
+// competitive in the Table 4 benchmarks.
+func SynthesizeGlobalWorkers(base *core.Protocol, k, maxCandidates, workers int) (*GlobalSynthesisResult, error) {
 	if maxCandidates <= 0 {
 		maxCandidates = 4096
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	sys := base.Compile()
 	if !sys.IsSelfDisabling() {
@@ -91,7 +112,14 @@ func SynthesizeGlobal(base *core.Protocol, k int, maxCandidates int) (*GlobalSyn
 		return masks[i] < masks[j]
 	})
 
+	// Materialize the deterministic candidate order (one entry past the
+	// budget is enough to distinguish "budget exhausted" from "search space
+	// exhausted" — the same distinction the incremental loop made).
+	var cands [][]core.LocalTransition
 	for _, mask := range masks {
+		if len(cands) > maxCandidates {
+			break
+		}
 		resolved := map[core.LocalState]bool{}
 		var states []core.LocalState
 		for i, s := range illegit {
@@ -122,35 +150,135 @@ func SynthesizeGlobal(base *core.Protocol, k int, maxCandidates int) (*GlobalSyn
 		for _, cs := range perState {
 			total *= len(cs)
 		}
-		for idx := 0; idx < total; idx++ {
-			if res.CandidatesTried >= maxCandidates {
-				return nil, fmt.Errorf("explicit: candidate budget %d exhausted without a solution", maxCandidates)
-			}
+		for idx := 0; idx < total && len(cands) <= maxCandidates; idx++ {
 			chosen := make([]core.LocalTransition, len(states))
 			x := idx
 			for i, cs := range perState {
 				chosen[i] = core.LocalTransition{Src: states[i], Dst: cs[x%len(cs)], Action: "conv"}
 				x /= len(cs)
 			}
-			cand, err := applyTable(base, chosen)
+			cands = append(cands, chosen)
+		}
+	}
+	overBudget := len(cands) > maxCandidates
+	if overBudget {
+		cands = cands[:maxCandidates]
+	}
+
+	win, err := evalCandidates(base, k, cands, workers)
+	if err != nil {
+		return nil, err
+	}
+	if win >= 0 {
+		cand, err := applyTable(base, cands[win])
+		if err != nil {
+			return nil, err
+		}
+		res.Protocol = cand
+		res.Chosen = cands[win]
+		res.CandidatesTried = win + 1
+		res.StatesExplored = uint64(win+1) * instanceStates(base, k)
+		return res, nil
+	}
+	if overBudget {
+		return nil, fmt.Errorf("explicit: candidate budget %d exhausted without a solution", maxCandidates)
+	}
+	return nil, fmt.Errorf("explicit: no candidate protocol converges at K=%d", k)
+}
+
+// instanceStates returns domain^k (every candidate check explores the full
+// space, so StatesExplored is candidates-tried times this).
+func instanceStates(base *core.Protocol, k int) uint64 {
+	n := uint64(1)
+	for i := 0; i < k; i++ {
+		n *= uint64(base.Domain())
+	}
+	return n
+}
+
+// evalCandidates model-checks cands at ring size k and returns the lowest
+// index whose protocol strongly converges, or -1. Workers claim indices in
+// order from a shared counter and stop once no unclaimed index can beat
+// the best winner so far; the minimum over winners makes the outcome
+// independent of scheduling. Candidate instances run their own checks
+// sequentially (WithWorkers(1)) — the parallelism here is across
+// candidates, not within one.
+func evalCandidates(base *core.Protocol, k int, cands [][]core.LocalTransition, workers int) (int, error) {
+	if len(cands) == 0 {
+		return -1, nil
+	}
+	check := func(i int) (bool, error) {
+		cand, err := applyTable(base, cands[i])
+		if err != nil {
+			return false, err
+		}
+		in, err := NewInstance(cand, k, WithWorkers(1))
+		if err != nil {
+			return false, err
+		}
+		return in.CheckStrongConvergence().Converges, nil
+	}
+	if workers <= 1 {
+		for i := range cands {
+			ok, err := check(i)
 			if err != nil {
-				return nil, err
+				return -1, err
 			}
-			in, err := NewInstance(cand, k)
-			if err != nil {
-				return nil, err
+			if ok {
+				return i, nil
 			}
-			res.CandidatesTried++
-			rep := in.CheckStrongConvergence()
-			res.StatesExplored += rep.StatesExplored
-			if rep.Converges {
-				res.Protocol = cand
-				res.Chosen = chosen
-				return res, nil
+		}
+		return -1, nil
+	}
+	var (
+		next    atomic.Int64
+		bestWin atomic.Int64
+		errIdx  atomic.Int64
+		errMu   sync.Mutex
+		errs    = map[int64]error{}
+		wg      sync.WaitGroup
+	)
+	bestWin.Store(int64(len(cands)))
+	errIdx.Store(int64(len(cands)))
+	casMin := func(a *atomic.Int64, v int64) {
+		for {
+			cur := a.Load()
+			if v >= cur || a.CompareAndSwap(cur, v) {
+				return
 			}
 		}
 	}
-	return nil, fmt.Errorf("explicit: no candidate protocol converges at K=%d", k)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(cands)) || i > bestWin.Load() || i > errIdx.Load() {
+					return
+				}
+				ok, err := check(int(i))
+				switch {
+				case err != nil:
+					errMu.Lock()
+					errs[i] = err
+					errMu.Unlock()
+					casMin(&errIdx, i)
+				case ok:
+					casMin(&bestWin, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := errIdx.Load(); e < bestWin.Load() {
+		// The sequential search would have hit this error before any win.
+		return -1, errs[e]
+	}
+	if w := bestWin.Load(); w < int64(len(cands)) {
+		return int(w), nil
+	}
+	return -1, nil
 }
 
 // applyTable mirrors synthesis.Apply without importing it (avoiding a

@@ -36,7 +36,9 @@ type LTG struct {
 	r   *rcg.RCG
 }
 
-// Build constructs the LTG of a compiled protocol.
+// Build constructs the LTG of a compiled protocol: the RCG's s-arcs
+// (Section 4) plus the local transitions as t-arcs — the graph of
+// Section 5 that Figure 4 draws for the matching protocol.
 func Build(sys *core.System) *LTG {
 	return &LTG{sys: sys, r: rcg.Build(sys)}
 }

@@ -7,7 +7,9 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"paramring/internal/core"
 	"paramring/internal/explicit"
@@ -59,6 +61,11 @@ type Options struct {
 	// LivelockBoundedFreeK records the bound (useful for bidirectional
 	// protocols, where Theorem 5.14 covers contiguous livelocks only).
 	BoundedFallbackMaxK int
+	// Workers sets the explicit-engine worker count used for
+	// cross-validation and the bounded fallback, and fans the per-K
+	// instances out concurrently (0 = runtime.GOMAXPROCS(0); 1 =
+	// sequential). The report is identical for any worker count.
+	Workers int
 }
 
 // Report is the combined verification outcome.
@@ -109,6 +116,9 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 	if opts.ConfirmMaxK <= 0 {
 		opts.ConfirmMaxK = 7
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	rep := &Report{}
 	sys := p.Compile()
 
@@ -156,50 +166,104 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 		}
 	}
 
-	// Bounded fallback for inconclusive livelock verdicts.
+	// Bounded fallback for inconclusive livelock verdicts: every ring size
+	// in [2, bound] is searched (fanned out across workers — the smallest
+	// livelocking K wins the merge, so the verdict matches the sequential
+	// ascending search).
 	if rep.Livelock == Inconclusive && opts.BoundedFallbackMaxK > 1 {
-		freeUpTo := 0
-		for k := 2; k <= opts.BoundedFallbackMaxK; k++ {
-			in, err := explicit.NewInstance(p, k)
+		found := make([]bool, opts.BoundedFallbackMaxK+1)
+		err := perK(2, opts.BoundedFallbackMaxK, opts.Workers, func(k int) error {
+			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(opts.Workers))
 			if err != nil {
-				return nil, fmt.Errorf("verify: bounded fallback K=%d: %w", k, err)
+				return fmt.Errorf("verify: bounded fallback K=%d: %w", k, err)
 			}
-			if c := in.FindLivelock(); c != nil {
+			found[k] = in.FindLivelock() != nil
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.LivelockBoundedFreeK = opts.BoundedFallbackMaxK
+		for k := 2; k <= opts.BoundedFallbackMaxK; k++ {
+			if found[k] {
 				rep.Livelock = Refuted
 				rep.LivelockWitnessK = k
-				freeUpTo = 0
+				rep.LivelockBoundedFreeK = 0
 				break
 			}
-			freeUpTo = k
 		}
-		rep.LivelockBoundedFreeK = freeUpTo
 	}
 
 	rep.SelfStabilizing = rep.Deadlock == Proved && rep.Livelock == Proved &&
 		!rep.ContiguousOnly && rep.LivelockSkipped == ""
 
-	// Optional exhaustive cross-validation.
-	for k := 2; k <= opts.CrossValidateMaxK; k++ {
-		in, err := explicit.NewInstance(p, k)
+	// Optional exhaustive cross-validation, fanned out per ring size;
+	// disagreement messages are merged in K order so the report is
+	// independent of scheduling.
+	if opts.CrossValidateMaxK > 1 {
+		msgs := make([][]string, opts.CrossValidateMaxK+1)
+		err := perK(2, opts.CrossValidateMaxK, opts.Workers, func(k int) error {
+			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(opts.Workers))
+			if err != nil {
+				return fmt.Errorf("verify: cross-validation K=%d: %w", k, err)
+			}
+			hasDeadlock := len(in.IllegitimateDeadlocks()) > 0
+			if hasDeadlock && rep.Deadlock == Proved {
+				msgs[k] = append(msgs[k],
+					fmt.Sprintf("K=%d: explicit deadlock contradicts Theorem 4.2 Proved", k))
+			}
+			if !hasDeadlock && rep.Deadlock == Refuted && containsK(dl, k) {
+				msgs[k] = append(msgs[k],
+					fmt.Sprintf("K=%d: Theorem 4.2 witness size not reproduced", k))
+			}
+			if rep.Livelock == Proved && in.FindLivelock() != nil {
+				msgs[k] = append(msgs[k],
+					fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+			}
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("verify: cross-validation K=%d: %w", k, err)
+			return nil, err
 		}
-		rep.CrossValidated = append(rep.CrossValidated, k)
-		hasDeadlock := len(in.IllegitimateDeadlocks()) > 0
-		if hasDeadlock && rep.Deadlock == Proved {
-			rep.Disagreements = append(rep.Disagreements,
-				fmt.Sprintf("K=%d: explicit deadlock contradicts Theorem 4.2 Proved", k))
-		}
-		if !hasDeadlock && rep.Deadlock == Refuted && containsK(dl, k) {
-			rep.Disagreements = append(rep.Disagreements,
-				fmt.Sprintf("K=%d: Theorem 4.2 witness size not reproduced", k))
-		}
-		if rep.Livelock == Proved && in.FindLivelock() != nil {
-			rep.Disagreements = append(rep.Disagreements,
-				fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+		for k := 2; k <= opts.CrossValidateMaxK; k++ {
+			rep.CrossValidated = append(rep.CrossValidated, k)
+			rep.Disagreements = append(rep.Disagreements, msgs[k]...)
 		}
 	}
 	return rep, nil
+}
+
+// perK runs fn(k) for every k in [lo, hi] across at most workers
+// goroutines, returning the error for the smallest failing k (matching
+// what a sequential ascending loop would have surfaced first).
+func perK(lo, hi, workers int, fn func(k int) error) error {
+	if workers <= 1 || hi-lo < 1 {
+		for k := lo; k <= hi; k++ {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, hi+1)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for k := lo; k <= hi; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[k] = fn(k)
+		}(k)
+	}
+	wg.Wait()
+	for k := lo; k <= hi; k++ {
+		if errs[k] != nil {
+			return errs[k]
+		}
+	}
+	return nil
 }
 
 // Summary renders a human-readable digest.

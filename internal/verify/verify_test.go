@@ -2,6 +2,7 @@ package verify
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -165,5 +166,50 @@ func TestBoundedFallbackRefutesMatchingBStyleLivelock(t *testing.T) {
 	// No livelock exists for matchingB at K<=5 (its failures are deadlocks).
 	if rep.LivelockBoundedFreeK != 5 {
 		t.Fatalf("boundedFreeK=%d", rep.LivelockBoundedFreeK)
+	}
+}
+
+// TestWorkersReportIdentical is the facade half of the determinism
+// contract: the full report — verdicts, witness sizes, cross-validation
+// messages, bounded-fallback results — must be byte-identical whether the
+// explicit engine runs sequentially or fanned out.
+func TestWorkersReportIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"agreement-one-sided", Options{CrossValidateMaxK: 6}},
+		{"matchingA", Options{BoundedFallbackMaxK: 6}},
+		{"matchingB", Options{CrossValidateMaxK: 5, BoundedFallbackMaxK: 5}},
+		{"gouda-acharya", Options{CrossValidateMaxK: 6}},
+	} {
+		p := protocols.All()[tc.name]
+		if p == nil {
+			switch tc.name {
+			case "agreement-one-sided":
+				p = protocols.AgreementOneSided("t01")
+			case "matchingA":
+				p = protocols.MatchingA()
+			case "matchingB":
+				p = protocols.MatchingB()
+			case "gouda-acharya":
+				p = protocols.GoudaAcharya()
+			}
+		}
+		seqOpts := tc.opts
+		seqOpts.Workers = 1
+		seq, err := Protocol(p, seqOpts)
+		if err != nil {
+			t.Fatalf("%s seq: %v", tc.name, err)
+		}
+		parOpts := tc.opts
+		parOpts.Workers = 4
+		par, err := Protocol(p, parOpts)
+		if err != nil {
+			t.Fatalf("%s par: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("%s: report diverged\nseq: %+v\npar: %+v", tc.name, seq, par)
+		}
 	}
 }
