@@ -18,10 +18,12 @@ import (
 	"os"
 	"sync"
 
+	"paramring/internal/cli"
 	"paramring/internal/experiments"
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrexperiments")
 	id := flag.String("id", "", "run a single experiment (F1..F12, T1..T4, X1..X8)")
 	summary := flag.Bool("summary", false, "print only the one-line verdicts")
 	paperOnly := flag.Bool("paper-only", false, "skip the extension experiments (X*)")
@@ -34,8 +36,7 @@ func main() {
 	case *id != "":
 		e, ok := experiments.ByID(*id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lrexperiments: unknown experiment %q\n", *id)
-			os.Exit(2)
+			cli.Exit("lrexperiments", 2, fmt.Errorf("unknown experiment %q", *id))
 		}
 		list = []experiments.Experiment{e}
 	case *paperOnly:

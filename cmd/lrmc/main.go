@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"paramring/internal/cli"
 	"paramring/internal/explicit"
@@ -22,6 +21,7 @@ import (
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrmc")
 	name := flag.String("protocol", "", "protocol name (zoo name or token-ring)")
 	file := flag.String("file", "", "guarded-commands file (.gc) to model check")
 	k := flag.Int("k", 5, "ring size")
@@ -40,14 +40,12 @@ func main() {
 	} else {
 		p, perr := cli.LoadProtocol(*name, *file)
 		if perr != nil {
-			fmt.Fprintf(os.Stderr, "lrmc: %v\n", perr)
-			os.Exit(2)
+			cli.Exit("lrmc", 2, perr)
 		}
 		in, err = explicit.NewInstance(p, *k)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrmc: %v\n", err)
-		os.Exit(1)
+		cli.Exit("lrmc", 1, err)
 	}
 
 	fmt.Printf("%s on a ring of K=%d: %d global states\n", *name, *k, in.NumStates())

@@ -1,0 +1,98 @@
+// Command lrserved runs the verification service: an HTTP JSON API over a
+// bounded job queue, a fixed pool of verification workers, and a
+// content-addressed result cache (see internal/service).
+//
+// Usage:
+//
+//	lrserved                                  # listen on :8420
+//	lrserved -addr :9000 -workers 8 -cache-dir /var/cache/lrserved
+//
+// Submit a spec and wait for the verdict:
+//
+//	curl -s localhost:8420/v1/verify -d '{
+//	  "spec": "protocol p\ndomain 2\nwindow 0 1\nlegit x[0] == x[1]\naction f: x[0] != x[1] -> x[0] := x[1]\n",
+//	  "options": {"cross_validate_max_k": 6},
+//	  "wait": true
+//	}'
+//
+// Or submit asynchronously and poll:
+//
+//	curl -s localhost:8420/v1/verify -d '{"spec": "..."}'   # -> {"id": "job-000001", ...}
+//	curl -s localhost:8420/v1/jobs/job-000001
+//	curl -s localhost:8420/healthz
+//	curl -s localhost:8420/metrics
+//
+// SIGINT/SIGTERM drains gracefully: submissions are rejected, queued jobs
+// finish, and a second deadline cancels whatever is still running.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paramring/internal/cli"
+	"paramring/internal/service"
+)
+
+func main() {
+	defer cli.ExitOnPanic("lrserved")
+	addr := flag.String("addr", ":8420", "listen address")
+	queue := flag.Int("queue", 256, "job queue bound")
+	workers := flag.Int("workers", 0, "verification workers (0 = GOMAXPROCS)")
+	engineWorkers := flag.Int("engine-workers", 1, "explicit-engine workers per job")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
+	maxTimeout := flag.Duration("max-job-timeout", 10*time.Minute, "clamp for client-supplied deadlines")
+	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = memory only)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are canceled")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		QueueSize:      *queue,
+		Workers:        *workers,
+		EngineWorkers:  *engineWorkers,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+		CacheDir:       *cacheDir,
+	})
+	if err != nil {
+		cli.Exit("lrserved", 1, err)
+	}
+	svc.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("lrserved: listening on %s (queue %d, %d workers)\n", *addr, *queue, *workers)
+
+	select {
+	case err := <-errc:
+		cli.Exit("lrserved", 1, err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("lrserved: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if err := svc.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		cli.Exit("lrserved", 1, err)
+	}
+	fmt.Println("lrserved: drained")
+}

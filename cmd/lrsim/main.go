@@ -13,8 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"os"
 
+	"paramring/internal/cli"
 	"paramring/internal/explicit"
 	"paramring/internal/protocols"
 	"paramring/internal/sim"
@@ -22,6 +22,7 @@ import (
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrsim")
 	name := flag.String("protocol", "", "protocol name")
 	k := flag.Int("k", 6, "ring size")
 	trials := flag.Int("trials", 200, "number of runs")
@@ -34,13 +35,11 @@ func main() {
 
 	p, ok := protocols.All()[*name]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "lrsim: unknown protocol %q\n", *name)
-		os.Exit(2)
+		cli.Exit("lrsim", 2, fmt.Errorf("unknown protocol %q (available: %s)", *name, cli.ZooNames()))
 	}
 	in, err := explicit.NewInstance(p, *k)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrsim: %v\n", err)
-		os.Exit(1)
+		cli.Exit("lrsim", 1, err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	newSched := func() sim.Scheduler {

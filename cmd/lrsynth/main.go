@@ -22,6 +22,7 @@ import (
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrsynth")
 	name := flag.String("protocol", "", "base protocol name (agreement, coloring2, coloring3, sum-not-two, ...)")
 	file := flag.String("file", "", "guarded-commands file (.gc) to synthesize from")
 	all := flag.Bool("all", false, "enumerate every accepted candidate set")
@@ -30,8 +31,7 @@ func main() {
 
 	p, err := cli.LoadProtocol(*name, *file)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrsynth: %v\n", err)
-		os.Exit(2)
+		cli.Exit("lrsynth", 2, err)
 	}
 
 	res, err := synthesis.Synthesize(p, synthesis.Options{All: *all})
@@ -45,8 +45,7 @@ func main() {
 			fmt.Println("\nresult: FAILURE — the methodology declares failure, as the paper does for this input")
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "lrsynth: %v\n", err)
-		os.Exit(1)
+		cli.Exit("lrsynth", 1, err)
 	}
 
 	sys := p.Compile()
@@ -59,8 +58,7 @@ func main() {
 			for k := 2; k <= *validate; k++ {
 				in, err := explicit.NewInstance(cand.Protocol, k)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "lrsynth: %v\n", err)
-					os.Exit(1)
+					cli.Exit("lrsynth", 1, err)
 				}
 				fmt.Printf(" K=%d:%v", k, in.CheckStrongConvergence().Converges)
 			}

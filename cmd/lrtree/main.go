@@ -14,14 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"paramring/internal/cli"
 	"paramring/internal/core"
 	"paramring/internal/dsl"
 	"paramring/internal/tree"
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrtree")
 	file := flag.String("file", "", "guarded-commands file for the non-root representative (window must be [-1,0])")
 	rootLegit := flag.String("root-legit", "", "root legitimacy expression over x[0] (default: always legitimate)")
 	synthesize := flag.Bool("synthesize", false, "add convergence actions instead of just verifying")
@@ -29,8 +30,7 @@ func main() {
 	flag.Parse()
 
 	if *file == "" {
-		fmt.Fprintln(os.Stderr, "lrtree: -file is required")
-		os.Exit(2)
+		cli.Exit("lrtree", 2, fmt.Errorf("-file is required"))
 	}
 	rep, err := dsl.ParseFile(*file)
 	if err != nil {
@@ -95,6 +95,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "lrtree: %v\n", err)
-	os.Exit(1)
+	cli.Exit("lrtree", 1, err)
 }

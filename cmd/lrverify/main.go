@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 
@@ -27,6 +26,7 @@ import (
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrverify")
 	name := flag.String("protocol", "", "protocol name (see -list)")
 	file := flag.String("file", "", "guarded-commands file (.gc) to verify instead of a zoo protocol")
 	list := flag.Bool("list", false, "list available protocols")
@@ -42,8 +42,7 @@ func main() {
 	}
 	p, err := cli.LoadProtocol(*name, *file)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrverify: %v\n", err)
-		os.Exit(2)
+		cli.Exit("lrverify", 2, err)
 	}
 
 	sys := p.Compile()
@@ -55,8 +54,7 @@ func main() {
 	r := rcg.Build(sys)
 	rep, err := r.CheckDeadlockFreedom(0)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrverify: %v\n", err)
-		os.Exit(1)
+		cli.Exit("lrverify", 1, err)
 	}
 	fmt.Printf("\nTheorem 4.2 (deadlock-freedom for every K): %v\n", rep.Free)
 	fmt.Printf("  local deadlocks: %d (%d illegitimate)\n", len(rep.LocalDeadlocks), len(rep.IllegitimateDeadlocks))
@@ -103,8 +101,7 @@ func main() {
 		fmt.Printf("  witness t-arcs: %s\n", ltg.FormatTArcs(sys, llRep.Witness.TArcs))
 		conf, err := ltg.ConfirmWitness(p, llRep.Witness, 7)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lrverify: confirming witness: %v\n", err)
-			os.Exit(1)
+			cli.Exit("lrverify", 1, fmt.Errorf("confirming witness: %w", err))
 		}
 		if conf.Confirmed {
 			fmt.Printf("  witness CONFIRMED: real livelock at K=%d\n", conf.K)
@@ -128,8 +125,7 @@ func main() {
 
 	if *xk > 1 {
 		if err := crossValidate(p, *xk, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "lrverify: %v\n", err)
-			os.Exit(1)
+			cli.Exit("lrverify", 1, err)
 		}
 	}
 }

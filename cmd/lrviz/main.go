@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"paramring/internal/cli"
 	"paramring/internal/ltg"
@@ -21,6 +20,7 @@ import (
 )
 
 func main() {
+	defer cli.ExitOnPanic("lrviz")
 	name := flag.String("protocol", "", "protocol name")
 	file := flag.String("file", "", "guarded-commands file (.gc) to render")
 	graph := flag.String("graph", "ltg", "rcg or ltg")
@@ -30,8 +30,7 @@ func main() {
 
 	p, err := cli.LoadProtocol(*name, *file)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrviz: %v\n", err)
-		os.Exit(2)
+		cli.Exit("lrviz", 2, err)
 	}
 	sys := p.Compile()
 	opts := viz.Options{OnlyDeadlocks: *deadlocks, RankDir: *rankdir}
@@ -41,7 +40,6 @@ func main() {
 	case "ltg":
 		fmt.Print(viz.LTGDOT(ltg.Build(sys), opts))
 	default:
-		fmt.Fprintf(os.Stderr, "lrviz: unknown graph kind %q (want rcg or ltg)\n", *graph)
-		os.Exit(2)
+		cli.Exit("lrviz", 2, fmt.Errorf("unknown graph kind %q (want rcg or ltg)", *graph))
 	}
 }

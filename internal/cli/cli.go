@@ -1,8 +1,12 @@
-// Package cli holds helpers shared by the command-line tools.
+// Package cli holds helpers shared by the command-line tools, including
+// the one place where they exit: every cmd binary reports failures as a
+// single "tool: message" line on stderr with a non-zero status — never a
+// panic stack trace — so malformed inputs are script-friendly to detect.
 package cli
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -10,6 +14,30 @@ import (
 	"paramring/internal/dsl"
 	"paramring/internal/protocols"
 )
+
+// Exit prints one "tool: error" line to stderr and exits with code.
+// By convention the tools use code 2 for usage/input errors (unknown
+// protocol, unparsable spec) and 1 for runtime failures.
+func Exit(tool string, code int, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(code)
+}
+
+// ExitOnPanic converts a panic into a one-line error exit (status 1). The
+// engine panics on spec-level contract violations that only surface once a
+// concrete instance runs (e.g. an action writing outside the domain — see
+// explicit.SuccessorsDetailed); deferring this at the top of main keeps
+// such inputs from dumping a stack trace at users:
+//
+//	func main() {
+//	    defer cli.ExitOnPanic("lrmc")
+//	    ...
+//	}
+func ExitOnPanic(tool string) {
+	if r := recover(); r != nil {
+		Exit(tool, 1, fmt.Errorf("%v", r))
+	}
+}
 
 // LoadProtocol resolves a protocol from either a zoo name or a guarded-
 // commands file (exactly one of name/file must be non-empty).

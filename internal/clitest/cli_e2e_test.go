@@ -134,6 +134,44 @@ func TestLrexperimentsSingle(t *testing.T) {
 	requireContains(t, out, "F5", "match=true")
 }
 
+// TestMalformedSpecIsOneLineError feeds the tools a spec that parses but
+// whose action writes outside the domain: the binaries must exit non-zero
+// with a single "tool: message" line, never a panic stack trace.
+func TestMalformedSpecIsOneLineError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bad := filepath.Join(t.TempDir(), "overflow.gc")
+	src := "protocol overflow\ndomain 2\nwindow 0 1\n" +
+		"legit x[0] == x[1]\naction bump: x[0] != x[1] -> x[0] := x[1] + 1\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range []string{"lrmc", "lrverify"} {
+		out := run(t, tool, false, "-file", bad)
+		requireContains(t, out, tool+": ", "outside domain")
+		for _, forbidden := range []string{"panic", "goroutine"} {
+			if strings.Contains(out, forbidden) {
+				t.Fatalf("%s dumped a stack trace:\n%s", tool, out)
+			}
+		}
+		// "exit status N" from `go run` aside, the tool's own output is
+		// exactly one diagnostic line.
+		var diag int
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, tool+": ") {
+				diag++
+			}
+		}
+		if diag != 1 {
+			t.Fatalf("%s printed %d diagnostic lines, want 1:\n%s", tool, diag, out)
+		}
+	}
+	// Unreadable files take the same path.
+	out := run(t, "lrmc", false, "-file", filepath.Join(t.TempDir(), "missing.gc"))
+	requireContains(t, out, "lrmc: ", "no such file")
+}
+
 func TestLrreportEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess test")

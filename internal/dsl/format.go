@@ -5,10 +5,18 @@ import (
 	"strings"
 )
 
-// Source renders the spec back to canonical guarded-commands text. The
-// output re-parses to an equivalent protocol (same transitions, same
-// legitimacy), which the round-trip tests assert.
-func (s *Spec) Source() string {
+// Format renders the spec to canonical guarded-commands text. Canonical
+// means a fixpoint of parse: parsing the output yields an AST identical to
+// s (up to source line numbers), and formatting that AST reproduces the
+// output byte for byte. Declarations appear in a fixed order (protocol,
+// domain, window, legit, actions in declaration order), expressions are
+// fully parenthesized, and value names are resolved to their indices — so
+// two specs denote the same protocol text-independently iff their Format
+// outputs (plus value-name tables) match. The service layer keys its
+// content-addressed result cache on this rendering, and the round-trip
+// property test in format_roundtrip_test.go pins the contract for every
+// shipped spec.
+func Format(s *Spec) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "protocol %s\n", s.Name)
 	if s.ValueNames != nil {
@@ -30,3 +38,7 @@ func (s *Spec) Source() string {
 	}
 	return b.String()
 }
+
+// Source renders the spec back to canonical guarded-commands text; it is
+// Format as a method (kept for callers that read spec.Source()).
+func (s *Spec) Source() string { return Format(s) }

@@ -1,0 +1,108 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// normalized returns a copy of s with source line numbers zeroed: Format is
+// canonical up to where the declarations sat in the original file.
+func normalized(s *Spec) *Spec {
+	c := *s
+	c.Actions = append([]actionDef(nil), s.Actions...)
+	for i := range c.Actions {
+		c.Actions[i].line = 0
+	}
+	return &c
+}
+
+// requireRoundTrip asserts the canonical-format contract on one source:
+// parse → Format → parse yields an identical AST (up to line numbers), and
+// Format is a fixpoint (formatting the reparse reproduces the text).
+func requireRoundTrip(t *testing.T, label, src string) {
+	t.Helper()
+	s1, err := ParseSpec(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", label, err)
+	}
+	f1 := Format(s1)
+	s2, err := ParseSpec(f1)
+	if err != nil {
+		t.Fatalf("%s: canonical output does not reparse: %v\n%s", label, err, f1)
+	}
+	if f2 := Format(s2); f2 != f1 {
+		t.Fatalf("%s: Format is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", label, f1, f2)
+	}
+	if !reflect.DeepEqual(normalized(s1), normalized(s2)) {
+		t.Fatalf("%s: parse(Format(spec)) AST differs from spec\noriginal: %#v\nreparsed: %#v", label, s1, s2)
+	}
+	// The reparsed spec must still compile to a protocol.
+	if _, err := s2.Protocol(); err != nil {
+		t.Fatalf("%s: reparsed spec does not compile: %v", label, err)
+	}
+}
+
+// Every shipped spec must survive parse → Format → parse with an identical
+// AST: the service's content-addressed cache keys on Format, so two
+// renderings of the same protocol must collide.
+func TestFormatRoundTripsEveryShippedSpec(t *testing.T) {
+	dir := specsDir(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".gc") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRoundTrip(t, e.Name(), string(data))
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("expected at least 5 shipped specs, checked %d", checked)
+	}
+}
+
+// Hand-picked sources exercising the corners the shipped specs may miss:
+// whitespace and comment noise, nondeterministic assignments, value names
+// in expressions, unary operators, and operator-precedence chains.
+func TestFormatRoundTripCorners(t *testing.T) {
+	sources := map[string]string{
+		"noise": "protocol  p \n\n  domain 3\nwindow -1 0\n  legit x[0] == x[-1]\naction a : x[0] != x[-1] -> x[0] := x[-1]\n",
+		"nondet": "protocol p\ndomain 4\nwindow 0 1\nlegit x[0] <= x[1]\n" +
+			"action hop: x[0] > x[1] -> x[0] := 0 | x[0] := x[1] | x[0] := (x[1] + 1) % 4\n",
+		"names": "protocol p\ndomain values idle busy done\nwindow -1 1\nlegit !(x[0] == busy && x[1] == busy)\n" +
+			"action calm: x[0] == busy && x[-1] == done -> x[0] := idle\n",
+		"precedence": "protocol p\ndomain 5\nwindow 0 1\nlegit x[0] + 2 * x[1] - 1 < 4 || x[0] == x[1]\n" +
+			"action mix: !(x[0] == 0) && x[1] >= 1 -> x[0] := -x[1] % 5\n",
+	}
+	for label, src := range sources {
+		requireRoundTrip(t, label, src)
+	}
+}
+
+// Formatting twice from two textual variants of the same spec must yield
+// the same canonical bytes — the cache-key property, stated directly.
+func TestFormatCollapsesTextualVariants(t *testing.T) {
+	a := "protocol p\ndomain 2\nwindow 0 1\nlegit (x[0]) == (x[1])\naction f: (x[0] != x[1]) -> x[0] := (x[1])\n"
+	b := "protocol   p\ndomain   2\nwindow 0   1\nlegit x[0]==x[1]\naction f :x[0]!=x[1]->x[0]:=x[1]\n"
+	sa, err := ParseSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ParseSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(sa) != Format(sb) {
+		t.Fatalf("textual variants format differently:\n%s\nvs\n%s", Format(sa), Format(sb))
+	}
+}

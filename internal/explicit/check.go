@@ -1,10 +1,17 @@
 package explicit
 
 import (
+	"context"
 	"fmt"
 
 	"paramring/internal/core"
 )
+
+// cancelCheckMask throttles context polls in the hot scan loops: ctx.Err()
+// is consulted once per (cancelCheckMask+1) states, so cancellation latency
+// stays in the microseconds while the per-state overhead stays one cheap
+// mask-and-branch.
+const cancelCheckMask = 4095
 
 // Deadlocks returns all global deadlock states (no enabled process), in
 // increasing state-code order. With WithWorkers > 1 the scan is sharded
@@ -85,7 +92,15 @@ func (in *Instance) CheckClosure() *ClosureViolation {
 // acyclic. Implemented as an iterative Tarjan SCC over the not-I-restricted
 // transition graph generated on the fly.
 func (in *Instance) FindLivelock() []uint64 {
-	return in.findLivelock(func(id uint64) []uint64 {
+	cycle, _ := in.FindLivelockCtx(context.Background())
+	return cycle
+}
+
+// FindLivelockCtx is FindLivelock with cooperative cancellation: the Tarjan
+// walk polls ctx every few thousand visited states and returns ctx.Err()
+// (with a nil cycle) once the context is done.
+func (in *Instance) FindLivelockCtx(ctx context.Context) ([]uint64, error) {
+	return in.findLivelock(ctx, func(id uint64) []uint64 {
 		if in.inI[id] {
 			return nil
 		}
@@ -104,7 +119,8 @@ func (in *Instance) FindLivelock() []uint64 {
 // provider of not-I-restricted successor lists so that the parallel checker
 // can feed it the pre-materialized CSR adjacency: same traversal order over
 // the same (sorted) adjacency means the same witness cycle either way.
-func (in *Instance) findLivelock(restricted func(id uint64) []uint64) []uint64 {
+// Cancellation is polled once per cancelCheckMask+1 visited states.
+func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64) []uint64) ([]uint64, error) {
 	const unvisited = -1
 	index := make([]int32, in.n)
 	low := make([]int32, in.n)
@@ -131,6 +147,11 @@ func (in *Instance) findLivelock(restricted func(id uint64) []uint64) []uint64 {
 				index[v] = count
 				low[v] = count
 				count++
+				if count&cancelCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				stack = append(stack, v)
 				onStack[v] = true
 				f.succ = restricted(v)
@@ -141,7 +162,7 @@ func (in *Instance) findLivelock(restricted func(id uint64) []uint64) []uint64 {
 				f.next++
 				if w == v {
 					// Self-loop: immediate livelock.
-					return []uint64{v}
+					return []uint64{v}, nil
 				}
 				if index[w] == unvisited {
 					frames = append(frames, mcFrame{v: w})
@@ -172,7 +193,7 @@ func (in *Instance) findLivelock(restricted func(id uint64) []uint64) []uint64 {
 						members[w] = true
 					}
 					found = in.cycleWithin(sccSeed, members)
-					return found
+					return found, nil
 				}
 				// Trivial SCC: pop it.
 				w := stack[len(stack)-1]
@@ -188,7 +209,7 @@ func (in *Instance) findLivelock(restricted func(id uint64) []uint64) []uint64 {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 type mcFrame struct {
@@ -277,10 +298,20 @@ type ConvergenceReport struct {
 // parallel.go); verdicts and witnesses are identical to the sequential
 // reference either way.
 func (in *Instance) CheckStrongConvergence() ConvergenceReport {
+	rep, _ := in.CheckStrongConvergenceCtx(context.Background())
+	return rep
+}
+
+// CheckStrongConvergenceCtx is CheckStrongConvergence with cooperative
+// cancellation: both the deadlock scan and the livelock Tarjan poll ctx
+// periodically (in every worker, when parallel) and the check returns
+// ctx.Err() with a zero-value report once the context is done — the hook
+// that makes service deadlines real on multi-second state spaces.
+func (in *Instance) CheckStrongConvergenceCtx(ctx context.Context) (ConvergenceReport, error) {
 	if in.workers > 1 {
-		return in.checkStrongConvergenceParallel()
+		return in.checkStrongConvergenceParallel(ctx)
 	}
-	return in.CheckStrongConvergenceSeq()
+	return in.checkStrongConvergenceSeq(ctx)
 }
 
 // CheckStrongConvergenceSeq is the single-threaded reference
@@ -288,22 +319,36 @@ func (in *Instance) CheckStrongConvergence() ConvergenceReport {
 // and the Table-1 benchmarks can cross-check and time the parallel engine
 // against it regardless of the instance's worker setting.
 func (in *Instance) CheckStrongConvergenceSeq() ConvergenceReport {
+	rep, _ := in.checkStrongConvergenceSeq(context.Background())
+	return rep
+}
+
+func (in *Instance) checkStrongConvergenceSeq(ctx context.Context) (ConvergenceReport, error) {
 	rep := ConvergenceReport{StatesExplored: in.n}
 	vals := make([]int, in.k)
 	view := make(core.View, in.p.W())
 	for id := uint64(0); id < in.n; id++ {
+		if id&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return ConvergenceReport{}, err
+			}
+		}
 		if !in.inI[id] && in.isDeadlockScratch(id, vals, view) {
 			d := id
 			rep.DeadlockWitness = &d
-			return rep
+			return rep, nil
 		}
 	}
-	if c := in.FindLivelock(); c != nil {
+	c, err := in.FindLivelockCtx(ctx)
+	if err != nil {
+		return ConvergenceReport{}, err
+	}
+	if c != nil {
 		rep.LivelockWitness = c
-		return rep
+		return rep, nil
 	}
 	rep.Converges = true
-	return rep
+	return rep, nil
 }
 
 // CheckWeakConvergence reports whether from every state some computation

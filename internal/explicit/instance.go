@@ -15,6 +15,7 @@
 package explicit
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -98,6 +99,13 @@ type Instance struct {
 
 // NewInstance instantiates p on a ring of k >= 2 processes.
 func NewInstance(p *core.Protocol, k int, opts ...Option) (*Instance, error) {
+	return NewInstanceCtx(context.Background(), p, k, opts...)
+}
+
+// NewInstanceCtx is NewInstance with cooperative cancellation: the domain^K
+// legitimacy precomputation (itself a full state-space scan) polls ctx and
+// aborts with ctx.Err() once the context is done.
+func NewInstanceCtx(ctx context.Context, p *core.Protocol, k int, opts ...Option) (*Instance, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("explicit: ring size %d < 2", k)
 	}
@@ -133,11 +141,64 @@ func NewInstance(p *core.Protocol, k int, opts ...Option) (*Instance, error) {
 	in.forEachChunk(func(lo, hi uint64) {
 		vals := make([]int, k)
 		for id := lo; id < hi; id++ {
+			if id&cancelCheckMask == 0 && ctx.Err() != nil {
+				return
+			}
 			in.DecodeInto(id, vals)
 			in.inI[id] = in.evalI(vals)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := in.validateActions(); err != nil {
+		return nil, err
+	}
 	return in, nil
+}
+
+// validateActions evaluates every action on every possible local view and
+// rejects writes outside the domain. Catching this at construction turns a
+// data-dependent panic — which the parallel scan paths would raise on a
+// worker goroutine, beyond any recover in main — into an ordinary one-line
+// error from NewInstance. Cost is domain^W per action list, negligible
+// next to the domain^K legitimacy scan above.
+func (in *Instance) validateActions() error {
+	lists := [][]core.Action{in.p.Actions()}
+	positions := make([]int, 0, len(in.distinguished))
+	for pos := range in.distinguished {
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
+	for _, pos := range positions {
+		lists = append(lists, in.distinguished[pos])
+	}
+	w := in.p.W()
+	views := uint64(1)
+	for i := 0; i < w; i++ {
+		views *= uint64(in.d)
+	}
+	view := make(core.View, w)
+	for code := uint64(0); code < views; code++ {
+		c := code
+		for i := 0; i < w; i++ {
+			view[i] = int(c % uint64(in.d))
+			c /= uint64(in.d)
+		}
+		for _, actions := range lists {
+			for _, a := range actions {
+				if !a.Guard(view) {
+					continue
+				}
+				for _, nv := range a.Next(view) {
+					if nv < 0 || nv >= in.d {
+						return fmt.Errorf("explicit: action %q writes %d outside domain [0,%d) on view %v", a.Name, nv, in.d, []int(view))
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // MustNewInstance is NewInstance that panics on error.

@@ -1,6 +1,7 @@
 package explicit
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -100,15 +101,15 @@ func (b bitset) Get(id uint64) bool {
 // global deadlock outside I. Workers CAS-min their first hit and bail out
 // early once a lower-ranged worker has already won, so the result equals
 // the sequential ascending scan's first hit.
-func (in *Instance) firstIllegitimateDeadlockParallel() (uint64, bool) {
+func (in *Instance) firstIllegitimateDeadlockParallel(ctx context.Context) (uint64, bool) {
 	var best atomic.Uint64
 	best.Store(math.MaxUint64)
 	in.forEachChunk(func(lo, hi uint64) {
 		vals := make([]int, in.k)
 		view := make(core.View, in.p.W())
 		for id := lo; id < hi; id++ {
-			if id%4096 == 0 && best.Load() < lo {
-				return // a lower chunk already found one; ours cannot win
+			if id%4096 == 0 && (ctx.Err() != nil || best.Load() < lo) {
+				return // canceled, or a lower chunk already found one
 			}
 			if in.inI[id] || !in.isDeadlockScratch(id, vals, view) {
 				continue
@@ -193,7 +194,7 @@ func (g *notIGraph) succ(id uint64) []uint64 {
 // so the layout is independent of scheduling. Returns false when the
 // instance is too large for the CSR budget (caller falls back to the
 // sequential path).
-func (in *Instance) buildNotIGraphParallel() (*notIGraph, bool) {
+func (in *Instance) buildNotIGraphParallel(ctx context.Context) (*notIGraph, bool) {
 	if in.n > math.MaxUint32 || in.n*uint64(in.k) > parallelEdgeBudget {
 		return nil, false
 	}
@@ -217,6 +218,9 @@ func (in *Instance) buildNotIGraphParallel() (*notIGraph, bool) {
 			view := make(core.View, in.p.W())
 			c.deg = make([]uint32, c.hi-c.lo)
 			for id := c.lo; id < c.hi; id++ {
+				if id&cancelCheckMask == 0 && ctx.Err() != nil {
+					return // partial chunk; the caller discards via ctx.Err()
+				}
 				if in.inI[id] {
 					continue
 				}
@@ -252,26 +256,37 @@ func (in *Instance) buildNotIGraphParallel() (*notIGraph, bool) {
 
 // checkStrongConvergenceParallel is the workers > 1 path of
 // CheckStrongConvergence; see the file comment for why each phase produces
-// exactly the sequential verdict and witnesses.
-func (in *Instance) checkStrongConvergenceParallel() ConvergenceReport {
+// exactly the sequential verdict and witnesses. A done ctx aborts the
+// in-flight phase (every worker polls it) and surfaces ctx.Err().
+func (in *Instance) checkStrongConvergenceParallel(ctx context.Context) (ConvergenceReport, error) {
 	rep := ConvergenceReport{StatesExplored: in.n}
-	if id, ok := in.firstIllegitimateDeadlockParallel(); ok {
+	id, ok := in.firstIllegitimateDeadlockParallel(ctx)
+	if err := ctx.Err(); err != nil {
+		return ConvergenceReport{}, err
+	}
+	if ok {
 		d := id
 		rep.DeadlockWitness = &d
-		return rep
+		return rep, nil
 	}
-	var cycle []uint64
-	if g, ok := in.buildNotIGraphParallel(); ok {
-		cycle = in.findLivelock(g.succ)
+	var (
+		cycle []uint64
+		err   error
+	)
+	if g, ok := in.buildNotIGraphParallel(ctx); ok && ctx.Err() == nil {
+		cycle, err = in.findLivelock(ctx, g.succ)
 	} else {
-		cycle = in.FindLivelock()
+		cycle, err = in.FindLivelockCtx(ctx)
+	}
+	if err != nil {
+		return ConvergenceReport{}, err
 	}
 	if cycle != nil {
 		rep.LivelockWitness = cycle
-		return rep
+		return rep, nil
 	}
 	rep.Converges = true
-	return rep
+	return rep, nil
 }
 
 // recoveryDistancesParallel runs the backward BFS from I level-

@@ -1,6 +1,7 @@
 package explicit
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -51,6 +52,13 @@ func SynthesizeGlobal(base *core.Protocol, k int, maxCandidates int) (*GlobalSyn
 	return SynthesizeGlobalWorkers(base, k, maxCandidates, 0)
 }
 
+// SynthesizeGlobalCtx is SynthesizeGlobal with cooperative cancellation:
+// the candidate search polls ctx between candidate model checks (and inside
+// each check's scan loops) and returns ctx.Err() once the context is done.
+func SynthesizeGlobalCtx(ctx context.Context, base *core.Protocol, k, maxCandidates int) (*GlobalSynthesisResult, error) {
+	return synthesizeGlobalWorkers(ctx, base, k, maxCandidates, 0)
+}
+
 // SynthesizeGlobalWorkers is SynthesizeGlobal with an explicit worker
 // count (0 selects runtime.GOMAXPROCS(0); 1 is the sequential reference).
 // Candidates carry their enumeration index, workers claim indices from a
@@ -61,6 +69,10 @@ func SynthesizeGlobal(base *core.Protocol, k int, maxCandidates int) (*GlobalSyn
 // converged, preserving the early-exit that makes the per-K baseline
 // competitive in the Table 4 benchmarks.
 func SynthesizeGlobalWorkers(base *core.Protocol, k, maxCandidates, workers int) (*GlobalSynthesisResult, error) {
+	return synthesizeGlobalWorkers(context.Background(), base, k, maxCandidates, workers)
+}
+
+func synthesizeGlobalWorkers(ctx context.Context, base *core.Protocol, k, maxCandidates, workers int) (*GlobalSynthesisResult, error) {
 	if maxCandidates <= 0 {
 		maxCandidates = 4096
 	}
@@ -165,7 +177,7 @@ func SynthesizeGlobalWorkers(base *core.Protocol, k, maxCandidates, workers int)
 		cands = cands[:maxCandidates]
 	}
 
-	win, err := evalCandidates(base, k, cands, workers)
+	win, err := evalCandidates(ctx, base, k, cands, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +215,7 @@ func instanceStates(base *core.Protocol, k int) uint64 {
 // independent of scheduling. Candidate instances run their own checks
 // sequentially (WithWorkers(1)) — the parallelism here is across
 // candidates, not within one.
-func evalCandidates(base *core.Protocol, k int, cands [][]core.LocalTransition, workers int) (int, error) {
+func evalCandidates(ctx context.Context, base *core.Protocol, k int, cands [][]core.LocalTransition, workers int) (int, error) {
 	if len(cands) == 0 {
 		return -1, nil
 	}
@@ -212,14 +224,21 @@ func evalCandidates(base *core.Protocol, k int, cands [][]core.LocalTransition, 
 		if err != nil {
 			return false, err
 		}
-		in, err := NewInstance(cand, k, WithWorkers(1))
+		in, err := NewInstanceCtx(ctx, cand, k, WithWorkers(1))
 		if err != nil {
 			return false, err
 		}
-		return in.CheckStrongConvergence().Converges, nil
+		rep, err := in.CheckStrongConvergenceCtx(ctx)
+		if err != nil {
+			return false, err
+		}
+		return rep.Converges, nil
 	}
 	if workers <= 1 {
 		for i := range cands {
+			if err := ctx.Err(); err != nil {
+				return -1, err
+			}
 			ok, err := check(i)
 			if err != nil {
 				return -1, err

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cacheKey content-addresses a verification: the canonical dsl.Format
+// rendering of the spec plus the normalized option set. Anything that
+// cannot change the verdict (whitespace, comments, parenthesization, the
+// worker count) is already erased from both inputs, so textual variants of
+// one protocol share a cache line.
+func cacheKey(canonicalSpec string, opts RequestOptions) string {
+	h := sha256.New()
+	h.Write([]byte(canonicalSpec))
+	h.Write([]byte{0})
+	h.Write([]byte(opts.keyString()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultCache is a size-bounded in-memory LRU of verification results,
+// optionally write-through persisted as one JSON file per key under dir.
+// Memory eviction never deletes the disk copy, so a key evicted under
+// pressure (or a fresh process pointed at the same -cache-dir) is re-served
+// from disk instead of re-verified.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	dir   string
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	res *Result
+}
+
+func newResultCache(maxEntries int, dir string) (*resultCache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &resultCache{
+		max:   maxEntries,
+		dir:   dir,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the cached result for key, consulting memory first and then
+// the disk tier. A disk hit is promoted into memory.
+func (c *resultCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheItem).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false // corrupt entry: treat as a miss, Put overwrites it
+	}
+	c.insert(key, &res)
+	return &res, true
+}
+
+// Put stores the result in memory (evicting the least recently used entry
+// past the bound) and writes it through to the disk tier when configured.
+func (c *resultCache) Put(key string, res *Result) error {
+	c.insert(key, res)
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Write-then-rename keeps a concurrently reading process (or a crash
+	// mid-write) from ever observing a torn entry.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+func (c *resultCache) insert(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheItem{key: key, res: res})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *resultCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testResult(name string) *Result {
+	return &Result{Protocol: name, Deadlock: "proved", Livelock: "proved", Summary: name}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := newResultCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), testResult(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 should have been evicted as least recently used")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	// Touching k1 makes k2 the eviction victim.
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	}
+	if err := c.Put("k3", testResult("r3")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 should have been evicted after k1 was touched")
+	}
+}
+
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := newResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult("persisted")
+	if err := c1.Put("key", want); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory (a restarted process) serves
+	// the entry from disk and promotes it into memory.
+	c2, err := newResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("key")
+	if !ok {
+		t.Fatal("disk tier miss")
+	}
+	if got.Protocol != want.Protocol || got.Summary != want.Summary {
+		t.Fatalf("disk round-trip mangled the result: %+v", got)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("disk hit not promoted to memory: Len = %d", c2.Len())
+	}
+}
+
+func TestCacheKeyIgnoresNonSemanticOptions(t *testing.T) {
+	spec := "protocol p\ndomain 2\nwindow 0 1\nlegit x[0] == x[1]\n"
+	if cacheKey(spec, RequestOptions{}) != cacheKey(spec, RequestOptions{ConfirmMaxK: 7, MaxTArcs: 16}) {
+		t.Fatal("explicit defaults must hash like omitted options")
+	}
+	if cacheKey(spec, RequestOptions{}) == cacheKey(spec, RequestOptions{CrossValidateMaxK: 4}) {
+		t.Fatal("cross-validation depth must be part of the key")
+	}
+	if cacheKey(spec, RequestOptions{}) == cacheKey(spec+" ", RequestOptions{}) {
+		t.Fatal("different canonical text must not collide")
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxRequestBytes bounds a POST body (specs are a few hundred bytes; this
+// is pure abuse protection).
+const maxRequestBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/verify    submit a spec; {"wait": true} blocks until done
+//	GET  /v1/jobs/{id} poll a job
+//	GET  /healthz      liveness + occupancy
+//	GET  /metrics      Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Wait {
+		// The job deadline bounds this (jobs always reach a terminal
+		// state); a vanished client just stops watching.
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+		}
+	}
+	view := s.Snapshot(j)
+	status := http.StatusAccepted
+	if view.State == StateDone || view.State == StateFailed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot(j))
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"stats":  s.Stats(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.Stats()
+	s.metrics.WriteTo(w, map[string]float64{
+		"lrserved_queue_capacity": float64(st.QueueCap),
+		"lrserved_cache_entries":  float64(st.CacheEntries),
+		"lrserved_workers":        float64(st.Workers),
+	})
+}

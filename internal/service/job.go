@@ -1,0 +1,187 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"paramring/internal/ltg"
+	"paramring/internal/verify"
+)
+
+// RequestOptions is the client-facing tuning knob set of a verification
+// request — the JSON mirror of verify.Options minus Workers, which is a
+// server resource decision and deliberately excluded from the cache key
+// (verify documents that verdicts are identical for any worker count).
+type RequestOptions struct {
+	// ConfirmMaxK bounds the livelock witness-confirmation search
+	// (0 selects the verify default of 7).
+	ConfirmMaxK int `json:"confirm_max_k,omitempty"`
+	// CrossValidateMaxK > 1 additionally model-checks every ring size
+	// 2..CrossValidateMaxK with the explicit oracle.
+	CrossValidateMaxK int `json:"cross_validate_max_k,omitempty"`
+	// BoundedFallbackMaxK > 1 resolves Inconclusive livelock verdicts by
+	// exhaustive search up to the bound.
+	BoundedFallbackMaxK int `json:"bounded_fallback_max_k,omitempty"`
+	// MaxTArcs bounds the Theorem 5.14 trail search (0 selects the ltg
+	// default of 16).
+	MaxTArcs int `json:"max_tarcs,omitempty"`
+}
+
+// normalize resolves defaults so that semantically equal option sets are
+// representationally equal — the cache key is built from the normalized
+// form, making {confirm_max_k: 7} and {} the same cache line.
+func (o RequestOptions) normalize() RequestOptions {
+	if o.ConfirmMaxK <= 0 {
+		o.ConfirmMaxK = 7
+	}
+	if o.MaxTArcs <= 0 {
+		o.MaxTArcs = 16
+	}
+	if o.CrossValidateMaxK < 2 {
+		o.CrossValidateMaxK = 0
+	}
+	if o.BoundedFallbackMaxK < 2 {
+		o.BoundedFallbackMaxK = 0
+	}
+	return o
+}
+
+// keyString renders the normalized options deterministically for the
+// content-addressed cache key.
+func (o RequestOptions) keyString() string {
+	o = o.normalize()
+	return fmt.Sprintf("confirm=%d xval=%d fallback=%d tarcs=%d",
+		o.ConfirmMaxK, o.CrossValidateMaxK, o.BoundedFallbackMaxK, o.MaxTArcs)
+}
+
+// verifyOptions translates to the engine's option struct, attaching the
+// server-chosen explicit-engine worker count.
+func (o RequestOptions) verifyOptions(engineWorkers int) verify.Options {
+	o = o.normalize()
+	return verify.Options{
+		ConfirmMaxK:         o.ConfirmMaxK,
+		CrossValidateMaxK:   o.CrossValidateMaxK,
+		BoundedFallbackMaxK: o.BoundedFallbackMaxK,
+		Check:               ltg.CheckOptions{MaxTArcs: o.MaxTArcs},
+		Workers:             engineWorkers,
+	}
+}
+
+// Request is one verification submission.
+type Request struct {
+	// Spec is the guarded-commands protocol text (the specs/*.gc dialect).
+	Spec string `json:"spec"`
+	// Options tunes the verification pipeline.
+	Options RequestOptions `json:"options"`
+	// Wait, on the HTTP surface, blocks the POST until the job finishes.
+	Wait bool `json:"wait,omitempty"`
+	// TimeoutMS overrides the server's default per-job deadline (clamped
+	// to the server maximum; 0 keeps the default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Result is the JSON-friendly projection of a verify.Report. Results are
+// shared between jobs through the cache and must be treated as immutable.
+type Result struct {
+	Protocol             string   `json:"protocol"`
+	Deadlock             string   `json:"deadlock"`
+	DeadlockWitnessK     int      `json:"deadlock_witness_k,omitempty"`
+	Livelock             string   `json:"livelock"`
+	LivelockWitnessK     int      `json:"livelock_witness_k,omitempty"`
+	ContiguousOnly       bool     `json:"contiguous_only,omitempty"`
+	LivelockSkipped      string   `json:"livelock_skipped,omitempty"`
+	LivelockBoundedFreeK int      `json:"livelock_bounded_free_k,omitempty"`
+	SelfStabilizing      bool     `json:"self_stabilizing"`
+	CrossValidated       []int    `json:"cross_validated,omitempty"`
+	Disagreements        []string `json:"disagreements,omitempty"`
+	ExplicitStates       uint64   `json:"explicit_states"`
+	Summary              string   `json:"summary"`
+}
+
+// resultFromReport projects the engine report onto the wire shape.
+func resultFromReport(name string, rep *verify.Report) *Result {
+	return &Result{
+		Protocol:             name,
+		Deadlock:             rep.Deadlock.String(),
+		DeadlockWitnessK:     rep.DeadlockWitnessK,
+		Livelock:             rep.Livelock.String(),
+		LivelockWitnessK:     rep.LivelockWitnessK,
+		ContiguousOnly:       rep.ContiguousOnly,
+		LivelockSkipped:      rep.LivelockSkipped,
+		LivelockBoundedFreeK: rep.LivelockBoundedFreeK,
+		SelfStabilizing:      rep.SelfStabilizing,
+		CrossValidated:       rep.CrossValidated,
+		Disagreements:        rep.Disagreements,
+		ExplicitStates:       rep.ExplicitStates,
+		Summary:              rep.Summary(),
+	}
+}
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a verification worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is executing the pipeline.
+	StateRunning JobState = "running"
+	// StateDone: finished with a result (possibly served from cache).
+	StateDone JobState = "done"
+	// StateFailed: finished without a result (deadline, cancel, engine error).
+	StateFailed JobState = "failed"
+)
+
+// Job tracks one submission through the queue. All mutable fields are
+// guarded by the owning Service's mutex; read them via snapshot.
+type Job struct {
+	id       string
+	state    JobState
+	cached   bool
+	result   *Result
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// key is the content address of (canonical spec, normalized options).
+	key string
+	// spec is the parsed submission, compiled by the worker.
+	spec     specHandle
+	deadline time.Time
+	// done is closed exactly once when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// specHandle carries what the worker needs from the parse phase.
+type specHandle struct {
+	name      string
+	canonical string
+	options   RequestOptions
+}
+
+// JobView is the JSON rendering of a job at one instant. Timestamps are
+// RFC 3339 strings, empty until the phase is reached.
+type JobView struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Cached     bool     `json:"cached"`
+	Error      string   `json:"error,omitempty"`
+	Result     *Result  `json:"result,omitempty"`
+	CreatedAt  string   `json:"created_at"`
+	StartedAt  string   `json:"started_at,omitempty"`
+	FinishedAt string   `json:"finished_at,omitempty"`
+}
+
+// stamp renders a timestamp for JobView ("" while unset).
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's instrumentation surface, rendered on /metrics in
+// the Prometheus text exposition format. Counters and gauges are lock-free
+// atomics on the hot path; histograms take a short mutex per observation.
+type Metrics struct {
+	JobsSubmitted atomic.Uint64 // every POST accepted into the pipeline
+	JobsDone      atomic.Uint64 // terminal: result produced
+	JobsFailed    atomic.Uint64 // terminal: error (includes timeouts)
+	JobsTimeout   atomic.Uint64 // subset of failed: deadline exceeded
+	ParseErrors   atomic.Uint64 // rejected before job creation
+
+	JobsQueued  atomic.Int64 // gauge: accepted, not yet picked up
+	JobsRunning atomic.Int64 // gauge: currently on a worker
+
+	CacheHits      atomic.Uint64
+	CacheMisses    atomic.Uint64
+	StatesExplored atomic.Uint64 // explicit-engine states, fresh runs only
+
+	parse  histogram
+	verify histogram
+	total  histogram
+}
+
+// NewMetrics returns a Metrics with the standard latency buckets.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	for _, h := range []*histogram{&m.parse, &m.verify, &m.total} {
+		h.bounds = []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30}
+		h.counts = make([]uint64, len(h.bounds))
+	}
+	return m
+}
+
+// ObservePhase records one per-phase latency sample (phases: parse, verify,
+// total).
+func (m *Metrics) ObservePhase(phase string, d time.Duration) {
+	switch phase {
+	case "parse":
+		m.parse.observe(d.Seconds())
+	case "verify":
+		m.verify.observe(d.Seconds())
+	case "total":
+		m.total.observe(d.Seconds())
+	}
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative on render, as
+// Prometheus expects).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.n++
+}
+
+func (h *histogram) write(w io.Writer, name, phase string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n", name, phase, trimFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", name, phase, h.n)
+	fmt.Fprintf(w, "%s_sum{phase=%q} %g\n", name, phase, h.sum)
+	fmt.Fprintf(w, "%s_count{phase=%q} %d\n", name, phase, h.n)
+}
+
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteTo renders the exposition text. The extra gauges map carries
+// point-in-time values owned by the Service (queue depth capacity, cache
+// entries) so Metrics stays free of back-references.
+func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("lrserved_jobs_submitted_total", "Jobs accepted into the pipeline.", m.JobsSubmitted.Load())
+	counter("lrserved_jobs_done_total", "Jobs finished with a result.", m.JobsDone.Load())
+	counter("lrserved_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed.Load())
+	counter("lrserved_jobs_timeout_total", "Jobs that exceeded their deadline.", m.JobsTimeout.Load())
+	counter("lrserved_parse_errors_total", "Submissions rejected at parse time.", m.ParseErrors.Load())
+	counter("lrserved_cache_hits_total", "Verifications served from the result cache.", m.CacheHits.Load())
+	counter("lrserved_cache_misses_total", "Verifications that had to run the engine.", m.CacheMisses.Load())
+	counter("lrserved_states_explored_total", "Explicit-engine global states enumerated.", m.StatesExplored.Load())
+	gauge("lrserved_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued.Load()))
+	gauge("lrserved_jobs_running", "Jobs currently executing.", float64(m.JobsRunning.Load()))
+	names := make([]string, 0, len(extraGauges))
+	for n := range extraGauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		gauge(n, "See lrserved documentation.", extraGauges[n])
+	}
+	const hname = "lrserved_phase_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-phase job latency.\n# TYPE %s histogram\n", hname, hname)
+	m.parse.write(w, hname, "parse")
+	m.verify.write(w, hname, "verify")
+	m.total.write(w, hname, "total")
+}

@@ -1,0 +1,385 @@
+// Package service is the long-running verification layer: a bounded job
+// queue in front of a fixed pool of workers that run the verify pipeline
+// with per-job deadlines, fronted by a content-addressed result cache.
+//
+// The shape follows how parameterized-verification tooling is consumed in
+// practice: clients submit Guarded-Command specs (the specs/*.gc dialect)
+// and poll structured verdicts, while repeat submissions of the same
+// protocol — the overwhelmingly common case for a shared service — are
+// answered from the cache without touching the engine. The cache is keyed
+// by the canonical dsl.Format rendering of the spec plus the normalized
+// option set, so whitespace, comments, and parenthesization never cause a
+// re-verification. cmd/lrserved exposes this package over HTTP.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"paramring/internal/dsl"
+	"paramring/internal/verify"
+)
+
+// Service errors surfaced to submitters. ErrBadSpec wraps parse/compile
+// failures (an HTTP 400); ErrQueueFull is backpressure (429); ErrShutdown
+// rejects submissions during drain (503).
+var (
+	ErrBadSpec   = errors.New("bad spec")
+	ErrQueueFull = errors.New("queue full")
+	ErrShutdown  = errors.New("shutting down")
+)
+
+// Config tunes a Service. Zero values select the documented defaults.
+type Config struct {
+	// QueueSize bounds the number of jobs waiting for a worker (default
+	// 256). Submissions beyond it fail fast with ErrQueueFull.
+	QueueSize int
+	// Workers is the number of concurrent verification jobs (default
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// EngineWorkers is the explicit-engine worker count handed to each
+	// job's verify.Options (default 1: with a full pool of job-level
+	// workers, intra-job parallelism only adds contention; raise it for a
+	// latency-oriented deployment with few concurrent clients).
+	EngineWorkers int
+	// DefaultTimeout is the per-job deadline when the request does not
+	// set one (default 60s). The deadline is anchored at submission, so
+	// queue wait counts against it.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied deadlines (default 10m).
+	MaxTimeout time.Duration
+	// CacheSize bounds the in-memory result cache entries (default 1024).
+	CacheSize int
+	// CacheDir, when non-empty, persists results as one JSON file per
+	// content address, surviving restarts.
+	CacheDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = 1
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// Service is the verification service. Create with New, then Start; submit
+// with Submit; stop with Shutdown.
+type Service struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+
+	queue     chan *Job
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // job ids in creation order, for retention eviction
+	nextID uint64
+	closed bool
+}
+
+// maxRetainedJobs bounds the id -> job index: once exceeded, the oldest
+// terminal jobs are forgotten (their results live on in the cache). Live
+// jobs are never evicted — they are bounded by queue size + workers.
+const maxRetainedJobs = 4096
+
+// New validates the configuration and builds a stopped Service.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	cache, err := newResultCache(cfg.CacheSize, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:       cfg,
+		metrics:   NewMetrics(),
+		cache:     cache,
+		queue:     make(chan *Job, cfg.QueueSize),
+		runCtx:    ctx,
+		cancelRun: cancel,
+		jobs:      make(map[string]*Job),
+	}, nil
+}
+
+// Start launches the worker pool.
+func (s *Service) Start() {
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.metrics.JobsQueued.Add(-1)
+				s.run(j)
+			}
+		}()
+	}
+}
+
+// Metrics returns the service's instrumentation.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Submit parses, canonicalizes, and either answers req from the cache
+// (returning an already-done Job) or enqueues it. The returned error is
+// ErrBadSpec-wrapped for malformed specs, ErrQueueFull under backpressure,
+// ErrShutdown during drain.
+func (s *Service) Submit(req Request) (*Job, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrShutdown
+	}
+
+	t0 := time.Now()
+	spec, err := dsl.ParseSpec(req.Spec)
+	if err == nil {
+		// Compile too: "parses but writes outside the window/domain" must
+		// be a 400, not a failed job.
+		_, err = spec.Protocol()
+	}
+	if err != nil {
+		s.metrics.ParseErrors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	canonical := dsl.Format(spec)
+	opts := req.Options.normalize()
+	key := cacheKey(canonical, opts)
+	s.metrics.ObservePhase("parse", time.Since(t0))
+	s.metrics.JobsSubmitted.Add(1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	j := &Job{
+		key:      key,
+		spec:     specHandle{name: spec.Name, canonical: canonical, options: opts},
+		created:  t0,
+		deadline: t0.Add(timeout),
+		done:     make(chan struct{}),
+	}
+
+	if res, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsDone.Add(1)
+		s.mu.Lock()
+		j.id = s.newIDLocked()
+		j.state = StateDone
+		j.cached = true
+		j.result = res
+		j.finished = time.Now()
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		close(j.done)
+		s.metrics.ObservePhase("total", time.Since(t0))
+		return j, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	j.id = s.newIDLocked()
+	j.state = StateQueued
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.metrics.JobsQueued.Add(1)
+		return j, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+func (s *Service) newIDLocked() string {
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.order = append(s.order, id)
+	if len(s.jobs) >= maxRetainedJobs {
+		s.evictTerminalLocked()
+	}
+	return id
+}
+
+// evictTerminalLocked drops the oldest finished jobs until the index is
+// back under the retention bound.
+func (s *Service) evictTerminalLocked() {
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) >= maxRetainedJobs && (j.state == StateDone || j.state == StateFailed) {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// run executes one job on the calling worker goroutine.
+func (s *Service) run(j *Job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	s.metrics.JobsRunning.Add(1)
+	defer s.metrics.JobsRunning.Add(-1)
+
+	ctx, cancel := context.WithDeadline(s.runCtx, j.deadline)
+	defer cancel()
+
+	// Reparse from the canonical text: it is a guaranteed fixpoint of the
+	// parser (see dsl.Format) and keeps Job free of engine closures.
+	var (
+		rep *verify.Report
+		err error
+	)
+	spec, perr := dsl.ParseSpec(j.spec.canonical)
+	if perr != nil {
+		err = perr // unreachable unless Format's contract breaks
+	} else {
+		var proto, cerr = spec.Protocol()
+		if cerr != nil {
+			err = cerr
+		} else {
+			t0 := time.Now()
+			rep, err = verify.CheckCtx(ctx, proto, j.spec.options.verifyOptions(s.cfg.EngineWorkers))
+			s.metrics.ObservePhase("verify", time.Since(t0))
+		}
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		if errors.Is(err, context.DeadlineExceeded) {
+			j.err = fmt.Sprintf("deadline exceeded after %v", j.finished.Sub(j.created).Round(time.Millisecond))
+			s.metrics.JobsTimeout.Add(1)
+		} else {
+			j.err = err.Error()
+		}
+		s.metrics.JobsFailed.Add(1)
+	} else {
+		j.state = StateDone
+		j.result = resultFromReport(j.spec.name, rep)
+		s.metrics.StatesExplored.Add(rep.ExplicitStates)
+		s.metrics.JobsDone.Add(1)
+	}
+	res := j.result
+	key := j.key
+	s.mu.Unlock()
+	if res != nil {
+		// Write-through after releasing the job lock; the disk tier is
+		// best-effort (a failed write only costs a future re-verification).
+		_ = s.cache.Put(key, res)
+	}
+	close(j.done)
+	s.metrics.ObservePhase("total", time.Since(j.created))
+}
+
+// Job looks up a job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Snapshot renders a consistent point-in-time view of a job.
+func (s *Service) Snapshot(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobView{
+		ID:         j.id,
+		State:      j.state,
+		Cached:     j.cached,
+		Error:      j.err,
+		Result:     j.result,
+		CreatedAt:  stamp(j.created),
+		StartedAt:  stamp(j.started),
+		FinishedAt: stamp(j.finished),
+	}
+}
+
+// Stats is the health summary served on /healthz.
+type Stats struct {
+	Queued       int `json:"queued"`
+	Running      int `json:"running"`
+	Workers      int `json:"workers"`
+	QueueCap     int `json:"queue_capacity"`
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Stats returns current occupancy.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Queued:       int(s.metrics.JobsQueued.Load()),
+		Running:      int(s.metrics.JobsRunning.Load()),
+		Workers:      s.cfg.Workers,
+		QueueCap:     s.cfg.QueueSize,
+		CacheEntries: s.cache.Len(),
+	}
+}
+
+// Shutdown drains gracefully: new submissions are rejected, queued jobs
+// run to completion, and the call blocks until the pool exits. When ctx
+// expires first, in-flight jobs are canceled (they finish as failed) and
+// Shutdown still waits for the pool before returning ctx's error. The disk
+// cache is write-through, so every completed result is already flushed.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelRun()
+		return nil
+	case <-ctx.Done():
+		s.cancelRun()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -5,11 +5,13 @@
 package verify
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"paramring/internal/core"
 	"paramring/internal/explicit"
@@ -109,10 +111,30 @@ type Report struct {
 	// Disagreements lists cross-validation conflicts (always empty unless
 	// an implementation bug exists).
 	Disagreements []string
+
+	// ExplicitStates totals the global states enumerated by the explicit
+	// engine across cross-validation and the bounded fallback (0 when the
+	// verdict came from local reasoning alone). The service layer exports
+	// it as a work metric: a cached verdict re-served must add zero here.
+	ExplicitStates uint64
 }
 
-// Protocol runs the full local-reasoning verification pipeline.
+// Protocol runs the full local-reasoning verification pipeline. It is
+// equivalent to Check and kept under the historical name.
 func Protocol(p *core.Protocol, opts Options) (*Report, error) {
+	return CheckCtx(context.Background(), p, opts)
+}
+
+// Check runs the full local-reasoning verification pipeline.
+func Check(p *core.Protocol, opts Options) (*Report, error) {
+	return CheckCtx(context.Background(), p, opts)
+}
+
+// CheckCtx is Check with cooperative cancellation: ctx is polled at phase
+// boundaries and threaded into every explicit-engine call (instance
+// construction, state scans, Tarjan), so a deadline or cancel aborts the
+// pipeline with ctx.Err() instead of running the state spaces to completion.
+func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, error) {
 	if opts.ConfirmMaxK <= 0 {
 		opts.ConfirmMaxK = 7
 	}
@@ -121,6 +143,7 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 	}
 	rep := &Report{}
 	sys := p.Compile()
+	var explicitStates atomic.Uint64
 
 	// Theorem 4.2. A modest witness cap keeps dense deadlock graphs (e.g.
 	// action-free protocols, where every local state is a deadlock) cheap:
@@ -137,6 +160,10 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 	} else {
 		rep.Deadlock = Refuted
 		rep.DeadlockWitnessK = smallestWitness(dl)
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Theorem 5.14.
@@ -173,11 +200,19 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 	if rep.Livelock == Inconclusive && opts.BoundedFallbackMaxK > 1 {
 		found := make([]bool, opts.BoundedFallbackMaxK+1)
 		err := perK(2, opts.BoundedFallbackMaxK, opts.Workers, func(k int) error {
-			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(opts.Workers))
+			in, err := explicit.NewInstanceCtx(ctx, p, k, explicit.WithWorkers(opts.Workers))
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				return fmt.Errorf("verify: bounded fallback K=%d: %w", k, err)
 			}
-			found[k] = in.FindLivelock() != nil
+			cycle, err := in.FindLivelockCtx(ctx)
+			if err != nil {
+				return err
+			}
+			explicitStates.Add(in.NumStates())
+			found[k] = cycle != nil
 			return nil
 		})
 		if err != nil {
@@ -203,10 +238,14 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 	if opts.CrossValidateMaxK > 1 {
 		msgs := make([][]string, opts.CrossValidateMaxK+1)
 		err := perK(2, opts.CrossValidateMaxK, opts.Workers, func(k int) error {
-			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(opts.Workers))
+			in, err := explicit.NewInstanceCtx(ctx, p, k, explicit.WithWorkers(opts.Workers))
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				return fmt.Errorf("verify: cross-validation K=%d: %w", k, err)
 			}
+			explicitStates.Add(in.NumStates())
 			hasDeadlock := len(in.IllegitimateDeadlocks()) > 0
 			if hasDeadlock && rep.Deadlock == Proved {
 				msgs[k] = append(msgs[k],
@@ -216,9 +255,15 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 				msgs[k] = append(msgs[k],
 					fmt.Sprintf("K=%d: Theorem 4.2 witness size not reproduced", k))
 			}
-			if rep.Livelock == Proved && in.FindLivelock() != nil {
-				msgs[k] = append(msgs[k],
-					fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+			if rep.Livelock == Proved {
+				cycle, err := in.FindLivelockCtx(ctx)
+				if err != nil {
+					return err
+				}
+				if cycle != nil {
+					msgs[k] = append(msgs[k],
+						fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+				}
 			}
 			return nil
 		})
@@ -230,6 +275,7 @@ func Protocol(p *core.Protocol, opts Options) (*Report, error) {
 			rep.Disagreements = append(rep.Disagreements, msgs[k]...)
 		}
 	}
+	rep.ExplicitStates = explicitStates.Load()
 	return rep, nil
 }
 
