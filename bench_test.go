@@ -113,7 +113,11 @@ func BenchmarkFigure9to12Synthesis(b *testing.B) {
 // ones model-check one instance exhaustively and scale as 3^n. The Global
 // side runs both engines — seq pins the explicit checker to one worker,
 // par follows GOMAXPROCS — so `-cpu 1,2,4,8` shows the parallel scaling
-// shape on top of the exponential sweep.
+// shape on top of the exponential sweep. The instances run under the
+// engine's default state ceiling (1<<28 with the packed-bitset tables, up
+// from the 1<<24 the old []bool layout forced), and each seq/K row reports
+// the resident table bytes so the 1-bit-per-state cost is visible in the
+// benchmark output.
 func BenchmarkTable1LocalVsGlobal(b *testing.B) {
 	p := protocols.SumNotTwoSolution()
 	b.Run("Local/all-K", func(b *testing.B) {
@@ -128,12 +132,13 @@ func BenchmarkTable1LocalVsGlobal(b *testing.B) {
 			}
 		}
 	})
-	for _, k := range []int{4, 6, 8, 10, 12} {
+	for _, k := range []int{4, 6, 8, 10, 12, 14} {
 		b.Run(fmt.Sprintf("Global/seq/K=%d", k), func(b *testing.B) {
-			in, err := explicit.NewInstance(p, k, explicit.WithMaxStates(1<<24), explicit.WithWorkers(1))
+			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(1))
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportMetric(float64(in.TableBytes())/float64(in.NumStates()), "table-B/state")
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if !in.CheckStrongConvergenceSeq().Converges {
@@ -142,7 +147,7 @@ func BenchmarkTable1LocalVsGlobal(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("Global/par/K=%d", k), func(b *testing.B) {
-			in, err := explicit.NewInstance(p, k, explicit.WithMaxStates(1<<24))
+			in, err := explicit.NewInstance(p, k)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -29,7 +29,11 @@ func main() {
 	paperOnly := flag.Bool("paper-only", false, "skip the extension experiments (X*)")
 	workers := flag.Int("workers", 1,
 		"run up to this many experiments concurrently, buffering output and printing in order (1 streams; note concurrent runs add timing noise to T1/T4)")
+	maxStates := flag.Uint64("max-states", 0,
+		"override the explicit-engine state-count guard for the state-space experiments (0 = per-experiment defaults; engine ceiling 1<<28)")
 	flag.Parse()
+
+	experiments.SetMaxStates(*maxStates)
 
 	var list []experiments.Experiment
 	switch {

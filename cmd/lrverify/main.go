@@ -34,6 +34,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the full pseudo-livelock/trail diagnosis")
 	xk := flag.Int("xk", 0, "cross-validate with the explicit-state oracle for every ring size 2..xk")
 	workers := flag.Int("workers", 0, "explicit-engine worker count for -xk (0 = GOMAXPROCS)")
+	maxStates := flag.Uint64("max-states", 0, "explicit-engine state-count guard for -xk (0 = engine default of 1<<28)")
 	flag.Parse()
 
 	if *list {
@@ -124,7 +125,7 @@ func main() {
 	}
 
 	if *xk > 1 {
-		if err := crossValidate(p, *xk, *workers); err != nil {
+		if err := crossValidate(p, *xk, *workers, *maxStates); err != nil {
 			cli.Exit("lrverify", 1, err)
 		}
 	}
@@ -133,17 +134,20 @@ func main() {
 // crossValidate model-checks every ring size 2..maxK with the explicit
 // oracle, fanning the per-K instances out across workers and printing the
 // results as one K-ordered table (so the output is independent of
-// scheduling).
-func crossValidate(p *core.Protocol, maxK, workers int) error {
+// scheduling). The table-KiB column is the resident per-state table of each
+// instance (one bit per global state), so the cost of pushing K higher is
+// visible next to the state counts.
+func crossValidate(p *core.Protocol, maxK, workers int, maxStates uint64) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	type row struct {
-		states   uint64
-		illegit  int
-		converge bool
-		livelock bool
-		err      error
+		states     uint64
+		tableBytes uint64
+		illegit    int
+		converge   bool
+		livelock   bool
+		err        error
 	}
 	rows := make([]row, maxK+1)
 	var wg sync.WaitGroup
@@ -154,28 +158,33 @@ func crossValidate(p *core.Protocol, maxK, workers int) error {
 		go func(k int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			in, err := explicit.NewInstance(p, k, explicit.WithWorkers(workers))
+			opts := []explicit.Option{explicit.WithWorkers(workers)}
+			if maxStates > 0 {
+				opts = append(opts, explicit.WithMaxStates(maxStates))
+			}
+			in, err := explicit.NewInstance(p, k, opts...)
 			if err != nil {
 				rows[k].err = err
 				return
 			}
 			rep := in.CheckStrongConvergence()
 			rows[k] = row{
-				states:   in.NumStates(),
-				illegit:  len(in.IllegitimateDeadlocks()),
-				converge: rep.Converges,
-				livelock: rep.LivelockWitness != nil,
+				states:     in.NumStates(),
+				tableBytes: in.TableBytes(),
+				illegit:    len(in.IllegitimateDeadlocks()),
+				converge:   rep.Converges,
+				livelock:   rep.LivelockWitness != nil,
 			}
 		}(k)
 	}
 	wg.Wait()
 	fmt.Printf("\nexplicit cross-validation (K=2..%d, %d workers):\n", maxK, workers)
-	tb := trace.NewTable("K", "global states", "illegitimate deadlocks", "livelock", "strongly converges")
+	tb := trace.NewTable("K", "global states", "table KiB", "illegitimate deadlocks", "livelock", "strongly converges")
 	for k := 2; k <= maxK; k++ {
 		if rows[k].err != nil {
 			return fmt.Errorf("K=%d: %w", k, rows[k].err)
 		}
-		tb.AddRow(k, rows[k].states, rows[k].illegit, rows[k].livelock, rows[k].converge)
+		tb.AddRow(k, rows[k].states, (rows[k].tableBytes+1023)/1024, rows[k].illegit, rows[k].livelock, rows[k].converge)
 	}
 	fmt.Print(tb.String())
 	return nil

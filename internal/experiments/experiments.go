@@ -24,6 +24,25 @@ import (
 	"paramring/internal/trace"
 )
 
+// maxStatesOverride, when non-zero, replaces the per-experiment explicit
+// state-count guards (set via SetMaxStates from lrexperiments -max-states).
+var maxStatesOverride uint64
+
+// SetMaxStates overrides the explicit-engine state-count guard used by the
+// state-space experiments (T1, X8). n = 0 restores the per-experiment
+// defaults. The guard only bounds instance size — with the packed bitset
+// substrate the engine's default ceiling is 1<<28 states, so raising the
+// experiment guards toward it trades wall-clock for larger-K rows.
+func SetMaxStates(n uint64) { maxStatesOverride = n }
+
+// stateLimit resolves an experiment's default guard against the override.
+func stateLimit(def uint64) uint64 {
+	if maxStatesOverride > 0 {
+		return maxStatesOverride
+	}
+	return def
+}
+
 // Outcome is the verdict of one experiment.
 type Outcome struct {
 	// Measured is a one-line summary of what this reproduction observed.
@@ -528,7 +547,7 @@ func tableCost() Experiment {
 			monotone := true
 			var prev time.Duration
 			for _, k := range []int{4, 6, 8, 10, 12} {
-				seqIn, err := explicit.NewInstance(p, k, explicit.WithMaxStates(1<<24), explicit.WithWorkers(1))
+				seqIn, err := explicit.NewInstance(p, k, explicit.WithMaxStates(stateLimit(1<<24)), explicit.WithWorkers(1))
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -538,7 +557,7 @@ func tableCost() Experiment {
 				if !rep.Converges {
 					return Outcome{}, fmt.Errorf("unexpected non-convergence at K=%d", k)
 				}
-				parIn, err := explicit.NewInstance(p, k, explicit.WithMaxStates(1<<24))
+				parIn, err := explicit.NewInstance(p, k, explicit.WithMaxStates(stateLimit(1<<24)))
 				if err != nil {
 					return Outcome{}, err
 				}

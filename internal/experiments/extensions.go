@@ -182,7 +182,7 @@ func extRecoveryRadius() Experiment {
 			} {
 				prevMax := 0
 				for _, k := range tc.ks {
-					in, err := explicit.NewInstance(tc.p, k, explicit.WithMaxStates(1<<22))
+					in, err := explicit.NewInstance(tc.p, k, explicit.WithMaxStates(stateLimit(1<<22)))
 					if err != nil {
 						return Outcome{}, err
 					}

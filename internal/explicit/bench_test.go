@@ -56,6 +56,43 @@ func BenchmarkStrongConvergence(b *testing.B) {
 	}
 }
 
+// BenchmarkRaisedCeiling exercises the packed-bitset engine above the old
+// 1<<24 state guard: 65^4 = 17,850,625 global states, a size the []bool
+// layout refused outright. Construction dominates (one streamed fill of the
+// 2.1 MiB I(K) bitset); the convergence check then finds the all-zeros
+// illegitimate deadlock immediately, so one iteration stays around a
+// second and the seq/par pair is cheap enough for a CI smoke run.
+func BenchmarkRaisedCeiling(b *testing.B) {
+	p := raisedCeilingProtocol()
+	legit := func(vals []int) bool { return vals[0] == 64 }
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in, err := NewInstance(p, 4, WithWorkers(mode.workers), WithGlobalPredicate(legit))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(in.TableBytes())/float64(in.NumStates()), "table-B/state")
+				}
+				var rep ConvergenceReport
+				if mode.workers == 1 {
+					rep = in.CheckStrongConvergenceSeq()
+				} else {
+					rep = in.CheckStrongConvergence()
+				}
+				if rep.Converges || rep.DeadlockWitness == nil || *rep.DeadlockWitness != 0 {
+					b.Fatal("verdict changed at the raised ceiling")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRecoveryRadiusParallel times the CAS-bitset backward BFS against
 // the sequential FIFO BFS on the same instance size.
 func BenchmarkRecoveryRadiusParallel(b *testing.B) {

@@ -1,0 +1,368 @@
+package explicit
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/protocols"
+)
+
+func TestBitsetBasicOps(t *testing.T) {
+	b := newBitset(130) // three words, last one partial
+	if got := b.Bytes(); got != 24 {
+		t.Fatalf("Bytes = %d, want 24", got)
+	}
+	for _, id := range []uint64{0, 1, 63, 64, 127, 128, 129} {
+		if b.Get(id) {
+			t.Fatalf("bit %d set in fresh bitset", id)
+		}
+		b.Set(id)
+		if !b.Get(id) || !b.GetAtomic(id) {
+			t.Fatalf("bit %d unset after Set", id)
+		}
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 6 {
+		t.Fatal("Clear(64) did not clear exactly one bit")
+	}
+	// Neighbors of cleared/set bits are untouched (word masking).
+	if !b.Get(63) || !b.Get(127) {
+		t.Fatal("Clear touched a neighboring bit")
+	}
+	if !b.TestAndSet(64) {
+		t.Fatal("TestAndSet on a clear bit must claim it")
+	}
+	if b.TestAndSet(64) {
+		t.Fatal("TestAndSet on a set bit must not claim it")
+	}
+	b.SetAtomic(65)
+	if !b.Get(65) {
+		t.Fatal("SetAtomic(65) lost")
+	}
+}
+
+// TestChunkForWordAligned pins the alignment contract the construction fill
+// relies on: every chunk boundary is a multiple of 64 (or the range end),
+// so concurrent per-chunk writers never share a bitset word and the plain
+// (non-atomic) Set in the I(K) fill is race-free.
+func TestChunkForWordAligned(t *testing.T) {
+	for _, n := range []uint64{0, 1, 63, 64, 65, 1000, 1 << 16, 1<<16 + 17} {
+		for _, w := range []int{1, 2, 3, 7, 16, 64} {
+			for i := 0; i < w; i++ {
+				lo, hi := chunkFor(n, w, i)
+				if lo%64 != 0 && lo != n {
+					t.Fatalf("n=%d w=%d chunk %d: lo=%d not word-aligned", n, w, i, lo)
+				}
+				if hi%64 != 0 && hi != n {
+					t.Fatalf("n=%d w=%d chunk %d: hi=%d not word-aligned", n, w, i, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeCheckedErrors(t *testing.T) {
+	in := mustInstance(t, protocols.SumNotTwoBase(), 4) // domain 3, K=4
+	if _, err := in.EncodeChecked([]int{0, 1}); err == nil ||
+		!strings.Contains(err.Error(), "2 values for ring of 4") {
+		t.Fatalf("arity error = %v", err)
+	}
+	if _, err := in.EncodeChecked([]int{0, 3, 0, 0}); err == nil ||
+		!strings.Contains(err.Error(), "position 1") {
+		t.Fatalf("domain error = %v", err)
+	}
+	if _, err := in.EncodeChecked([]int{0, -1, 0, 0}); err == nil {
+		t.Fatal("negative value must be rejected")
+	}
+	id, err := in.EncodeChecked([]int{2, 1, 0, 2})
+	if err != nil || id != in.Encode([]int{2, 1, 0, 2}) {
+		t.Fatalf("valid EncodeChecked = (%d, %v)", id, err)
+	}
+}
+
+// TestEncodeAliasRegression pins the aliasing bug the validation exists
+// for: with domain 3, a stray vals[1]=3 contributes 3*3^1 = 9 = 1*3^2 to
+// the mixed-radix code — the id of a DIFFERENT, perfectly valid state.
+// Unvalidated encoding would return that id silently; it must reject.
+func TestEncodeAliasRegression(t *testing.T) {
+	in := mustInstance(t, protocols.SumNotTwoBase(), 4) // domain 3
+	aliased := in.Encode([]int{0, 0, 1, 0})
+	if aliased != 9 {
+		t.Fatalf("expected state 0010 to encode to 9, got %d", aliased)
+	}
+	if _, err := in.EncodeChecked([]int{0, 3, 0, 0}); err == nil {
+		t.Fatalf("vals[1]=3 would alias state %d; must be rejected", aliased)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with out-of-domain value must panic, not alias")
+		}
+	}()
+	in.Encode([]int{0, 3, 0, 0})
+}
+
+func TestWithProcessActionsPositionValidated(t *testing.T) {
+	follower, bottom := protocols.DijkstraTokenRing(3)
+	for _, pos := range []int{-1, 4, 99} {
+		_, err := NewInstance(follower, 4,
+			WithProcessActions(pos, bottom),
+			WithGlobalPredicate(protocols.TokenRingLegit))
+		if err == nil || !strings.Contains(err.Error(), "distinguished process position") {
+			t.Fatalf("pos=%d: err = %v, want position validation error", pos, err)
+		}
+	}
+	// In-range positions still work.
+	if _, err := NewInstance(follower, 4,
+		WithProcessActions(0, bottom),
+		WithGlobalPredicate(protocols.TokenRingLegit)); err != nil {
+		t.Fatalf("valid position rejected: %v", err)
+	}
+}
+
+// TestWithProcessActionsDomainValidated closes the validation gap where a
+// distinguished-process override writing outside the domain used to slip
+// past the constructor-time action check and panic later from a scan
+// worker goroutine mid-check.
+func TestWithProcessActionsDomainValidated(t *testing.T) {
+	follower, _ := protocols.DijkstraTokenRing(3)
+	rogue := []core.Action{{
+		Name:  "rogue",
+		Guard: func(v core.View) bool { return true },
+		Next:  func(v core.View) []int { return []int{3} }, // domain is [0,3)
+	}}
+	_, err := NewInstance(follower, 4,
+		WithProcessActions(0, rogue),
+		WithGlobalPredicate(protocols.TokenRingLegit))
+	if err == nil || !strings.Contains(err.Error(), "outside domain") {
+		t.Fatalf("err = %v, want constructor-time domain validation of the override", err)
+	}
+}
+
+// TestSuccessorsFastMatchesGuardEvaluation is the fuzz-style cross-check of
+// the two successor generators: the compiled fast path (Successors on a
+// symmetric instance) against plain guard evaluation (SuccessorsDetailed
+// always re-evaluates guards). Any divergence in the bitset/scratch
+// plumbing would show up as a set mismatch.
+func TestSuccessorsFastMatchesGuardEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name string
+		p    *core.Protocol
+		k    int
+	}{
+		{"agreement/K=12", protocols.AgreementBoth(), 12},
+		{"matchingA/K=9", protocols.MatchingA(), 9},
+		{"sumnottwo/K=10", protocols.SumNotTwoBase(), 10},
+	} {
+		in := mustInstance(t, tc.p, tc.k)
+		sc := in.newScratch()
+		for trial := 0; trial < 300; trial++ {
+			id := uint64(rng.Int63n(int64(in.NumStates())))
+			fast := append([]uint64(nil), in.successorsInto(id, sc)...)
+			want := map[uint64]bool{}
+			for _, tr := range in.SuccessorsDetailed(id) {
+				want[tr.To] = true
+			}
+			if len(fast) != len(want) {
+				t.Fatalf("%s id=%d: fast %v vs guard %v", tc.name, id, fast, want)
+			}
+			for i, s := range fast {
+				if !want[s] {
+					t.Fatalf("%s id=%d: fast successor %d not produced by guard evaluation", tc.name, id, s)
+				}
+				if i > 0 && fast[i-1] >= s {
+					t.Fatalf("%s id=%d: successors not sorted/deduped: %v", tc.name, id, fast)
+				}
+			}
+		}
+	}
+}
+
+// TestSuccessorsDistinguishedLargerK exercises the guard-evaluation
+// fallback (distinguished processes disable the compiled table) at a K
+// well past the sizes the token-ring tests use, cross-checking Successors
+// against SuccessorsDetailed and the scratch path against itself across
+// buffer reuse.
+func TestSuccessorsDistinguishedLargerK(t *testing.T) {
+	const k = 8
+	follower, bottom := protocols.DijkstraTokenRing(3) // 3^8 = 6561 states
+	in := mustInstance(t, follower, k,
+		WithProcessActions(0, bottom),
+		WithGlobalPredicate(protocols.TokenRingLegit))
+	rng := rand.New(rand.NewSource(11))
+	sc := in.newScratch()
+	for trial := 0; trial < 400; trial++ {
+		id := uint64(rng.Int63n(int64(in.NumStates())))
+		got := append([]uint64(nil), in.successorsInto(id, sc)...)
+		want := map[uint64]bool{}
+		var procs []int
+		for _, tr := range in.SuccessorsDetailed(id) {
+			want[tr.To] = true
+			procs = append(procs, tr.Process)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("id=%d: scratch %v vs detailed %v", id, got, want)
+		}
+		for _, s := range got {
+			if !want[s] {
+				t.Fatalf("id=%d: scratch successor %d missing from detailed", id, s)
+			}
+		}
+		// The distinguished process's actions must actually differ from the
+		// symmetric ones somewhere: position 0 executes "bump", not "copy".
+		for _, pr := range procs {
+			if pr == 0 {
+				for _, tr := range in.SuccessorsDetailed(id) {
+					if tr.Process == 0 && tr.Action != "bump" {
+						t.Fatalf("id=%d: distinguished process ran %q", id, tr.Action)
+					}
+				}
+			}
+		}
+	}
+}
+
+// raisedCeilingProtocol is a domain-65 ring: 65^4 = 17,850,625 global
+// states, strictly between the former 1<<24 ceiling and the current 1<<28.
+// The all-zero state is an illegitimate global deadlock at id 0, so both
+// convergence paths find their witness immediately and the test's cost is
+// the construction fill itself.
+func raisedCeilingProtocol() *core.Protocol {
+	const d = 65
+	return core.MustNew(core.Config{
+		Name:   "raised-ceiling",
+		Domain: d,
+		Lo:     -1,
+		Hi:     0,
+		Actions: []core.Action{{
+			Name:  "raise",
+			Guard: func(v core.View) bool { return v[1] < v[0] },
+			Next:  func(v core.View) []int { return []int{v[0]} },
+		}},
+		Legit: func(v core.View) bool { return v[1] == d-1 },
+	})
+}
+
+// TestRaisedCeilingInstance is the acceptance test for the packed-bitset
+// ceiling raise: a spec with 1<<24 < domain^K <= 1<<28 that NewInstance
+// used to reject with "exceeds limit" now verifies under the DEFAULT
+// options, sequential and parallel paths agree on verdict and witness, and
+// the resident table costs 1 bit per state (8x under the old []bool).
+func TestRaisedCeilingInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("17.85M-state construction in -short mode")
+	}
+	p := raisedCeilingProtocol()
+	legit := func(vals []int) bool { return vals[0] == 64 }
+
+	seq, err := NewInstance(p, 4, WithWorkers(1), WithGlobalPredicate(legit))
+	if err != nil {
+		t.Fatalf("NewInstance at the raised default ceiling: %v", err)
+	}
+	if seq.NumStates() <= 1<<24 || seq.NumStates() > 1<<28 {
+		t.Fatalf("NumStates = %d, want in (1<<24, 1<<28]", seq.NumStates())
+	}
+	// The old layout would have refused this instance outright.
+	if _, err := NewInstance(p, 4, WithMaxStates(1<<24), WithGlobalPredicate(legit)); err == nil {
+		t.Fatal("the former 1<<24 guard must reject 65^4 states")
+	}
+	// 1 bit per state: the table is at least 8x under one byte per state.
+	if max := seq.NumStates()/8 + 8; seq.TableBytes() > max {
+		t.Fatalf("TableBytes = %d for %d states; packed table must be <= %d", seq.TableBytes(), seq.NumStates(), max)
+	}
+
+	par, err := NewInstance(p, 4, WithWorkers(4), WithGlobalPredicate(legit))
+	if err != nil {
+		t.Fatalf("parallel NewInstance: %v", err)
+	}
+	if !reflect.DeepEqual(seq.inI, par.inI) {
+		t.Fatal("sequential and parallel I(K) fills diverge")
+	}
+
+	srep := seq.CheckStrongConvergence()
+	prep := par.CheckStrongConvergence()
+	if srep.Converges || srep.DeadlockWitness == nil || *srep.DeadlockWitness != 0 {
+		t.Fatalf("sequential verdict = %+v, want deadlock witness 0", srep)
+	}
+	if prep.Converges != srep.Converges ||
+		(prep.DeadlockWitness == nil) != (srep.DeadlockWitness == nil) ||
+		*prep.DeadlockWitness != *srep.DeadlockWitness {
+		t.Fatalf("par verdict %+v != seq verdict %+v", prep, srep)
+	}
+}
+
+// TestTableBytesScalesWithStates pins the bytes-per-state accounting the
+// verify layer and lrserved metrics surface.
+func TestTableBytesScalesWithStates(t *testing.T) {
+	for _, k := range []int{4, 8, 12} {
+		in := mustInstance(t, protocols.AgreementBase(), k)
+		want := ((in.NumStates() + 63) / 64) * 8
+		if got := in.TableBytes(); got != want {
+			t.Fatalf("K=%d: TableBytes = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestScratchBufferReuse drives one scratch through states with different
+// successor counts and checks the recycled buffer never leaks stale
+// entries between calls.
+func TestScratchBufferReuse(t *testing.T) {
+	in := mustInstance(t, protocols.MatchingA(), 6)
+	sc := in.newScratch()
+	for id := uint64(0); id < in.NumStates(); id++ {
+		got := in.successorsInto(id, sc)
+		want := in.Successors(id)
+		if !reflect.DeepEqual(append([]uint64(nil), got...), want) {
+			t.Fatalf("id=%d: scratch %v vs fresh %v", id, got, want)
+		}
+	}
+}
+
+func TestDeadlockScanParityAllProtocols(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *core.Protocol
+		k    int
+	}{
+		{"agreement", protocols.AgreementBase(), 10},
+		{"matchingA", protocols.MatchingA(), 7},
+	} {
+		seq := mustInstance(t, tc.p, tc.k, WithWorkers(1))
+		par := mustInstance(t, tc.p, tc.k, WithWorkers(5))
+		if !reflect.DeepEqual(seq.Deadlocks(), par.Deadlocks()) {
+			t.Fatalf("%s: Deadlocks diverge between 1 and 5 workers", tc.name)
+		}
+		if !reflect.DeepEqual(seq.IllegitimateDeadlocks(), par.IllegitimateDeadlocks()) {
+			t.Fatalf("%s: IllegitimateDeadlocks diverge between 1 and 5 workers", tc.name)
+		}
+	}
+}
+
+func BenchmarkBitsetFillVsBoolFill(b *testing.B) {
+	const n = 1 << 22
+	b.Run(fmt.Sprintf("bitset/n=%d", n), func(b *testing.B) {
+		bs := newBitset(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for id := uint64(0); id < n; id += 3 {
+				bs.Set(id)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("bool/n=%d", n), func(b *testing.B) {
+		arr := make([]bool, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for id := uint64(0); id < n; id += 3 {
+				arr[id] = true
+			}
+		}
+	})
+}

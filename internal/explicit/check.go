@@ -3,8 +3,6 @@ package explicit
 import (
 	"context"
 	"fmt"
-
-	"paramring/internal/core"
 )
 
 // cancelCheckMask throttles context polls in the hot scan loops: ctx.Err()
@@ -18,15 +16,14 @@ const cancelCheckMask = 4095
 // across contiguous code ranges; the merged order is identical.
 func (in *Instance) Deadlocks() []uint64 {
 	if in.workers > 1 {
-		return in.collectStatesParallel(func(id uint64, vals []int, view core.View) bool {
-			return in.isDeadlockScratch(id, vals, view)
+		return in.collectStatesParallel(func(id uint64, sc *scratch) bool {
+			return in.isDeadlockScratch(id, sc)
 		})
 	}
 	var out []uint64
-	vals := make([]int, in.k)
-	view := make(core.View, in.p.W())
+	sc := in.newScratch()
 	for id := uint64(0); id < in.n; id++ {
-		if in.isDeadlockScratch(id, vals, view) {
+		if in.isDeadlockScratch(id, sc) {
 			out = append(out, id)
 		}
 	}
@@ -39,15 +36,14 @@ func (in *Instance) Deadlocks() []uint64 {
 // those predictions are cross-validated against.
 func (in *Instance) IllegitimateDeadlocks() []uint64 {
 	if in.workers > 1 {
-		return in.collectStatesParallel(func(id uint64, vals []int, view core.View) bool {
-			return !in.inI[id] && in.isDeadlockScratch(id, vals, view)
+		return in.collectStatesParallel(func(id uint64, sc *scratch) bool {
+			return !in.inI.Get(id) && in.isDeadlockScratch(id, sc)
 		})
 	}
 	var out []uint64
-	vals := make([]int, in.k)
-	view := make(core.View, in.p.W())
+	sc := in.newScratch()
 	for id := uint64(0); id < in.n; id++ {
-		if !in.inI[id] && in.isDeadlockScratch(id, vals, view) {
+		if !in.inI.Get(id) && in.isDeadlockScratch(id, sc) {
 			out = append(out, id)
 		}
 	}
@@ -72,11 +68,11 @@ func (in *Instance) CheckClosure() *ClosureViolation {
 		return in.checkClosureParallel()
 	}
 	for id := uint64(0); id < in.n; id++ {
-		if !in.inI[id] {
+		if !in.inI.Get(id) {
 			continue
 		}
 		for _, t := range in.SuccessorsDetailed(id) {
-			if !in.inI[t.To] {
+			if !in.inI.Get(t.To) {
 				v := ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}
 				return &v
 			}
@@ -101,13 +97,16 @@ func (in *Instance) FindLivelock() []uint64 {
 // (with a nil cycle) once the context is done.
 func (in *Instance) FindLivelockCtx(ctx context.Context) ([]uint64, error) {
 	return in.findLivelock(ctx, func(id uint64) []uint64 {
-		if in.inI[id] {
+		if in.inI.Get(id) {
 			return nil
 		}
+		// Successors copies out of the scan scratch, which is required
+		// here: the Tarjan frames retain the returned slice across
+		// arbitrarily many later successor expansions.
 		succ := in.Successors(id)
 		out := succ[:0]
 		for _, s := range succ {
-			if !in.inI[s] {
+			if !in.inI.Get(s) {
 				out = append(out, s)
 			}
 		}
@@ -124,7 +123,7 @@ func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64)
 	const unvisited = -1
 	index := make([]int32, in.n)
 	low := make([]int32, in.n)
-	onStack := make([]bool, in.n)
+	onStack := newBitset(in.n)
 	for i := range index {
 		index[i] = unvisited
 	}
@@ -136,7 +135,7 @@ func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64)
 		found   []uint64
 	)
 	for root := uint64(0); root < in.n; root++ {
-		if in.inI[root] || index[root] != unvisited {
+		if in.inI.Get(root) || index[root] != unvisited {
 			continue
 		}
 		frames = append(frames[:0], mcFrame{v: root})
@@ -153,7 +152,7 @@ func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64)
 					}
 				}
 				stack = append(stack, v)
-				onStack[v] = true
+				onStack.Set(v)
 				f.succ = restricted(v)
 			}
 			advanced := false
@@ -169,7 +168,7 @@ func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64)
 					advanced = true
 					break
 				}
-				if onStack[w] && index[w] < low[v] {
+				if onStack.Get(w) && index[w] < low[v] {
 					low[v] = index[w]
 				}
 			}
@@ -198,7 +197,7 @@ func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64)
 				// Trivial SCC: pop it.
 				w := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				onStack[w] = false
+				onStack.Clear(w)
 			}
 			frames = frames[:len(frames)-1]
 			if len(frames) > 0 {
@@ -231,7 +230,7 @@ func (in *Instance) cycleWithin(seed uint64, members map[uint64]bool) []uint64 {
 		u := queue[0]
 		queue = queue[1:]
 		for _, w := range in.Successors(u) {
-			if !members[w] || in.inI[w] {
+			if !members[w] || in.inI.Get(w) {
 				continue
 			}
 			if w == seed {
@@ -267,7 +266,7 @@ func (in *Instance) IsLivelock(cycle []uint64) bool {
 		return false
 	}
 	for i, s := range cycle {
-		if in.inI[s] {
+		if in.inI.Get(s) {
 			return false
 		}
 		next := cycle[(i+1)%len(cycle)]
@@ -325,15 +324,14 @@ func (in *Instance) CheckStrongConvergenceSeq() ConvergenceReport {
 
 func (in *Instance) checkStrongConvergenceSeq(ctx context.Context) (ConvergenceReport, error) {
 	rep := ConvergenceReport{StatesExplored: in.n}
-	vals := make([]int, in.k)
-	view := make(core.View, in.p.W())
+	sc := in.newScratch()
 	for id := uint64(0); id < in.n; id++ {
 		if id&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return ConvergenceReport{}, err
 			}
 		}
-		if !in.inI[id] && in.isDeadlockScratch(id, vals, view) {
+		if !in.inI.Get(id) && in.isDeadlockScratch(id, sc) {
 			d := id
 			rep.DeadlockWitness = &d
 			return rep, nil

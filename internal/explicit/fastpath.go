@@ -47,14 +47,15 @@ func (in *Instance) fast() localTable {
 	return in.table
 }
 
-// successorsFast generates distinct successors via the compiled table.
-// Returns (nil, false) when the fast path is unavailable.
-func (in *Instance) successorsFast(id uint64, vals []int, view core.View) ([]uint64, bool) {
+// successorsFast generates successors via the compiled table, appending
+// them to out (typically a scratch buffer recycled across a whole-space
+// scan, so the steady state allocates nothing). Returns (nil, false) when
+// the fast path is unavailable.
+func (in *Instance) successorsFast(id uint64, vals []int, view core.View, out []uint64) ([]uint64, bool) {
 	tbl := in.fast()
 	if tbl == nil {
 		return nil, false
 	}
-	var out []uint64
 	in.DecodeInto(id, vals)
 	for r := 0; r < in.k; r++ {
 		in.viewInto(vals, r, view)

@@ -25,9 +25,15 @@ import (
 	"paramring/internal/core"
 )
 
-// DefaultMaxStates bounds domain^K for an instance (memory guard for the
-// []bool and visitation arrays).
-const DefaultMaxStates = 1 << 24
+// DefaultMaxStates bounds domain^K for an instance. The guard sizes the
+// resident per-state tables: with the packed bitset substrate (see
+// bitset.go) the dominant table — the I(K) membership cache — costs one
+// BIT per global state, so a full-size instance holds 32 MiB of resident
+// tables where the former []bool layout held 256 MiB at an eight-times
+// smaller ceiling of 1<<24. Per-operation scratch (Tarjan index arrays,
+// BFS distance arrays) still scales with the state count; WithMaxStates
+// lowers the guard on memory-constrained deployments.
+const DefaultMaxStates = 1 << 28
 
 // Option configures an Instance.
 type Option func(*Instance)
@@ -42,7 +48,10 @@ func WithGlobalPredicate(f func(vals []int) bool) Option {
 
 // WithProcessActions overrides the actions of the process at ring position
 // pos (0-based), breaking symmetry. Dijkstra's token ring distinguishes
-// process 0 this way.
+// process 0 this way. NewInstance rejects positions outside [0, K) — a
+// misplaced override would otherwise be silently ignored by the successor
+// generator and the instance would verify the fully symmetric protocol
+// instead of the intended asymmetric one.
 func WithProcessActions(pos int, actions []core.Action) Option {
 	return func(in *Instance) {
 		if in.distinguished == nil {
@@ -92,9 +101,27 @@ type Instance struct {
 	globalI       func(vals []int) bool
 	distinguished map[int][]core.Action
 
-	inI       []bool     // cached I membership per state
+	inI       bitset     // cached I membership, one bit per state
 	table     localTable // lazily compiled fast path (symmetric instances only)
 	tableOnce sync.Once  // guards the lazy build under concurrent queries
+}
+
+// scratch bundles the per-goroutine decode and successor buffers the
+// whole-space scan loops reuse across states, so the hot paths allocate
+// nothing per state: the valuation and view decode targets plus a flat
+// successor buffer that successorsInto grows once and then recycles.
+type scratch struct {
+	vals []int
+	view core.View
+	succ []uint64
+}
+
+// newScratch returns scan scratch sized for this instance.
+func (in *Instance) newScratch() *scratch {
+	return &scratch{
+		vals: make([]int, in.k),
+		view: make(core.View, in.p.W()),
+	}
 }
 
 // NewInstance instantiates p on a ring of k >= 2 processes.
@@ -123,6 +150,11 @@ func NewInstanceCtx(ctx context.Context, p *core.Protocol, k int, opts ...Option
 	if in.workers <= 0 {
 		in.workers = runtime.GOMAXPROCS(0)
 	}
+	for pos := range in.distinguished {
+		if pos < 0 || pos >= k {
+			return nil, fmt.Errorf("explicit: distinguished process position %d outside ring [0,%d)", pos, k)
+		}
+	}
 	if float64(k)*math.Log2(float64(in.d)) > 62 {
 		return nil, fmt.Errorf("explicit: %d^%d global states overflow uint64", in.d, k)
 	}
@@ -137,7 +169,13 @@ func NewInstanceCtx(ctx context.Context, p *core.Protocol, k int, opts ...Option
 	if in.n > in.maxStates {
 		return nil, fmt.Errorf("explicit: %d^%d = %d global states exceeds limit %d", in.d, k, in.n, in.maxStates)
 	}
-	in.inI = make([]bool, in.n)
+	if err := in.validateActions(); err != nil {
+		return nil, err
+	}
+	// The I(K) fill streams chunk-decoded valuations into the packed
+	// membership bitset. Chunk boundaries are word-aligned (see chunkFor),
+	// so the plain word writes of Set never race across workers.
+	in.inI = newBitset(in.n)
 	in.forEachChunk(func(lo, hi uint64) {
 		vals := make([]int, k)
 		for id := lo; id < hi; id++ {
@@ -145,24 +183,25 @@ func NewInstanceCtx(ctx context.Context, p *core.Protocol, k int, opts ...Option
 				return
 			}
 			in.DecodeInto(id, vals)
-			in.inI[id] = in.evalI(vals)
+			if in.evalI(vals) {
+				in.inI.Set(id)
+			}
 		}
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if err := in.validateActions(); err != nil {
 		return nil, err
 	}
 	return in, nil
 }
 
 // validateActions evaluates every action on every possible local view and
-// rejects writes outside the domain. Catching this at construction turns a
-// data-dependent panic — which the parallel scan paths would raise on a
-// worker goroutine, beyond any recover in main — into an ordinary one-line
-// error from NewInstance. Cost is domain^W per action list, negligible
-// next to the domain^K legitimacy scan above.
+// rejects writes outside the domain — for the base action list AND every
+// WithProcessActions override, so Dijkstra-style asymmetric rings get the
+// same constructor-time guarantee as symmetric ones. Catching this at
+// construction turns a data-dependent panic — which the parallel scan
+// paths would raise on a worker goroutine, beyond any recover in main —
+// into an ordinary one-line error from NewInstance. Cost is domain^W per
+// action list, negligible next to the domain^K legitimacy scan.
 func (in *Instance) validateActions() error {
 	lists := [][]core.Action{in.p.Actions()}
 	positions := make([]int, 0, len(in.distinguished))
@@ -222,17 +261,42 @@ func (in *Instance) NumStates() uint64 { return in.n }
 // Workers returns the effective worker count (see WithWorkers).
 func (in *Instance) Workers() int { return in.workers }
 
-// Encode packs a ring valuation into a state code.
-func (in *Instance) Encode(vals []int) uint64 {
+// TableBytes returns the heap footprint of the instance's resident
+// per-state tables — currently the packed I(K) membership bitset, one bit
+// per global state. This is the figure verify.Report and the lrserved
+// /metrics gauges surface so operators can see bytes-per-state, and what
+// DefaultMaxStates is sized against.
+func (in *Instance) TableBytes() uint64 { return in.inI.Bytes() }
+
+// EncodeChecked packs a ring valuation into a state code, validating the
+// arity and every per-process value. A value outside [0, domain) would
+// otherwise carry into higher-order digits of the mixed-radix code and
+// silently alias a DIFFERENT state (e.g. with domain 3, a stray vals[1]=3
+// encodes the same id as vals[2]+=1) — so malformed input is an error, not
+// a wrong answer. Use this for externally supplied valuations (CLI input,
+// test vectors); Encode panics with the same diagnostic for internal
+// callers whose valuations are decode outputs by construction.
+func (in *Instance) EncodeChecked(vals []int) (uint64, error) {
 	if len(vals) != in.k {
-		panic(fmt.Sprintf("explicit: %d values for ring of %d", len(vals), in.k))
+		return 0, fmt.Errorf("explicit: %d values for ring of %d processes", len(vals), in.k)
 	}
 	var id uint64
 	for r, v := range vals {
 		if v < 0 || v >= in.d {
-			panic(fmt.Sprintf("explicit: value %d out of domain [0,%d)", v, in.d))
+			return 0, fmt.Errorf("explicit: value %d at ring position %d outside domain [0,%d)", v, r, in.d)
 		}
 		id += uint64(v) * in.po[r]
+	}
+	return id, nil
+}
+
+// Encode packs a ring valuation into a state code. It panics with a
+// diagnostic on malformed input; see EncodeChecked for the error-returning
+// variant.
+func (in *Instance) Encode(vals []int) uint64 {
+	id, err := in.EncodeChecked(vals)
+	if err != nil {
+		panic(err.Error())
 	}
 	return id
 }
@@ -268,7 +332,7 @@ func (in *Instance) evalI(vals []int) bool {
 }
 
 // InI reports whether the state is in the legitimate set I(K).
-func (in *Instance) InI(id uint64) bool { return in.inI[id] }
+func (in *Instance) InI(id uint64) bool { return in.inI.Get(id) }
 
 // viewInto fills view with the window of process r over vals.
 func (in *Instance) viewInto(vals []int, r int, view core.View) {
@@ -346,27 +410,26 @@ func (in *Instance) SuccessorsDetailed(id uint64) []GlobalTransition {
 }
 
 // Successors returns the distinct successor states of id in sorted order.
-// Symmetric instances use the compiled local-transition table (see
-// fastpath.go); instances with distinguished processes fall back to guard
-// evaluation.
+// The returned slice is freshly allocated and safe to retain. Symmetric
+// instances use the compiled local-transition table (see fastpath.go);
+// instances with distinguished processes fall back to guard evaluation.
 func (in *Instance) Successors(id uint64) []uint64 {
-	vals := make([]int, in.k)
-	view := make(core.View, in.p.W())
-	return in.successorsScratch(id, vals, view)
+	succ := in.successorsInto(id, in.newScratch())
+	return append([]uint64(nil), succ...)
 }
 
-// successorsScratch is Successors with caller-provided decode scratch,
-// avoiding two allocations per state in the whole-space scan loops. The
-// returned slice is freshly allocated (sorted, deduplicated) and safe to
-// retain.
-func (in *Instance) successorsScratch(id uint64, vals []int, view core.View) []uint64 {
-	var out []uint64
-	if fastOut, ok := in.successorsFast(id, vals, view); ok {
+// successorsInto computes the sorted, deduplicated successor set of id
+// into the scratch's flat buffer and returns it. The slice is valid only
+// until the next successorsInto call on the same scratch — the whole-space
+// scan loops consume it immediately, so the per-state allocation the old
+// per-call slices paid is gone. Callers that retain successors (the Tarjan
+// frames, Successors) copy.
+func (in *Instance) successorsInto(id uint64, sc *scratch) []uint64 {
+	out := sc.succ[:0]
+	if fastOut, ok := in.successorsFast(id, sc.vals, sc.view, out); ok {
 		out = fastOut
 	} else {
-		det := in.SuccessorsDetailed(id)
-		out = make([]uint64, 0, len(det))
-		for _, t := range det {
+		for _, t := range in.SuccessorsDetailed(id) {
 			out = append(out, t.To)
 		}
 	}
@@ -378,6 +441,7 @@ func (in *Instance) successorsScratch(id uint64, vals []int, view core.View) []u
 			w++
 		}
 	}
+	sc.succ = out // retain the grown buffer for the next state
 	return out[:w]
 }
 
@@ -402,15 +466,13 @@ func (in *Instance) EnabledProcesses(id uint64) []int {
 
 // HasTransition reports whether (from, to) is a global transition.
 func (in *Instance) HasTransition(from, to uint64) bool {
-	vals := make([]int, in.k)
-	view := make(core.View, in.p.W())
-	return in.hasTransitionScratch(from, to, vals, view)
+	return in.hasTransitionScratch(from, to, in.newScratch())
 }
 
 // hasTransitionScratch is HasTransition with caller-provided scratch; used
 // by the predecessor-generating BFS loops (sequential and parallel alike).
-func (in *Instance) hasTransitionScratch(from, to uint64, vals []int, view core.View) bool {
-	for _, s := range in.successorsScratch(from, vals, view) {
+func (in *Instance) hasTransitionScratch(from, to uint64, sc *scratch) bool {
+	for _, s := range in.successorsInto(from, sc) {
 		if s == to {
 			return true
 		}
@@ -421,14 +483,12 @@ func (in *Instance) hasTransitionScratch(from, to uint64, vals []int, view core.
 // IsDeadlock reports whether no process is enabled in id (the global
 // deadlock of Section 2.2: every guard false at every position).
 func (in *Instance) IsDeadlock(id uint64) bool {
-	vals := make([]int, in.k)
-	view := make(core.View, in.p.W())
-	return in.isDeadlockScratch(id, vals, view)
+	return in.isDeadlockScratch(id, in.newScratch())
 }
 
 // isDeadlockScratch is IsDeadlock with caller-provided scratch.
-func (in *Instance) isDeadlockScratch(id uint64, vals []int, view core.View) bool {
-	if n, ok := in.enabledCountFast(id, vals, view); ok {
+func (in *Instance) isDeadlockScratch(id uint64, sc *scratch) bool {
+	if n, ok := in.enabledCountFast(id, sc.vals, sc.view); ok {
 		return n == 0
 	}
 	return len(in.EnabledProcesses(id)) == 0

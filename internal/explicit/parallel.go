@@ -5,8 +5,6 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
-
-	"paramring/internal/core"
 )
 
 // The frontier-parallel engine. The global side of the paper's Table 1 is
@@ -33,9 +31,13 @@ import (
 // against it by TestParallelMatchesSequential under -race.
 
 // chunkFor returns the half-open range of chunk w when [0, n) is split into
-// workers contiguous chunks.
+// workers contiguous chunks. Chunk boundaries are rounded up to multiples
+// of 64 states so that every chunk owns whole words of the packed bitsets —
+// concurrent chunk fills can then use plain (non-atomic) bit writes without
+// ever sharing a word across workers.
 func chunkFor(n uint64, workers, w int) (lo, hi uint64) {
 	size := (n + uint64(workers) - 1) / uint64(workers)
+	size = (size + 63) &^ 63
 	lo = uint64(w) * size
 	hi = lo + size
 	if lo > n {
@@ -70,33 +72,6 @@ func (in *Instance) forEachChunk(fn func(lo, hi uint64)) {
 	wg.Wait()
 }
 
-// bitset is a lock-free concurrent bitset over state codes: TrySet claims a
-// bit with a CAS loop so exactly one worker wins each state.
-type bitset []uint64
-
-func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
-
-// TrySet atomically sets bit id and reports whether this call changed it
-// (i.e. the caller claimed the state).
-func (b bitset) TrySet(id uint64) bool {
-	word := &b[id/64]
-	mask := uint64(1) << (id % 64)
-	for {
-		old := atomic.LoadUint64(word)
-		if old&mask != 0 {
-			return false
-		}
-		if atomic.CompareAndSwapUint64(word, old, old|mask) {
-			return true
-		}
-	}
-}
-
-// Get atomically reads bit id.
-func (b bitset) Get(id uint64) bool {
-	return atomic.LoadUint64(&b[id/64])&(uint64(1)<<(id%64)) != 0
-}
-
 // firstIllegitimateDeadlockParallel scans all states for the smallest-coded
 // global deadlock outside I. Workers CAS-min their first hit and bail out
 // early once a lower-ranged worker has already won, so the result equals
@@ -105,13 +80,12 @@ func (in *Instance) firstIllegitimateDeadlockParallel(ctx context.Context) (uint
 	var best atomic.Uint64
 	best.Store(math.MaxUint64)
 	in.forEachChunk(func(lo, hi uint64) {
-		vals := make([]int, in.k)
-		view := make(core.View, in.p.W())
+		sc := in.newScratch()
 		for id := lo; id < hi; id++ {
 			if id%4096 == 0 && (ctx.Err() != nil || best.Load() < lo) {
 				return // canceled, or a lower chunk already found one
 			}
-			if in.inI[id] || !in.isDeadlockScratch(id, vals, view) {
+			if in.inI.Get(id) || !in.isDeadlockScratch(id, sc) {
 				continue
 			}
 			for {
@@ -130,7 +104,7 @@ func (in *Instance) firstIllegitimateDeadlockParallel(ctx context.Context) (uint
 // collectStatesParallel returns, in increasing state-code order, every
 // state satisfying pred. Per-chunk slices are concatenated in chunk order,
 // so the result is identical to a sequential ascending scan.
-func (in *Instance) collectStatesParallel(pred func(id uint64, vals []int, view core.View) bool) []uint64 {
+func (in *Instance) collectStatesParallel(pred func(id uint64, sc *scratch) bool) []uint64 {
 	parts := make([][]uint64, in.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < in.workers; w++ {
@@ -141,11 +115,10 @@ func (in *Instance) collectStatesParallel(pred func(id uint64, vals []int, view 
 		wg.Add(1)
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
-			vals := make([]int, in.k)
-			view := make(core.View, in.p.W())
+			sc := in.newScratch()
 			var out []uint64
 			for id := lo; id < hi; id++ {
-				if pred(id, vals, view) {
+				if pred(id, sc) {
 					out = append(out, id)
 				}
 			}
@@ -214,19 +187,18 @@ func (in *Instance) buildNotIGraphParallel(ctx context.Context) (*notIGraph, boo
 		wg.Add(1)
 		go func(c *chunk) {
 			defer wg.Done()
-			vals := make([]int, in.k)
-			view := make(core.View, in.p.W())
+			sc := in.newScratch()
 			c.deg = make([]uint32, c.hi-c.lo)
 			for id := c.lo; id < c.hi; id++ {
 				if id&cancelCheckMask == 0 && ctx.Err() != nil {
 					return // partial chunk; the caller discards via ctx.Err()
 				}
-				if in.inI[id] {
+				if in.inI.Get(id) {
 					continue
 				}
 				n := 0
-				for _, s := range in.successorsScratch(id, vals, view) {
-					if !in.inI[s] {
+				for _, s := range in.successorsInto(id, sc) {
+					if !in.inI.Get(s) {
 						c.edges = append(c.edges, uint32(s))
 						n++
 					}
@@ -301,11 +273,11 @@ func (in *Instance) recoveryDistancesParallel() []int32 {
 		dist[i] = -1
 	}
 	seen := newBitset(in.n)
-	frontier := in.collectStatesParallel(func(id uint64, _ []int, _ core.View) bool {
-		return in.inI[id]
+	frontier := in.collectStatesParallel(func(id uint64, _ *scratch) bool {
+		return in.inI.Get(id)
 	})
 	for _, id := range frontier {
-		seen.TrySet(id)
+		seen.Set(id)
 		dist[id] = 0
 	}
 	for level := int32(0); len(frontier) > 0; level++ {
@@ -325,8 +297,7 @@ func (in *Instance) recoveryDistancesParallel() []int32 {
 			go func(w int, slice []uint64) {
 				defer wg.Done()
 				vals := make([]int, in.k)
-				svals := make([]int, in.k)
-				view := make(core.View, in.p.W())
+				sc := in.newScratch()
 				var next []uint64
 				for _, id := range slice {
 					in.DecodeInto(id, vals)
@@ -339,13 +310,13 @@ func (in *Instance) recoveryDistancesParallel() []int32 {
 							vals[r] = ov
 							pred := in.Encode(vals)
 							vals[r] = orig
-							if seen.Get(pred) {
+							if seen.GetAtomic(pred) {
 								continue
 							}
-							if !in.hasTransitionScratch(pred, id, svals, view) {
+							if !in.hasTransitionScratch(pred, id, sc) {
 								continue
 							}
-							if seen.TrySet(pred) {
+							if seen.TestAndSet(pred) {
 								dist[pred] = level + 1
 								next = append(next, pred)
 							}
@@ -370,7 +341,7 @@ func (in *Instance) recoveryDistancesSeq() []int32 {
 	dist := make([]int32, in.n)
 	var frontier []uint64
 	for id := uint64(0); id < in.n; id++ {
-		if in.inI[id] {
+		if in.inI.Get(id) {
 			dist[id] = 0
 			frontier = append(frontier, id)
 		} else {
@@ -378,8 +349,7 @@ func (in *Instance) recoveryDistancesSeq() []int32 {
 		}
 	}
 	vals := make([]int, in.k)
-	svals := make([]int, in.k)
-	view := make(core.View, in.p.W())
+	sc := in.newScratch()
 	for head := 0; head < len(frontier); head++ {
 		id := frontier[head]
 		in.DecodeInto(id, vals)
@@ -395,7 +365,7 @@ func (in *Instance) recoveryDistancesSeq() []int32 {
 				if dist[pred] >= 0 {
 					continue
 				}
-				if in.hasTransitionScratch(pred, id, svals, view) {
+				if in.hasTransitionScratch(pred, id, sc) {
 					dist[pred] = dist[id] + 1
 					frontier = append(frontier, pred)
 				}
@@ -435,11 +405,11 @@ func (in *Instance) checkClosureParallel() *ClosureViolation {
 				if id%4096 == 0 && best.Load() < lo {
 					return
 				}
-				if !in.inI[id] {
+				if !in.inI.Get(id) {
 					continue
 				}
 				for _, t := range in.SuccessorsDetailed(id) {
-					if in.inI[t.To] {
+					if in.inI.Get(t.To) {
 						continue
 					}
 					v := ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}

@@ -166,7 +166,7 @@ func TestWithWorkersDefaults(t *testing.T) {
 	}
 }
 
-// TestBitsetClaimsAreExclusive hammers TrySet from many goroutines and
+// TestBitsetClaimsAreExclusive hammers TestAndSet from many goroutines and
 // checks every bit is claimed exactly once in total.
 func TestBitsetClaimsAreExclusive(t *testing.T) {
 	const n = 1 << 12
@@ -179,7 +179,7 @@ func TestBitsetClaimsAreExclusive(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for id := uint64(0); id < n; id++ {
-				if b.TrySet(id) {
+				if b.TestAndSet(id) {
 					wins[g]++
 				}
 			}

@@ -58,7 +58,7 @@ func (in *Instance) CheckStrongConvergenceReduced() (ConvergenceReport, error) {
 			continue
 		}
 		reps++
-		if !in.inI[id] && in.IsDeadlock(id) {
+		if !in.inI.Get(id) && in.IsDeadlock(id) {
 			d := id
 			rep.DeadlockWitness = &d
 			rep.StatesExplored = uint64(reps)
@@ -81,18 +81,19 @@ func (in *Instance) CheckStrongConvergenceReduced() (ConvergenceReport, error) {
 		next int
 	}
 	quotientSucc := func(id uint64) []uint64 {
+		// Successors copies: the DFS frames retain the returned slice.
 		succ := in.Successors(id)
 		out := succ[:0]
 		for _, s := range succ {
 			c := in.Canonical(s)
-			if !in.inI[c] {
+			if !in.inI.Get(c) {
 				out = append(out, c)
 			}
 		}
 		return out
 	}
 	for root := uint64(0); root < in.n; root++ {
-		if in.inI[root] || in.Canonical(root) != root || color[root] != white {
+		if in.inI.Get(root) || in.Canonical(root) != root || color[root] != white {
 			continue
 		}
 		stack := []frame{{v: root}}

@@ -41,6 +41,10 @@ type GlobalSynthesisResult struct {
 	CandidatesTried int
 	// StatesExplored totals global states examined across all checks.
 	StatesExplored uint64
+	// PeakTableBytes is the largest resident per-state table held by any
+	// candidate instance during the search (see Instance.TableBytes) — the
+	// memory figure verify.Report aggregates across engines.
+	PeakTableBytes uint64
 }
 
 // SynthesizeGlobal searches for recovery transitions making base strongly
@@ -177,7 +181,7 @@ func synthesizeGlobalWorkers(ctx context.Context, base *core.Protocol, k, maxCan
 		cands = cands[:maxCandidates]
 	}
 
-	win, err := evalCandidates(ctx, base, k, cands, workers)
+	win, peak, err := evalCandidates(ctx, base, k, cands, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +194,7 @@ func synthesizeGlobalWorkers(ctx context.Context, base *core.Protocol, k, maxCan
 		res.Chosen = cands[win]
 		res.CandidatesTried = win + 1
 		res.StatesExplored = uint64(win+1) * instanceStates(base, k)
+		res.PeakTableBytes = peak
 		return res, nil
 	}
 	if overBudget {
@@ -209,16 +214,18 @@ func instanceStates(base *core.Protocol, k int) uint64 {
 }
 
 // evalCandidates model-checks cands at ring size k and returns the lowest
-// index whose protocol strongly converges, or -1. Workers claim indices in
-// order from a shared counter and stop once no unclaimed index can beat
+// index whose protocol strongly converges (or -1) together with the peak
+// resident table bytes across all checked instances. Workers claim indices
+// in order from a shared counter and stop once no unclaimed index can beat
 // the best winner so far; the minimum over winners makes the outcome
 // independent of scheduling. Candidate instances run their own checks
 // sequentially (WithWorkers(1)) — the parallelism here is across
 // candidates, not within one.
-func evalCandidates(ctx context.Context, base *core.Protocol, k int, cands [][]core.LocalTransition, workers int) (int, error) {
+func evalCandidates(ctx context.Context, base *core.Protocol, k int, cands [][]core.LocalTransition, workers int) (int, uint64, error) {
 	if len(cands) == 0 {
-		return -1, nil
+		return -1, 0, nil
 	}
+	var peak atomic.Uint64
 	check := func(i int) (bool, error) {
 		cand, err := applyTable(base, cands[i])
 		if err != nil {
@@ -227,6 +234,12 @@ func evalCandidates(ctx context.Context, base *core.Protocol, k int, cands [][]c
 		in, err := NewInstanceCtx(ctx, cand, k, WithWorkers(1))
 		if err != nil {
 			return false, err
+		}
+		for {
+			cur := peak.Load()
+			if in.TableBytes() <= cur || peak.CompareAndSwap(cur, in.TableBytes()) {
+				break
+			}
 		}
 		rep, err := in.CheckStrongConvergenceCtx(ctx)
 		if err != nil {
@@ -237,17 +250,17 @@ func evalCandidates(ctx context.Context, base *core.Protocol, k int, cands [][]c
 	if workers <= 1 {
 		for i := range cands {
 			if err := ctx.Err(); err != nil {
-				return -1, err
+				return -1, peak.Load(), err
 			}
 			ok, err := check(i)
 			if err != nil {
-				return -1, err
+				return -1, peak.Load(), err
 			}
 			if ok {
-				return i, nil
+				return i, peak.Load(), nil
 			}
 		}
-		return -1, nil
+		return -1, peak.Load(), nil
 	}
 	var (
 		next    atomic.Int64
@@ -292,12 +305,12 @@ func evalCandidates(ctx context.Context, base *core.Protocol, k int, cands [][]c
 	wg.Wait()
 	if e := errIdx.Load(); e < bestWin.Load() {
 		// The sequential search would have hit this error before any win.
-		return -1, errs[e]
+		return -1, peak.Load(), errs[e]
 	}
 	if w := bestWin.Load(); w < int64(len(cands)) {
-		return int(w), nil
+		return int(w), peak.Load(), nil
 	}
-	return -1, nil
+	return -1, peak.Load(), nil
 }
 
 // applyTable mirrors synthesis.Apply without importing it (avoiding a

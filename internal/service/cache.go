@@ -13,9 +13,10 @@ import (
 
 // cacheKey content-addresses a verification: the canonical dsl.Format
 // rendering of the spec plus the normalized option set. Anything that
-// cannot change the verdict (whitespace, comments, parenthesization, the
-// worker count) is already erased from both inputs, so textual variants of
-// one protocol share a cache line.
+// cannot change the verdict — whitespace, comments, parenthesization, the
+// Workers hint, the per-request deadline — is already erased from both
+// inputs (see RequestOptions.keyString), so textual variants of one
+// protocol share a cache line and resource knobs never fragment it.
 func cacheKey(canonicalSpec string, opts RequestOptions) string {
 	h := sha256.New()
 	h.Write([]byte(canonicalSpec))

@@ -81,4 +81,18 @@ func TestCacheKeyIgnoresNonSemanticOptions(t *testing.T) {
 	if cacheKey(spec, RequestOptions{}) == cacheKey(spec+" ", RequestOptions{}) {
 		t.Fatal("different canonical text must not collide")
 	}
+	// The Workers execution hint changes how a verification runs, never
+	// what it concludes, so it must hash like the zero options. (The other
+	// verdict-irrelevant knob, the per-request deadline, lives on Request
+	// and never reaches cacheKey at all.)
+	base := cacheKey(spec, RequestOptions{})
+	for _, opts := range []RequestOptions{
+		{Workers: 1},
+		{Workers: 8},
+		{Workers: -3},
+	} {
+		if cacheKey(spec, opts) != base {
+			t.Fatalf("options %+v fragmented the cache key", opts)
+		}
+	}
 }

@@ -9,9 +9,7 @@ import (
 )
 
 // RequestOptions is the client-facing tuning knob set of a verification
-// request — the JSON mirror of verify.Options minus Workers, which is a
-// server resource decision and deliberately excluded from the cache key
-// (verify documents that verdicts are identical for any worker count).
+// request — the JSON mirror of verify.Options.
 type RequestOptions struct {
 	// ConfirmMaxK bounds the livelock witness-confirmation search
 	// (0 selects the verify default of 7).
@@ -25,6 +23,13 @@ type RequestOptions struct {
 	// MaxTArcs bounds the Theorem 5.14 trail search (0 selects the ltg
 	// default of 16).
 	MaxTArcs int `json:"max_tarcs,omitempty"`
+	// Workers is a hint for the explicit-engine worker count, clamped to
+	// the server's EngineWorkers cap (0 keeps the server setting). Verdicts
+	// and witnesses are identical for any worker count (the engine's
+	// determinism contract), so Workers is a resource knob, never part of
+	// the cache key: a workers=1 and a workers=8 submission of the same
+	// spec share one cache entry.
+	Workers int `json:"workers,omitempty"`
 }
 
 // normalize resolves defaults so that semantically equal option sets are
@@ -43,27 +48,39 @@ func (o RequestOptions) normalize() RequestOptions {
 	if o.BoundedFallbackMaxK < 2 {
 		o.BoundedFallbackMaxK = 0
 	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
 	return o
 }
 
 // keyString renders the normalized options deterministically for the
-// content-addressed cache key.
+// content-addressed cache key. Only fields that can change the verdict
+// participate; verdict-irrelevant knobs — the Workers hint here, the
+// per-request deadline on Request — are deliberately left out so they
+// never fragment the cache.
 func (o RequestOptions) keyString() string {
 	o = o.normalize()
 	return fmt.Sprintf("confirm=%d xval=%d fallback=%d tarcs=%d",
 		o.ConfirmMaxK, o.CrossValidateMaxK, o.BoundedFallbackMaxK, o.MaxTArcs)
 }
 
-// verifyOptions translates to the engine's option struct, attaching the
-// server-chosen explicit-engine worker count.
+// verifyOptions translates to the engine's option struct. The effective
+// explicit-engine worker count is the client's Workers hint clamped to the
+// server's engineWorkers cap (a client may lower intra-job parallelism,
+// never raise it past the server's resource decision).
 func (o RequestOptions) verifyOptions(engineWorkers int) verify.Options {
 	o = o.normalize()
+	workers := engineWorkers
+	if o.Workers > 0 && o.Workers < workers {
+		workers = o.Workers
+	}
 	return verify.Options{
 		ConfirmMaxK:         o.ConfirmMaxK,
 		CrossValidateMaxK:   o.CrossValidateMaxK,
 		BoundedFallbackMaxK: o.BoundedFallbackMaxK,
 		Check:               ltg.CheckOptions{MaxTArcs: o.MaxTArcs},
-		Workers:             engineWorkers,
+		Workers:             workers,
 	}
 }
 
@@ -95,6 +112,7 @@ type Result struct {
 	CrossValidated       []int    `json:"cross_validated,omitempty"`
 	Disagreements        []string `json:"disagreements,omitempty"`
 	ExplicitStates       uint64   `json:"explicit_states"`
+	ExplicitPeakBytes    uint64   `json:"explicit_peak_table_bytes,omitempty"`
 	Summary              string   `json:"summary"`
 }
 
@@ -113,6 +131,7 @@ func resultFromReport(name string, rep *verify.Report) *Result {
 		CrossValidated:       rep.CrossValidated,
 		Disagreements:        rep.Disagreements,
 		ExplicitStates:       rep.ExplicitStates,
+		ExplicitPeakBytes:    rep.ExplicitPeakTableBytes,
 		Summary:              rep.Summary(),
 	}
 }

@@ -26,9 +26,26 @@ type Metrics struct {
 	CacheMisses    atomic.Uint64
 	StatesExplored atomic.Uint64 // explicit-engine states, fresh runs only
 
+	// PeakTableBytes is a high-water gauge of the largest resident
+	// explicit-engine per-state table any single verification held (one bit
+	// per global state with the packed bitset substrate). Update through
+	// RecordPeakTableBytes.
+	PeakTableBytes atomic.Uint64
+
 	parse  histogram
 	verify histogram
 	total  histogram
+}
+
+// RecordPeakTableBytes raises the PeakTableBytes high-water mark to v when
+// v exceeds it (CAS-max; safe from concurrent workers).
+func (m *Metrics) RecordPeakTableBytes(v uint64) {
+	for {
+		cur := m.PeakTableBytes.Load()
+		if v <= cur || m.PeakTableBytes.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // NewMetrics returns a Metrics with the standard latency buckets.
@@ -114,6 +131,7 @@ func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
 	counter("lrserved_states_explored_total", "Explicit-engine global states enumerated.", m.StatesExplored.Load())
 	gauge("lrserved_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued.Load()))
 	gauge("lrserved_jobs_running", "Jobs currently executing.", float64(m.JobsRunning.Load()))
+	gauge("lrserved_explicit_peak_table_bytes", "Largest resident explicit-engine state table of any verification.", float64(m.PeakTableBytes.Load()))
 	names := make([]string, 0, len(extraGauges))
 	for n := range extraGauges {
 		names = append(names, n)

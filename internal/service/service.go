@@ -297,6 +297,7 @@ func (s *Service) run(j *Job) {
 		j.state = StateDone
 		j.result = resultFromReport(j.spec.name, rep)
 		s.metrics.StatesExplored.Add(rep.ExplicitStates)
+		s.metrics.RecordPeakTableBytes(rep.ExplicitPeakTableBytes)
 		s.metrics.JobsDone.Add(1)
 	}
 	res := j.result

@@ -108,6 +108,44 @@ func TestSubmitCacheHitAndCanonicalization(t *testing.T) {
 	}
 }
 
+// TestSubmitWorkersShareCacheEntry pins the content-address contract for
+// execution knobs: the Workers hint and per-request deadline change how a
+// verification runs, never what it concludes, so workers=1 and workers=8
+// submissions of the same spec must resolve to ONE cache entry.
+func TestSubmitWorkersShareCacheEntry(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2, EngineWorkers: 8}, true)
+
+	j1, err := svc.Submit(Request{Spec: tinySpec, Options: RequestOptions{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	if v1 := svc.Snapshot(j1); v1.State != StateDone || v1.Cached {
+		t.Fatalf("first submission: %+v", v1)
+	}
+
+	for _, req := range []Request{
+		{Spec: tinySpec, Options: RequestOptions{Workers: 8}},
+		{Spec: tinySpec, Options: RequestOptions{Workers: 8}, TimeoutMS: 60000},
+		{Spec: tinySpec},
+	} {
+		j, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		if v := svc.Snapshot(j); v.State != StateDone || !v.Cached {
+			t.Fatalf("request %+v fragmented the cache: %+v", req, v)
+		}
+	}
+	if hits := svc.Metrics().CacheHits.Load(); hits != 3 {
+		t.Fatalf("CacheHits = %d, want 3", hits)
+	}
+	if n := svc.cache.Len(); n != 1 {
+		t.Fatalf("cache entries = %d, want 1 (workers/deadline must not be part of the key)", n)
+	}
+}
+
 func TestQueueFullBackpressure(t *testing.T) {
 	// No Start(): with no workers draining, the queue bound is exact.
 	svc := newTestService(t, Config{Workers: 1, QueueSize: 1}, false)

@@ -117,6 +117,12 @@ type Report struct {
 	// verdict came from local reasoning alone). The service layer exports
 	// it as a work metric: a cached verdict re-served must add zero here.
 	ExplicitStates uint64
+	// ExplicitPeakTableBytes is the largest resident per-state table held
+	// by any single explicit instance during the run (see
+	// explicit.Instance.TableBytes) — with the packed bitset substrate this
+	// is one bit per global state. The service layer exports it as the
+	// memory-per-verification gauge.
+	ExplicitPeakTableBytes uint64
 }
 
 // Protocol runs the full local-reasoning verification pipeline. It is
@@ -143,7 +149,15 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 	}
 	rep := &Report{}
 	sys := p.Compile()
-	var explicitStates atomic.Uint64
+	var explicitStates, explicitPeak atomic.Uint64
+	notePeak := func(in *explicit.Instance) {
+		for {
+			cur := explicitPeak.Load()
+			if in.TableBytes() <= cur || explicitPeak.CompareAndSwap(cur, in.TableBytes()) {
+				return
+			}
+		}
+	}
 
 	// Theorem 4.2. A modest witness cap keeps dense deadlock graphs (e.g.
 	// action-free protocols, where every local state is a deadlock) cheap:
@@ -212,6 +226,7 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 				return err
 			}
 			explicitStates.Add(in.NumStates())
+			notePeak(in)
 			found[k] = cycle != nil
 			return nil
 		})
@@ -246,6 +261,7 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 				return fmt.Errorf("verify: cross-validation K=%d: %w", k, err)
 			}
 			explicitStates.Add(in.NumStates())
+			notePeak(in)
 			hasDeadlock := len(in.IllegitimateDeadlocks()) > 0
 			if hasDeadlock && rep.Deadlock == Proved {
 				msgs[k] = append(msgs[k],
@@ -276,6 +292,7 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 		}
 	}
 	rep.ExplicitStates = explicitStates.Load()
+	rep.ExplicitPeakTableBytes = explicitPeak.Load()
 	return rep, nil
 }
 
