@@ -19,8 +19,13 @@
 //
 //	curl -s localhost:8420/v1/verify -d '{"spec": "..."}'   # -> {"id": "job-000001", ...}
 //	curl -s localhost:8420/v1/jobs/job-000001
+//	curl -s localhost:8420/v1/jobs?state=quarantined
 //	curl -s localhost:8420/healthz
 //	curl -s localhost:8420/metrics
+//
+// With -cache-dir set, submissions are journaled before they are
+// enqueued: a crash or kill replays unfinished jobs on the next start,
+// and jobs whose retries are exhausted land in a persistent quarantine.
 //
 // SIGINT/SIGTERM drains gracefully: submissions are rejected, queued jobs
 // finish, and a second deadline cancels whatever is still running.
@@ -41,6 +46,49 @@ import (
 	"paramring/internal/service"
 )
 
+// validateFlags fails fast — before any socket binds or journal opens —
+// on configurations that would otherwise surface as confusing runtime
+// behavior: negative resource bounds, inverted timeouts, a cache
+// directory the process cannot write (the journal's fsync guarantees are
+// worthless on a read-only mount).
+func validateFlags(queue, workers, engineWorkers, cacheSize, maxAttempts int,
+	jobTimeout, maxTimeout, drain, retryBase time.Duration, cacheDir string) error {
+	switch {
+	case queue < 0:
+		return fmt.Errorf("-queue must be >= 0, got %d", queue)
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	case engineWorkers < 0:
+		return fmt.Errorf("-engine-workers must be >= 0, got %d", engineWorkers)
+	case cacheSize < 0:
+		return fmt.Errorf("-cache-size must be >= 0, got %d", cacheSize)
+	case maxAttempts < 0:
+		return fmt.Errorf("-max-attempts must be >= 0, got %d", maxAttempts)
+	case jobTimeout <= 0:
+		return fmt.Errorf("-job-timeout must be positive, got %v", jobTimeout)
+	case maxTimeout <= 0:
+		return fmt.Errorf("-max-job-timeout must be positive, got %v", maxTimeout)
+	case maxTimeout < jobTimeout:
+		return fmt.Errorf("-max-job-timeout %v is below -job-timeout %v", maxTimeout, jobTimeout)
+	case drain <= 0:
+		return fmt.Errorf("-drain-timeout must be positive, got %v", drain)
+	case retryBase < 0:
+		return fmt.Errorf("-retry-base-delay must be >= 0, got %v", retryBase)
+	}
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
+		probe, err := os.CreateTemp(cacheDir, ".lrserved-probe-*")
+		if err != nil {
+			return fmt.Errorf("-cache-dir %s is not writable: %w", cacheDir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	return nil
+}
+
 func main() {
 	defer cli.ExitOnPanic("lrserved")
 	addr := flag.String("addr", ":8420", "listen address")
@@ -50,18 +98,31 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 	maxTimeout := flag.Duration("max-job-timeout", 10*time.Minute, "clamp for client-supplied deadlines")
 	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
-	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = memory only)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache and job journal (empty = memory only, no crash recovery)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are canceled")
+	maxAttempts := flag.Int("max-attempts", 3, "execution attempts per job before poison quarantine")
+	retryBase := flag.Duration("retry-base-delay", 100*time.Millisecond, "first retry backoff (doubles per attempt, jittered, capped at 30s)")
+	memBudget := flag.Uint64("mem-budget-bytes", 0, "server-wide explicit-engine table budget; jobs estimated over it are rejected or degraded (0 = unlimited)")
+	degrade := flag.Bool("degrade-over-budget", false, "run over-budget jobs degraded (1 engine worker, budget-clamped state limit) instead of rejecting them")
 	flag.Parse()
 
+	if err := validateFlags(*queue, *workers, *engineWorkers, *cacheSize, *maxAttempts,
+		*jobTimeout, *maxTimeout, *drain, *retryBase, *cacheDir); err != nil {
+		cli.Exit("lrserved", 2, err)
+	}
+
 	svc, err := service.New(service.Config{
-		QueueSize:      *queue,
-		Workers:        *workers,
-		EngineWorkers:  *engineWorkers,
-		DefaultTimeout: *jobTimeout,
-		MaxTimeout:     *maxTimeout,
-		CacheSize:      *cacheSize,
-		CacheDir:       *cacheDir,
+		QueueSize:         *queue,
+		Workers:           *workers,
+		EngineWorkers:     *engineWorkers,
+		DefaultTimeout:    *jobTimeout,
+		MaxTimeout:        *maxTimeout,
+		CacheSize:         *cacheSize,
+		CacheDir:          *cacheDir,
+		MaxAttempts:       *maxAttempts,
+		RetryBaseDelay:    *retryBase,
+		MemoryBudgetBytes: *memBudget,
+		DegradeOverBudget: *degrade,
 	})
 	if err != nil {
 		cli.Exit("lrserved", 1, err)

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(cacheDir string) error {
+		return validateFlags(256, 0, 1, 1024, 3,
+			time.Minute, 10*time.Minute, 30*time.Second, 100*time.Millisecond, cacheDir)
+	}
+	if err := ok(""); err != nil {
+		t.Fatalf("default configuration rejected: %v", err)
+	}
+	if err := ok(filepath.Join(t.TempDir(), "cache")); err != nil {
+		t.Fatalf("creatable cache dir rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"negative queue", validateFlags(-1, 0, 1, 1024, 3, time.Minute, 10*time.Minute, time.Second, 0, ""), "-queue"},
+		{"negative workers", validateFlags(0, -2, 1, 1024, 3, time.Minute, 10*time.Minute, time.Second, 0, ""), "-workers"},
+		{"negative engine workers", validateFlags(0, 0, -1, 1024, 3, time.Minute, 10*time.Minute, time.Second, 0, ""), "-engine-workers"},
+		{"negative cache size", validateFlags(0, 0, 1, -5, 3, time.Minute, 10*time.Minute, time.Second, 0, ""), "-cache-size"},
+		{"negative attempts", validateFlags(0, 0, 1, 0, -1, time.Minute, 10*time.Minute, time.Second, 0, ""), "-max-attempts"},
+		{"zero job timeout", validateFlags(0, 0, 1, 0, 3, 0, 10*time.Minute, time.Second, 0, ""), "-job-timeout"},
+		{"inverted timeouts", validateFlags(0, 0, 1, 0, 3, time.Hour, time.Minute, time.Second, 0, ""), "below -job-timeout"},
+		{"negative retry base", validateFlags(0, 0, 1, 0, 3, time.Minute, 10*time.Minute, time.Second, -time.Second, ""), "-retry-base-delay"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil || !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, tc.err, tc.want)
+		}
+	}
+}
+
+func TestValidateFlagsUnwritableCacheDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permission bits")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	err := validateFlags(0, 0, 1, 0, 3, time.Minute, 10*time.Minute, time.Second, 0, dir)
+	if err == nil || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("unwritable cache dir: error = %v", err)
+	}
+}

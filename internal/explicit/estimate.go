@@ -1,0 +1,49 @@
+package explicit
+
+import "math"
+
+// Pre-run memory accounting. The service layer admits a verification job
+// only when the explicit-engine tables it could allocate fit the server's
+// memory budget, and it must answer that question BEFORE any instance is
+// built — an Instance constructor already commits the domain^K bitset.
+// These estimators are the constructor's arithmetic factored out so the
+// admission decision and the eventual allocation can never disagree.
+
+// EstimateStates returns domain^k — the global-state count an Instance of
+// that shape would enumerate — without constructing anything. ok is false
+// when the count overflows the engine's uint64 budget (the same
+// 62-bit guard NewInstance applies), in which case the returned count is
+// math.MaxUint64 so callers that compare against a budget still reject.
+func EstimateStates(domain, k int) (states uint64, ok bool) {
+	if domain < 1 || k < 1 {
+		return 0, false
+	}
+	if float64(k)*math.Log2(float64(domain)) > 62 {
+		return math.MaxUint64, false
+	}
+	states = 1
+	for i := 0; i < k; i++ {
+		states *= uint64(domain)
+	}
+	return states, true
+}
+
+// EstimateTableBytes returns the resident per-state table footprint of an
+// n-state instance: the packed I(K) membership bitset, one bit per global
+// state rounded up to whole 64-bit words — exactly what
+// Instance.TableBytes reports after construction.
+func EstimateTableBytes(n uint64) uint64 {
+	return bitsetWords(n) * 8
+}
+
+// MaxStatesForBudget returns the largest state count whose resident table
+// fits within budget bytes — the inverse of EstimateTableBytes, used by
+// the service layer to derive a WithMaxStates clamp from a memory budget
+// so an oversized instance fails construction with a one-line error
+// instead of OOMing the process.
+func MaxStatesForBudget(budget uint64) uint64 {
+	if budget > math.MaxUint64/8 {
+		return math.MaxUint64
+	}
+	return budget * 8 // one bit per state
+}

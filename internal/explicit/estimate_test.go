@@ -1,0 +1,60 @@
+package explicit
+
+import (
+	"math"
+	"testing"
+
+	"paramring/internal/protocols"
+)
+
+// TestEstimateStatesMatchesInstance pins the contract that matters: the
+// pre-run estimate and the constructed instance agree exactly, for both
+// the state count and the resident table bytes.
+func TestEstimateStatesMatchesInstance(t *testing.T) {
+	p := protocols.All()["agreement"]
+	for k := 2; k <= 10; k++ {
+		want, ok := EstimateStates(p.Domain(), k)
+		if !ok {
+			t.Fatalf("K=%d: estimate overflowed unexpectedly", k)
+		}
+		in, err := NewInstance(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.NumStates(); got != want {
+			t.Fatalf("K=%d: EstimateStates = %d, NumStates = %d", k, want, got)
+		}
+		if got, wantB := in.TableBytes(), EstimateTableBytes(want); got != wantB {
+			t.Fatalf("K=%d: EstimateTableBytes = %d, TableBytes = %d", k, wantB, got)
+		}
+	}
+}
+
+func TestEstimateStatesOverflow(t *testing.T) {
+	if n, ok := EstimateStates(2, 63); ok || n != math.MaxUint64 {
+		t.Fatalf("2^63 must overflow: n=%d ok=%v", n, ok)
+	}
+	if _, ok := EstimateStates(2, 62); !ok {
+		t.Fatal("2^62 must fit the 62-bit guard")
+	}
+	if _, ok := EstimateStates(0, 3); ok {
+		t.Fatal("domain 0 must be rejected")
+	}
+}
+
+// TestMaxStatesForBudgetRoundTrip: any state count at or under the derived
+// clamp must estimate within the budget, and the next power above must not.
+func TestMaxStatesForBudgetRoundTrip(t *testing.T) {
+	for _, budget := range []uint64{8, 64, 1 << 10, 1 << 20, 32 << 20} {
+		clamp := MaxStatesForBudget(budget)
+		if got := EstimateTableBytes(clamp); got > budget {
+			t.Fatalf("budget %d: clamp %d estimates %d bytes over budget", budget, clamp, got)
+		}
+		if got := EstimateTableBytes(clamp + 64); got <= budget {
+			t.Fatalf("budget %d: clamp %d is not tight (clamp+64 still fits: %d)", budget, clamp, got)
+		}
+	}
+	if MaxStatesForBudget(math.MaxUint64) != math.MaxUint64 {
+		t.Fatal("saturating budget must saturate, not overflow")
+	}
+}

@@ -1,0 +1,147 @@
+// Package faultinject is a deterministic, seed-driven fault schedule for
+// chaos-testing the verification service. A Plan is armed with per-site
+// firing rates ("panic in 30% of engine runs", "fail every 3rd cache
+// write"); each call to Fire then decides — purely as a function of the
+// seed, the site name, and how many times that site has been asked —
+// whether the fault triggers. Two plans with the same seed and the same
+// per-site call sequence make identical decisions, so a chaos failure
+// reproduces from nothing but its seed, even though the global
+// interleaving across sites is scheduler-dependent.
+//
+// The package deliberately knows nothing about the service layer: the
+// service exposes hook points (service.Hooks) and the chaos suite wires
+// Plan decisions into them as closures, so the dependency points from the
+// test harness down to both, never between them.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Plan is a deterministic fault schedule. The zero value is unusable;
+// create with New. All methods are safe for concurrent use.
+type Plan struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[string]*site
+}
+
+type site struct {
+	// rate is the firing probability in [0,1], applied via a hash of
+	// (seed, site, call index) — not a live RNG, so decision i for a site
+	// is a pure function of the plan's identity.
+	rate float64
+	// everyN, when > 0, fires deterministically on every Nth call and
+	// takes precedence over rate.
+	everyN uint64
+	calls  uint64
+	fired  uint64
+}
+
+// New returns an empty plan for the seed. Seed 0 is valid and distinct
+// from every other seed.
+func New(seed int64) *Plan {
+	return &Plan{seed: uint64(seed), sites: make(map[string]*site)}
+}
+
+// Arm sets the firing rate for a site: each Fire(site) call triggers with
+// probability rate, decided by hashing the call index. Rates outside
+// [0,1] are clamped.
+func (p *Plan) Arm(siteName string, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.siteLocked(siteName).rate = rate
+}
+
+// ArmEvery makes Fire(site) trigger on every nth call (the nth, 2nth, …);
+// n <= 0 disarms the site.
+func (p *Plan) ArmEvery(siteName string, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.siteLocked(siteName)
+	if n <= 0 {
+		s.everyN, s.rate = 0, 0
+		return
+	}
+	s.everyN = uint64(n)
+}
+
+func (p *Plan) siteLocked(name string) *site {
+	s, ok := p.sites[name]
+	if !ok {
+		s = &site{}
+		p.sites[name] = s
+	}
+	return s
+}
+
+// Fire reports whether the fault at site triggers on this call. Unarmed
+// sites never fire but still count calls, so arming a site mid-run keeps
+// the decision sequence aligned with the call sequence.
+func (p *Plan) Fire(siteName string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.siteLocked(siteName)
+	s.calls++
+	var hit bool
+	switch {
+	case s.everyN > 0:
+		hit = s.calls%s.everyN == 0
+	case s.rate > 0:
+		// A 64-bit hash of (seed, site, call index) mapped to [0,1).
+		h := splitmix64(p.seed ^ stringHash(siteName) ^ s.calls)
+		hit = float64(h>>11)/(1<<53) < s.rate
+	}
+	if hit {
+		s.fired++
+	}
+	return hit
+}
+
+// Count returns how many times the site has fired.
+func (p *Plan) Count(siteName string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.siteLocked(siteName).fired
+}
+
+// Calls returns how many times the site has been asked.
+func (p *Plan) Calls(siteName string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.siteLocked(siteName).calls
+}
+
+// String summarizes the plan for test logs.
+func (p *Plan) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("faultinject.Plan(seed=%d, sites=%d)", p.seed, len(p.sites))
+}
+
+// splitmix64 is the SplitMix64 finalizer — a bijective 64-bit mixer with
+// full avalanche, the standard seed-expansion hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stringHash is FNV-1a, inlined to keep the package dependency-free.
+func stringHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDeterministicAcrossPlans: same seed + same per-site call sequence =>
+// identical decision sequences, regardless of interleaving with other
+// sites. This is the property the chaos suite's reproducibility rests on.
+func TestDeterministicAcrossPlans(t *testing.T) {
+	mk := func() *Plan {
+		p := New(42)
+		p.Arm("panic", 0.3)
+		p.ArmEvery("cache", 3)
+		return p
+	}
+	a, b := mk(), mk()
+	// Interleave a third site into plan b only; "panic" and "cache"
+	// decisions must be unaffected because decisions are per-site.
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			b.Fire("noise")
+		}
+		if a.Fire("panic") != b.Fire("panic") {
+			t.Fatalf("panic decision %d diverged", i)
+		}
+		if a.Fire("cache") != b.Fire("cache") {
+			t.Fatalf("cache decision %d diverged", i)
+		}
+	}
+	if a.Count("panic") == 0 || a.Count("panic") == 1000 {
+		t.Fatalf("rate 0.3 fired %d/1000 times — degenerate", a.Count("panic"))
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	a.Arm("s", 0.5)
+	b.Arm("s", 0.5)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.Fire("s") == b.Fire("s") {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestArmEvery(t *testing.T) {
+	p := New(7)
+	p.ArmEvery("w", 3)
+	var got []int
+	for i := 1; i <= 9; i++ {
+		if p.Fire("w") {
+			got = append(got, i)
+		}
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 6 || got[2] != 9 {
+		t.Fatalf("every-3rd fired at %v, want [3 6 9]", got)
+	}
+	if p.Count("w") != 3 || p.Calls("w") != 9 {
+		t.Fatalf("counters: fired=%d calls=%d", p.Count("w"), p.Calls("w"))
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	p := New(3)
+	for i := 0; i < 100; i++ {
+		if p.Fire("quiet") {
+			t.Fatal("unarmed site fired")
+		}
+	}
+	if p.Calls("quiet") != 100 {
+		t.Fatalf("calls = %d, want 100", p.Calls("quiet"))
+	}
+}
+
+// TestRateConverges: over many calls the empirical rate lands near the
+// armed rate (the hash is a good mixer, not a biased one).
+func TestRateConverges(t *testing.T) {
+	p := New(99)
+	p.Arm("r", 0.25)
+	n := 20000
+	for i := 0; i < n; i++ {
+		p.Fire("r")
+	}
+	got := float64(p.Count("r")) / float64(n)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("empirical rate %.3f far from armed 0.25", got)
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	p := New(5)
+	p.Arm("c", 0.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Fire("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Calls("c") != 8000 {
+		t.Fatalf("calls = %d, want 8000", p.Calls("c"))
+	}
+}

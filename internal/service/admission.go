@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// admission is the server-wide memory governor: a counting gate over the
+// explicit engine's pre-run table-bytes estimates. A worker acquires a
+// job's estimate before running it and blocks while concurrent jobs hold
+// too much of the budget — the "queue instead of OOM" half of admission
+// control. (The "degrade" half — clamping engine workers and MaxStates
+// for jobs whose estimate alone exceeds the budget — lives in
+// Service.run, because it changes how the job executes, not whether it
+// may start.)
+type admission struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget uint64
+	inUse  uint64
+}
+
+// newAdmission returns a gate over budget bytes; budget 0 means
+// admission control is off and acquire never blocks.
+func newAdmission(budget uint64) *admission {
+	a := &admission{budget: budget}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// acquire blocks until n estimate-bytes fit under the budget and reserves
+// them, returning the reserved amount (n clamped to the whole budget, so
+// an over-budget degraded job serializes against everything rather than
+// deadlocking). It gives up with ctx.Err() when ctx is done first — the
+// job's deadline and the server's drain both unblock waiters.
+func (a *admission) acquire(ctx context.Context, n uint64) (uint64, error) {
+	if a.budget == 0 || n == 0 {
+		return 0, nil
+	}
+	if n > a.budget {
+		n = a.budget
+	}
+	stop := context.AfterFunc(ctx, func() {
+		a.mu.Lock()
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	})
+	defer stop()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.inUse+n > a.budget {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		a.cond.Wait()
+	}
+	a.inUse += n
+	return n, nil
+}
+
+// release returns reserved bytes to the budget and wakes waiters. Safe to
+// call with 0 (the unreserved case).
+func (a *admission) release(n uint64) {
+	if n == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.inUse -= n
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// used returns the bytes currently reserved.
+func (a *admission) used() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}

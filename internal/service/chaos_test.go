@@ -1,0 +1,243 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"paramring/internal/faultinject"
+)
+
+// chaosSeed returns the fault-injection seed: LRSERVED_CHAOS_SEED when
+// set (the CI chaos job runs a small matrix of them), else a fixed
+// default so plain `go test` is deterministic.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("LRSERVED_CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("LRSERVED_CHAOS_SEED=%q: %v", v, err)
+		}
+		return seed
+	}
+	return 42
+}
+
+// chaosRequest builds the i-th chaos workload: distinct protocol names so
+// no two jobs share a content address, alternating between pure local
+// reasoning and cross-validation (the latter exercises the explicit
+// engine and its memory estimate under faults).
+func chaosRequest(i int) Request {
+	req := Request{Spec: numberedSpec(i)}
+	if i%2 == 1 {
+		req.Options = RequestOptions{CrossValidateMaxK: 4}
+	}
+	return req
+}
+
+// TestChaosKillRestart is the end-to-end acceptance test for the
+// crash-safe execution layer. It runs a fault plan (seed-driven panics in
+// the verify path, failing cache writes) against a journaled service,
+// kills the service mid-queue, restarts it over the same cache directory
+// with faults still armed, and finally recovers with faults disarmed.
+// The contract it pins:
+//
+//   - every submitted job reaches done or quarantined — none lost, none
+//     wedged — across the kill;
+//   - every verdict produced anywhere in the chaos timeline is
+//     byte-identical to a no-fault baseline run;
+//   - injected panics are recovered and counted, never fatal (the test
+//     binary surviving IS the assertion).
+func TestChaosKillRestart(t *testing.T) {
+	seed := chaosSeed(t)
+	const n = 12
+
+	// Baseline verdicts from a pristine, journal-less service.
+	baseline := make(map[string][]byte, n)
+	ref := newTestService(t, Config{Workers: 2}, true)
+	for i := 0; i < n; i++ {
+		j, err := ref.Submit(chaosRequest(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		v := ref.Snapshot(j)
+		if v.State != StateDone {
+			t.Fatalf("baseline job %d: %+v", i, v)
+		}
+		data, err := json.Marshal(v.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[v.Name] = data
+	}
+
+	plan := faultinject.New(seed)
+	plan.Arm("verify-panic", 0.35)
+	plan.Arm("cache-write", 0.5)
+	hooks := &Hooks{
+		BeforeVerify: func(id string, attempt int) error {
+			time.Sleep(2 * time.Millisecond) // keep workers busy so the kill lands mid-queue
+			if plan.Fire("verify-panic") {
+				panic(fmt.Sprintf("chaos: injected engine panic (seed %d)", seed))
+			}
+			return nil
+		},
+		CacheWrite: func(key string) error {
+			if plan.Fire("cache-write") {
+				return fmt.Errorf("chaos: injected cache write failure (seed %d)", seed)
+			}
+			return nil
+		},
+	}
+	dir := t.TempDir()
+	chaosCfg := Config{
+		Workers: 3, QueueSize: 64, CacheDir: dir,
+		MaxAttempts: 3, RetryBaseDelay: time.Millisecond, Hooks: hooks,
+	}
+
+	// checkVerdict folds one terminal JobView into the ledger.
+	terminal := make(map[string]JobState, n) // protocol name -> final state
+	checkVerdict := func(v JobView) {
+		t.Helper()
+		switch v.State {
+		case StateDone:
+			data, err := json.Marshal(v.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want, ok := baseline[v.Name]; !ok {
+				t.Fatalf("verdict for unknown protocol %q", v.Name)
+			} else if string(data) != string(want) {
+				t.Fatalf("chaos verdict for %q diverged:\n got %s\nwant %s", v.Name, data, want)
+			}
+			terminal[v.Name] = StateDone
+		case StateQuarantined:
+			terminal[v.Name] = StateQuarantined
+		case StateFailed:
+			// Only crash-interrupted attempts may fail, and those must be
+			// replayable (journaled) — a terminal failure would be a lost job.
+			if !v.Replayable {
+				t.Fatalf("job %s failed terminally under chaos: %+v", v.ID, v)
+			}
+		default:
+			t.Fatalf("job %s not terminal: %+v", v.ID, v)
+		}
+	}
+
+	// Phase 1: chaos service; kill it once a few jobs have landed but the
+	// queue is still busy.
+	svc1 := newTestService(t, chaosCfg, false)
+	svc1.Start()
+	jobs1 := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := svc1.Submit(chaosRequest(i))
+		if err != nil {
+			t.Fatalf("chaos submit %d: %v", i, err)
+		}
+		jobs1 = append(jobs1, j)
+	}
+	killAt := time.Now().Add(10 * time.Second)
+	for svc1.Metrics().JobsDone.Load() < 3 && time.Now().Before(killAt) {
+		time.Sleep(time.Millisecond)
+	}
+	svc1.crash() // kill -9 equivalent: no drain, no journal compaction
+	for _, j := range jobs1 {
+		checkVerdict(svc1.Snapshot(j))
+	}
+
+	// Phase 2: restart over the same cache directory, faults still armed.
+	// Replayed jobs must all reach a terminal state despite ongoing panics.
+	svc2 := newTestService(t, chaosCfg, true)
+	for _, view := range svc2.Jobs("") {
+		j, ok := svc2.Job(view.ID)
+		if !ok {
+			t.Fatalf("listed job %s not found", view.ID)
+		}
+		waitDone(t, j)
+		checkVerdict(svc2.Snapshot(j))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc2.Shutdown(ctx); err != nil {
+		t.Fatalf("clean shutdown after chaos: %v", err)
+	}
+
+	// Acceptance: every one of the n protocols is accounted for.
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%03d", i)
+		if st, ok := terminal[name]; !ok {
+			t.Errorf("protocol %s never reached a terminal state", name)
+		} else if st != StateDone && st != StateQuarantined {
+			t.Errorf("protocol %s ended as %s", name, st)
+		}
+	}
+
+	// The panic counter must agree with the plan, and — since we survived
+	// to this line — every injected panic was recovered, not fatal.
+	panicked := svc1.Metrics().JobsPanicked.Load() + svc2.Metrics().JobsPanicked.Load()
+	if fired := plan.Count("verify-panic"); fired != panicked {
+		t.Errorf("plan fired %d panics but JobsPanicked totals %d", fired, panicked)
+	} else if fired == 0 {
+		t.Logf("seed %d injected no panics over %d verify calls; weak run", seed, plan.Calls("verify-panic"))
+	}
+
+	// Phase 3: recovery service, faults disarmed. Resubmitting the full
+	// workload must produce baseline verdicts — from the disk cache where
+	// write-through survived, from a clean engine run where it didn't.
+	svc3 := newTestService(t, Config{Workers: 2, CacheDir: dir}, true)
+	for i := 0; i < n; i++ {
+		j, err := svc3.Submit(chaosRequest(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		v := svc3.Snapshot(j)
+		if v.State != StateDone {
+			t.Fatalf("recovery run of %q: %+v", v.Name, v)
+		}
+		data, _ := json.Marshal(v.Result)
+		if string(data) != string(baseline[v.Name]) {
+			t.Fatalf("recovery verdict for %q diverged:\n got %s\nwant %s", v.Name, data, baseline[v.Name])
+		}
+	}
+}
+
+// TestChaosQuarantineIsTerminal: a job armed to panic on every attempt is
+// quarantined in phase 1 and must remain quarantined — not retried, not
+// rerun — across a kill and restart.
+func TestChaosQuarantineIsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	hooks := &Hooks{BeforeVerify: func(id string, attempt int) error {
+		panic("chaos: unconditional poison")
+	}}
+	cfg := Config{
+		Workers: 1, CacheDir: dir, MaxAttempts: 2,
+		RetryBaseDelay: time.Millisecond, Hooks: hooks,
+	}
+	svc1 := newTestService(t, cfg, true)
+	j, err := svc1.Submit(Request{Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if v := svc1.Snapshot(j); v.State != StateQuarantined {
+		t.Fatalf("job: %+v", v)
+	}
+	svc1.crash()
+
+	// Restart WITHOUT the poison hook: the quarantine verdict must stick
+	// anyway — replay trusts the ledger, it does not re-litigate.
+	svc2 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
+	quarantined := svc2.Jobs(StateQuarantined)
+	if len(quarantined) != 1 || quarantined[0].ID != j.ID() {
+		t.Fatalf("quarantine after kill-restart = %+v", quarantined)
+	}
+	if got := svc2.Metrics().JobsDone.Load(); got != 0 {
+		t.Fatalf("quarantined job was rerun after restart (JobsDone = %d)", got)
+	}
+}

@@ -14,12 +14,14 @@ const maxRequestBytes = 1 << 20
 //
 //	POST /v1/verify    submit a spec; {"wait": true} blocks until done
 //	GET  /v1/jobs/{id} poll a job
+//	GET  /v1/jobs      list retained jobs; ?state=quarantined filters
 //	GET  /healthz      liveness + occupancy
 //	GET  /metrics      Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -37,6 +39,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// backpressureRetryAfter is the Retry-After value (seconds) sent with 503
+// backpressure responses: queue slots and memory budget free up on the
+// next job completion, so "shortly" is the honest hint.
+const backpressureRetryAfter = "1"
+
 func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
@@ -51,8 +58,11 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrBadSpec):
 		writeError(w, http.StatusBadRequest, err)
 		return
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverBudget):
+		// Backpressure, not client error: 503 + Retry-After tells a
+		// well-behaved client to back off and resubmit.
+		w.Header().Set("Retry-After", backpressureRetryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -71,7 +81,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	view := s.Snapshot(j)
 	status := http.StatusAccepted
-	if view.State == StateDone || view.State == StateFailed {
+	if view.State == StateDone || view.State == StateFailed || view.State == StateQuarantined {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, view)
@@ -86,6 +96,17 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot(j))
 }
 
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	state := JobState(r.URL.Query().Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateQuarantined:
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("unknown state filter"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs(state)})
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -97,8 +118,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st := s.Stats()
 	s.metrics.WriteTo(w, map[string]float64{
-		"lrserved_queue_capacity": float64(st.QueueCap),
-		"lrserved_cache_entries":  float64(st.CacheEntries),
-		"lrserved_workers":        float64(st.Workers),
+		"lrserved_queue_capacity":   float64(st.QueueCap),
+		"lrserved_cache_entries":    float64(st.CacheEntries),
+		"lrserved_workers":          float64(st.Workers),
+		"lrserved_jobs_quarantined": float64(st.Quarantined),
+		"lrserved_mem_budget_bytes": float64(st.MemBudgetBytes),
+		"lrserved_mem_in_use_bytes": float64(st.MemInUseBytes),
 	})
 }

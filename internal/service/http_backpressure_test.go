@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postVerifyRaw is postVerify without the JobView decoding: backpressure
+// tests need the raw status, headers, and error body.
+func postVerifyRaw(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHTTPQueueFull503: a submission bouncing off a full queue is
+// backpressure, not failure — 503 with a Retry-After hint, so a
+// well-behaved client backs off instead of erroring out.
+func TestHTTPQueueFull503(t *testing.T) {
+	// No Start(): with no workers draining, the queue bound is exact.
+	svc := newTestService(t, Config{Workers: 1, QueueSize: 1}, false)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body := func(i int) string {
+		data, _ := json.Marshal(Request{Spec: numberedSpec(i)})
+		return string(data)
+	}
+	if resp := postVerifyRaw(t, ts, body(0)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission status = %d, want 202", resp.StatusCode)
+	}
+	resp := postVerifyRaw(t, ts, body(1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != backpressureRetryAfter {
+		t.Fatalf("queue-full Retry-After = %q, want %q", got, backpressureRetryAfter)
+	}
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(payload.Error, "queue full") {
+		t.Fatalf("queue-full error body = %q", payload.Error)
+	}
+}
+
+// TestHTTPOverBudget503: a job whose memory estimate alone exceeds the
+// server budget gets the same 503 + Retry-After treatment at submit time
+// (degradation off), and a fitting job on the same server still lands.
+func TestHTTPOverBudget503(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1, MemoryBudgetBytes: 16}, true)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// xval to K=6 on a binary domain estimates 40 table bytes > the
+	// 16-byte budget.
+	over, _ := json.Marshal(Request{Spec: tinySpec, Options: RequestOptions{CrossValidateMaxK: 6}, Wait: true})
+	resp := postVerifyRaw(t, ts, string(over))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-budget status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != backpressureRetryAfter {
+		t.Fatalf("over-budget Retry-After = %q, want %q", got, backpressureRetryAfter)
+	}
+
+	fits, _ := json.Marshal(Request{Spec: tinySpec, Wait: true})
+	if resp := postVerifyRaw(t, ts, string(fits)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("zero-estimate submission status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPQuarantineListing: GET /v1/jobs?state=quarantined exposes the
+// poison quarantine — the operator's entry point for the runbook — and an
+// unknown state filter is a client error.
+func TestHTTPQuarantineListing(t *testing.T) {
+	hooks := &Hooks{BeforeVerify: func(id string, attempt int) error { panic("poison") }}
+	svc := newTestService(t, Config{
+		Workers: 1, MaxAttempts: 2, RetryBaseDelay: 1, Hooks: hooks,
+	}, true)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	j, err := svc.Submit(Request{Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs?state=quarantined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("listing status = %d", resp.StatusCode)
+	}
+	var listing struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != j.ID() {
+		t.Fatalf("quarantine listing = %+v", listing.Jobs)
+	}
+	if listing.Jobs[0].Name != "tiny" || listing.Jobs[0].Attempts != 2 {
+		t.Fatalf("quarantine entry lacks triage fields: %+v", listing.Jobs[0])
+	}
+
+	bad, err := http.Get(ts.URL + "/v1/jobs?state=exploded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown filter status = %d, want 400", bad.StatusCode)
+	}
+}

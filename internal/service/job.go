@@ -140,7 +140,8 @@ func resultFromReport(name string, rep *verify.Report) *Result {
 type JobState string
 
 const (
-	// StateQueued: accepted, waiting for a verification worker.
+	// StateQueued: accepted, waiting for a verification worker (includes
+	// jobs waiting out a retry backoff or the memory admission gate).
 	StateQueued JobState = "queued"
 	// StateRunning: a worker is executing the pipeline.
 	StateRunning JobState = "running"
@@ -148,6 +149,11 @@ const (
 	StateDone JobState = "done"
 	// StateFailed: finished without a result (deadline, cancel, engine error).
 	StateFailed JobState = "failed"
+	// StateQuarantined: every attempt failed transiently (engine panics,
+	// injected faults); the job is parked in the poison quarantine —
+	// visible via GET /v1/jobs?state=quarantined and persisted in the
+	// journal — so one pathological spec cannot livelock the worker pool.
+	StateQuarantined JobState = "quarantined"
 )
 
 // Job tracks one submission through the queue. All mutable fields are
@@ -161,14 +167,37 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// attempts counts execution attempts started (1 on the first run);
+	// when a transient failure exhausts Config.MaxAttempts the job is
+	// quarantined.
+	attempts int
 
 	// key is the content address of (canonical spec, normalized options).
 	key string
 	// spec is the parsed submission, compiled by the worker.
 	spec     specHandle
 	deadline time.Time
-	// done is closed exactly once when the job reaches a terminal state.
-	done chan struct{}
+	// timeout is the per-job budget behind deadline, kept so a journal
+	// replay can re-anchor the deadline in the new process.
+	timeout time.Duration
+	// estimate is the pre-run explicit-table byte estimate
+	// (verify.EstimatePeakTableBytes) that memory admission reserves.
+	estimate uint64
+	// degraded marks a job whose estimate alone exceeds the server
+	// budget, accepted under Config.DegradeOverBudget: it runs with one
+	// engine worker and a budget-sized MaxStates clamp.
+	degraded bool
+	// journaled records that the submit record is durably in the WAL, so
+	// terminal transitions know to append their record.
+	journaled bool
+	// replayable marks a failure that should be rerun by a restarted
+	// process (drain cancel, shutdown during backoff): compaction keeps
+	// its submit record pending.
+	replayable bool
+	// done is closed exactly once when the job reaches a terminal state;
+	// doneClosed (under the service mutex) enforces the exactly-once.
+	done       chan struct{}
+	doneClosed bool
 }
 
 // specHandle carries what the worker needs from the parse phase.
@@ -181,14 +210,21 @@ type specHandle struct {
 // JobView is the JSON rendering of a job at one instant. Timestamps are
 // RFC 3339 strings, empty until the phase is reached.
 type JobView struct {
-	ID         string   `json:"id"`
-	State      JobState `json:"state"`
-	Cached     bool     `json:"cached"`
-	Error      string   `json:"error,omitempty"`
-	Result     *Result  `json:"result,omitempty"`
-	CreatedAt  string   `json:"created_at"`
-	StartedAt  string   `json:"started_at,omitempty"`
-	FinishedAt string   `json:"finished_at,omitempty"`
+	ID    string   `json:"id"`
+	Name  string   `json:"protocol,omitempty"`
+	State JobState `json:"state"`
+	// Cached: the result came from the content-addressed cache.
+	Cached   bool `json:"cached"`
+	Attempts int  `json:"attempts,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Replayable marks a failure a restarted process will rerun from the
+	// journal (drain cancel, shutdown during backoff).
+	Replayable bool    `json:"replayable,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Result     *Result `json:"result,omitempty"`
+	CreatedAt  string  `json:"created_at"`
+	StartedAt  string  `json:"started_at,omitempty"`
+	FinishedAt string  `json:"finished_at,omitempty"`
 }
 
 // stamp renders a timestamp for JobView ("" while unset).

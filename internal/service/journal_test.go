@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func contextWithTestTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+func TestJournalAppendAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	want := []journalRecord{
+		{Op: opSubmit, ID: "job-1", Name: "tiny", Spec: tinySpec, TimeoutMS: 5000},
+		{Op: opDone, ID: "job-1"},
+		{Op: opSubmit, ID: "job-2", Name: "tiny", Spec: tinySpec},
+	}
+	for _, rec := range want {
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+	if err := w.append(journalRecord{Op: opDone, ID: "job-2"}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+
+	_, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalToleratesTornTail: a crash mid-append leaves a partial final
+// line; reopen must keep every record before it and drop the torn tail
+// (and anything after — nothing after an unsynced tear is trustworthy).
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(journalRecord{Op: opSubmit, ID: "job-1", Spec: tinySpec}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"job-`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "job-1" || recs[0].Op != opSubmit {
+		t.Fatalf("records after torn tail = %+v", recs)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.append(journalRecord{Op: opSubmit, ID: "job-x", Spec: tinySpec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := []journalRecord{
+		{Op: opSubmit, ID: "job-9", Spec: tinySpec},
+		{Op: opQuarantine, ID: "job-9", Error: "poison"},
+	}
+	if err := w.compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("compacted journal has %d lines, want 2", n)
+	}
+	_, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Op != opQuarantine || recs[1].Error != "poison" {
+		t.Fatalf("compacted records = %+v", recs)
+	}
+}
+
+func TestReduceJournal(t *testing.T) {
+	recs := []journalRecord{
+		{Op: opSubmit, ID: "a", Spec: "sa"},
+		{Op: opSubmit, ID: "b", Spec: "sb"},
+		{Op: opSubmit, ID: "c", Spec: "sc"},
+		{Op: opSubmit, ID: "d", Spec: "sd"},
+		{Op: opDone, ID: "a"},
+		{Op: opFail, ID: "b", Error: "bad"},
+		{Op: opQuarantine, ID: "c", Error: "poison"},
+		{Op: "future-op", ID: "e"}, // unknown ops skipped, not fatal
+	}
+	st := reduceJournal(recs)
+	if len(st.pending) != 1 || st.pending[0].ID != "d" {
+		t.Fatalf("pending = %+v, want only d", st.pending)
+	}
+	if len(st.quarantined) != 1 || st.quarantined[0].ID != "c" {
+		t.Fatalf("quarantined = %+v, want only c", st.quarantined)
+	}
+	if st.reasons["c"] != "poison" || st.reasons["b"] != "bad" {
+		t.Fatalf("reasons = %+v", st.reasons)
+	}
+	// A duplicate submit (possible if a compaction raced a crash) must not
+	// duplicate the replay.
+	st = reduceJournal([]journalRecord{
+		{Op: opSubmit, ID: "a", Spec: "v1"},
+		{Op: opSubmit, ID: "a", Spec: "v2"},
+	})
+	if len(st.pending) != 1 || st.pending[0].Spec != "v2" {
+		t.Fatalf("duplicate submits: pending = %+v", st.pending)
+	}
+}
+
+// TestJournalReplayAcrossRestart drives the full loop through the
+// Service: submit while no workers run, crash, restart over the same
+// cache dir, and watch the journaled job complete.
+func TestJournalReplayAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// No Start(): the job stays queued, so the crash strands it with only
+	// its journal record to its name.
+	svc1 := newTestService(t, Config{Workers: 1, CacheDir: dir}, false)
+	j1, err := svc1.Submit(Request{Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.crash()
+
+	svc2 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
+	if got := svc2.Metrics().JobsReplayed.Load(); got != 1 {
+		t.Fatalf("JobsReplayed = %d, want 1", got)
+	}
+	j2, ok := svc2.Job(j1.ID())
+	if !ok {
+		t.Fatalf("replayed job %s not found", j1.ID())
+	}
+	waitDone(t, j2)
+	if v := svc2.Snapshot(j2); v.State != StateDone || v.Result == nil {
+		t.Fatalf("replayed job: %+v", v)
+	}
+
+	// Clean shutdown compacts: a third service over the same dir has
+	// nothing to replay (the done record retired the submit).
+	ctx, cancel := contextWithTestTimeout(t)
+	defer cancel()
+	if err := svc2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	svc3 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
+	if got := svc3.Metrics().JobsReplayed.Load(); got != 0 {
+		t.Fatalf("after clean shutdown JobsReplayed = %d, want 0", got)
+	}
+}
+
+// TestQuarantineSurvivesRestart: the quarantine ledger is part of the
+// journal's compaction set, so a quarantined job stays visible across a
+// clean shutdown and restart.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	hooks := &Hooks{BeforeVerify: func(id string, attempt int) error { panic("poison") }}
+	svc1 := newTestService(t, Config{
+		Workers: 1, CacheDir: dir, MaxAttempts: 2, RetryBaseDelay: time.Millisecond, Hooks: hooks,
+	}, true)
+	j, err := svc1.Submit(Request{Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if v := svc1.Snapshot(j); v.State != StateQuarantined {
+		t.Fatalf("job: %+v", v)
+	}
+	ctx, cancel := contextWithTestTimeout(t)
+	defer cancel()
+	if err := svc1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
+	quarantined := svc2.Jobs(StateQuarantined)
+	if len(quarantined) != 1 || quarantined[0].ID != j.ID() {
+		t.Fatalf("quarantine ledger after restart = %+v", quarantined)
+	}
+	if !strings.Contains(quarantined[0].Error, "poison") {
+		t.Fatalf("quarantine reason lost: %q", quarantined[0].Error)
+	}
+}

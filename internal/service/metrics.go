@@ -19,6 +19,14 @@ type Metrics struct {
 	JobsTimeout   atomic.Uint64 // subset of failed: deadline exceeded
 	ParseErrors   atomic.Uint64 // rejected before job creation
 
+	JobsPanicked    atomic.Uint64 // attempts that ended in a recovered engine panic
+	JobsRetried     atomic.Uint64 // retry attempts scheduled after transient failures
+	JobsQuarantined atomic.Uint64 // jobs moved to the poison quarantine
+	JobsReplayed    atomic.Uint64 // jobs reconstructed from the journal at startup
+
+	CacheWriteErrors atomic.Uint64 // write-through failures (job still succeeds)
+	JournalErrors    atomic.Uint64 // WAL append/compaction failures
+
 	JobsQueued  atomic.Int64 // gauge: accepted, not yet picked up
 	JobsRunning atomic.Int64 // gauge: currently on a worker
 
@@ -126,6 +134,12 @@ func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
 	counter("lrserved_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed.Load())
 	counter("lrserved_jobs_timeout_total", "Jobs that exceeded their deadline.", m.JobsTimeout.Load())
 	counter("lrserved_parse_errors_total", "Submissions rejected at parse time.", m.ParseErrors.Load())
+	counter("lrserved_jobs_panicked_total", "Attempts that ended in a recovered engine panic.", m.JobsPanicked.Load())
+	counter("lrserved_jobs_retried_total", "Retry attempts scheduled after transient failures.", m.JobsRetried.Load())
+	counter("lrserved_jobs_quarantined_total", "Jobs moved to the poison quarantine.", m.JobsQuarantined.Load())
+	counter("lrserved_jobs_replayed_total", "Jobs replayed from the journal at startup.", m.JobsReplayed.Load())
+	counter("lrserved_cache_write_errors_total", "Result write-through failures (the job still succeeds).", m.CacheWriteErrors.Load())
+	counter("lrserved_journal_errors_total", "Job-journal append or compaction failures.", m.JournalErrors.Load())
 	counter("lrserved_cache_hits_total", "Verifications served from the result cache.", m.CacheHits.Load())
 	counter("lrserved_cache_misses_total", "Verifications that had to run the engine.", m.CacheMisses.Load())
 	counter("lrserved_states_explored_total", "Explicit-engine global states enumerated.", m.StatesExplored.Load())

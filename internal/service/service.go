@@ -10,28 +10,76 @@
 // by the canonical dsl.Format rendering of the spec plus the normalized
 // option set, so whitespace, comments, and parenthesization never cause a
 // re-verification. cmd/lrserved exposes this package over HTTP.
+//
+// The execution layer is crash-safe and resource-governed:
+//
+//   - Panic isolation. Each job runs under recover; an engine panic is a
+//     failed attempt with the panic value and stack in the job error,
+//     never a dead process.
+//   - Retry with backoff. Transient failures (panics, injected I/O
+//     faults) are retried with exponential backoff and deterministic
+//     jitter up to Config.MaxAttempts, then moved to a poison quarantine
+//     so one pathological spec cannot livelock the pool.
+//   - Durable journal. With -cache-dir set, an append-only fsynced JSONL
+//     WAL records every engine-bound job; a restart replays unfinished
+//     jobs, idempotently, because results are content-addressed.
+//   - Memory admission control. A server-wide table-bytes budget gates
+//     job start on the explicit engine's pre-run estimate
+//     (verify.EstimatePeakTableBytes): concurrent jobs queue for budget
+//     instead of OOMing, and over-budget jobs are either rejected (503)
+//     or run degraded (workers clamped, MaxStates shrunk to fit).
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"paramring/internal/core"
 	"paramring/internal/dsl"
+	"paramring/internal/explicit"
 	"paramring/internal/verify"
 )
 
 // Service errors surfaced to submitters. ErrBadSpec wraps parse/compile
-// failures (an HTTP 400); ErrQueueFull is backpressure (429); ErrShutdown
-// rejects submissions during drain (503).
+// failures (an HTTP 400); ErrQueueFull and ErrOverBudget are backpressure
+// (503 with Retry-After); ErrShutdown rejects submissions during drain
+// (503). ErrTransient marks an attempt failure as retryable: the retry
+// classifier treats any error wrapping it (fault-injection hooks do) like
+// an engine panic — backoff, rerun, quarantine after MaxAttempts.
 var (
-	ErrBadSpec   = errors.New("bad spec")
-	ErrQueueFull = errors.New("queue full")
-	ErrShutdown  = errors.New("shutting down")
+	ErrBadSpec    = errors.New("bad spec")
+	ErrQueueFull  = errors.New("queue full")
+	ErrOverBudget = errors.New("estimated memory exceeds server budget")
+	ErrShutdown   = errors.New("shutting down")
+	ErrTransient  = errors.New("transient failure")
 )
+
+// Hooks are the service's fault-injection points, nil in production. The
+// chaos suite wires deterministic faultinject.Plan decisions into them;
+// keeping them as plain closures means internal/faultinject and this
+// package never import each other.
+type Hooks struct {
+	// BeforeVerify runs inside the job's recover scope immediately before
+	// the engine. It may sleep (slow-job injection), panic (worker-crash
+	// injection), or return a non-nil error, which is treated as a
+	// transient I/O failure and retried.
+	BeforeVerify func(jobID string, attempt int) error
+	// CacheWrite intercepts result write-through. A non-nil error
+	// simulates a disk-tier failure: the memory tier still gets the
+	// result, the error is counted and logged like a real one.
+	CacheWrite func(key string) error
+}
 
 // Config tunes a Service. Zero values select the documented defaults.
 type Config struct {
@@ -55,8 +103,35 @@ type Config struct {
 	// CacheSize bounds the in-memory result cache entries (default 1024).
 	CacheSize int
 	// CacheDir, when non-empty, persists results as one JSON file per
-	// content address, surviving restarts.
+	// content address AND enables the durable job journal
+	// (<CacheDir>/journal.wal), both surviving restarts.
 	CacheDir string
+
+	// MaxAttempts bounds how many times a transiently-failed job (engine
+	// panic, injected transient fault) runs before quarantine (default
+	// 3). A restart resets the attempt budget: replayed jobs start over.
+	MaxAttempts int
+	// RetryBaseDelay is the backoff unit (default 100ms): attempt n waits
+	// RetryBaseDelay << (n-1), capped at 30s, with deterministic ±50%
+	// jitter derived from the job's content address.
+	RetryBaseDelay time.Duration
+
+	// MemoryBudgetBytes, when > 0, caps the summed pre-run explicit-table
+	// estimates of concurrently running jobs (0 = admission control off).
+	MemoryBudgetBytes uint64
+	// DegradeOverBudget accepts jobs whose estimate alone exceeds the
+	// budget and runs them degraded — engine workers clamped to 1 and
+	// verify MaxStates shrunk so an oversized instance fails construction
+	// with a clean error instead of OOMing. When false (the default) such
+	// submissions are rejected with ErrOverBudget.
+	DegradeOverBudget bool
+
+	// Hooks are fault-injection points (nil = none).
+	Hooks *Hooks
+	// Log receives operational warnings — cache write-through failures,
+	// journal append errors, quarantine events (default: standard logger
+	// with an "lrserved: " prefix).
+	Log *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +150,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.Log == nil {
+		c.Log = log.New(os.Stderr, "lrserved: ", log.LstdFlags)
+	}
 	return c
 }
 
@@ -84,41 +168,179 @@ type Service struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *resultCache
+	wal     *journal // nil without CacheDir
+	admit   *admission
 
 	queue     chan *Job
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 	wg        sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // job ids in creation order, for retention eviction
-	nextID uint64
-	closed bool
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string // job ids in creation order, for retention eviction
+	nextID       uint64
+	closed       bool
+	retries      map[string]*time.Timer // jobs waiting out a backoff
+	cacheErrSeen map[string]bool        // distinct cache write errors already logged
 }
 
 // maxRetainedJobs bounds the id -> job index: once exceeded, the oldest
-// terminal jobs are forgotten (their results live on in the cache). Live
-// jobs are never evicted — they are bounded by queue size + workers.
+// terminal jobs are forgotten (their results live on in the cache, their
+// quarantine records in the journal). Live jobs are never evicted — they
+// are bounded by queue size + workers.
 const maxRetainedJobs = 4096
 
-// New validates the configuration and builds a stopped Service.
+// maxLoggedCacheErrors bounds the once-per-distinct-error log dedup map;
+// past it new distinct errors are still counted, just not logged.
+const maxLoggedCacheErrors = 64
+
+// New validates the configuration, builds a stopped Service, and — when a
+// cache directory is configured — replays the job journal: submissions
+// that were queued or running when the previous process died are
+// reconstructed under their original ids and re-enqueued (Start picks
+// them up), and quarantined jobs reappear in the index so the poison
+// ledger survives restarts.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	cache, err := newResultCache(cfg.CacheSize, cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
+	var (
+		wal      *journal
+		recovery replayState
+	)
+	if cfg.CacheDir != "" {
+		var recs []journalRecord
+		wal, recs, err = openJournal(filepath.Join(cfg.CacheDir, "journal.wal"))
+		if err != nil {
+			return nil, err
+		}
+		recovery = reduceJournal(recs)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
-		cfg:       cfg,
-		metrics:   NewMetrics(),
-		cache:     cache,
-		queue:     make(chan *Job, cfg.QueueSize),
-		runCtx:    ctx,
-		cancelRun: cancel,
-		jobs:      make(map[string]*Job),
-	}, nil
+	queueCap := cfg.QueueSize
+	if n := len(recovery.pending); n > queueCap {
+		// Replay must never drop a journaled job: grow the buffer for
+		// this boot. New submissions still see the configured bound.
+		queueCap = n
+	}
+	s := &Service{
+		cfg:          cfg,
+		metrics:      NewMetrics(),
+		cache:        cache,
+		wal:          wal,
+		admit:        newAdmission(cfg.MemoryBudgetBytes),
+		queue:        make(chan *Job, queueCap),
+		runCtx:       ctx,
+		cancelRun:    cancel,
+		jobs:         make(map[string]*Job),
+		retries:      make(map[string]*time.Timer),
+		cacheErrSeen: make(map[string]bool),
+	}
+	if err := s.replay(recovery); err != nil {
+		cancel()
+		if wal != nil {
+			wal.close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay reconstructs journaled jobs into the index and queue.
+func (s *Service) replay(st replayState) error {
+	for _, rec := range append(append([]journalRecord{}, st.pending...), st.quarantined...) {
+		if n, err := strconv.ParseUint(strings.TrimPrefix(rec.ID, "job-"), 10, 64); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	for _, rec := range st.quarantined {
+		j := s.jobFromRecord(rec)
+		if j == nil {
+			continue
+		}
+		j.state = StateQuarantined
+		j.err = st.reasons[rec.ID]
+		j.finished = time.Now()
+		j.doneClosed = true
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	for _, rec := range st.pending {
+		j := s.jobFromRecord(rec)
+		if j == nil {
+			// A journal entry this binary cannot rebuild (e.g. written by
+			// a newer dialect) is terminal-failed rather than silently
+			// dropped, so the WAL does not replay it forever.
+			s.journalAppend(journalRecord{Op: opFail, ID: rec.ID, Error: "unreplayable journal record"})
+			continue
+		}
+		s.metrics.JobsReplayed.Add(1)
+		if res, ok := s.cache.Get(j.key); ok {
+			// The result landed before the crash: the replay is an
+			// instant content-addressed cache hit.
+			s.metrics.CacheHits.Add(1)
+			s.metrics.JobsDone.Add(1)
+			j.state = StateDone
+			j.cached = true
+			j.result = res
+			j.finished = time.Now()
+			j.doneClosed = true
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.journalAppend(journalRecord{Op: opDone, ID: j.id})
+			continue
+		}
+		j.state = StateQueued
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue <- j // sized for all pending records in New
+		s.metrics.JobsQueued.Add(1)
+	}
+	return nil
+}
+
+// jobFromRecord rebuilds a Job from a journal submit record, or nil when
+// the spec no longer parses (a dialect change across the restart).
+func (s *Service) jobFromRecord(rec journalRecord) *Job {
+	if rec.Spec == "" {
+		return nil
+	}
+	spec, err := dsl.ParseSpec(rec.Spec)
+	if err != nil {
+		return nil
+	}
+	proto, err := spec.Protocol()
+	if err != nil {
+		return nil
+	}
+	var opts RequestOptions
+	if rec.Options != nil {
+		opts = *rec.Options
+	}
+	opts = opts.normalize()
+	timeout := time.Duration(rec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	now := time.Now()
+	j := &Job{
+		id:        rec.ID,
+		key:       cacheKey(rec.Spec, opts),
+		spec:      specHandle{name: spec.Name, canonical: rec.Spec, options: opts},
+		created:   now,
+		deadline:  now.Add(timeout), // re-anchored: the old anchor died with the old process
+		timeout:   timeout,
+		estimate:  verify.EstimatePeakTableBytes(proto, opts.verifyOptions(s.cfg.EngineWorkers)),
+		journaled: true,
+		done:      make(chan struct{}),
+	}
+	j.degraded = s.cfg.MemoryBudgetBytes > 0 && j.estimate > s.cfg.MemoryBudgetBytes
+	return j
 }
 
 // Start launches the worker pool.
@@ -139,9 +361,11 @@ func (s *Service) Start() {
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
 // Submit parses, canonicalizes, and either answers req from the cache
-// (returning an already-done Job) or enqueues it. The returned error is
-// ErrBadSpec-wrapped for malformed specs, ErrQueueFull under backpressure,
-// ErrShutdown during drain.
+// (returning an already-done Job) or journals and enqueues it. The
+// returned error is ErrBadSpec-wrapped for malformed specs, ErrQueueFull
+// under backpressure, ErrOverBudget when the job's memory estimate alone
+// exceeds the server budget (and degraded mode is off), ErrShutdown
+// during drain.
 func (s *Service) Submit(req Request) (*Job, error) {
 	s.mu.Lock()
 	closed := s.closed
@@ -152,10 +376,11 @@ func (s *Service) Submit(req Request) (*Job, error) {
 
 	t0 := time.Now()
 	spec, err := dsl.ParseSpec(req.Spec)
+	var proto *core.Protocol
 	if err == nil {
 		// Compile too: "parses but writes outside the window/domain" must
 		// be a 400, not a failed job.
-		_, err = spec.Protocol()
+		proto, err = spec.Protocol()
 	}
 	if err != nil {
 		s.metrics.ParseErrors.Add(1)
@@ -164,7 +389,20 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	canonical := dsl.Format(spec)
 	opts := req.Options.normalize()
 	key := cacheKey(canonical, opts)
+	estimate := verify.EstimatePeakTableBytes(proto, opts.verifyOptions(s.cfg.EngineWorkers))
 	s.metrics.ObservePhase("parse", time.Since(t0))
+
+	degraded := false
+	if budget := s.cfg.MemoryBudgetBytes; budget > 0 && estimate > budget {
+		if !s.cfg.DegradeOverBudget {
+			if _, ok := s.cache.Get(key); !ok {
+				return nil, fmt.Errorf("%w: estimate %d bytes, budget %d bytes", ErrOverBudget, estimate, budget)
+			}
+			// A cached verdict needs no memory; fall through to the hit.
+		} else {
+			degraded = true
+		}
+	}
 	s.metrics.JobsSubmitted.Add(1)
 
 	timeout := s.cfg.DefaultTimeout
@@ -180,6 +418,9 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		spec:     specHandle{name: spec.Name, canonical: canonical, options: opts},
 		created:  t0,
 		deadline: t0.Add(timeout),
+		timeout:  timeout,
+		estimate: estimate,
+		degraded: degraded,
 		done:     make(chan struct{}),
 	}
 
@@ -192,6 +433,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		j.cached = true
 		j.result = res
 		j.finished = time.Now()
+		j.doneClosed = true
 		s.jobs[j.id] = j
 		s.mu.Unlock()
 		close(j.done)
@@ -210,16 +452,45 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
+	// Journal before enqueue: once a client holds the job id, a crash
+	// must not lose the job. The compensating fail record on the
+	// queue-full path keeps the WAL from replaying a job the client was
+	// told to resubmit.
+	j.journaled = s.journalAppend(journalRecord{
+		Op: opSubmit, ID: j.id, Name: spec.Name, Spec: canonical,
+		Options: &opts, TimeoutMS: timeout.Milliseconds(),
+	})
+
+	s.mu.Lock()
 	select {
 	case s.queue <- j:
 		s.metrics.JobsQueued.Add(1)
+		s.mu.Unlock()
 		return j, nil
 	default:
-		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
+		if j.journaled {
+			s.journalAppend(journalRecord{Op: opFail, ID: j.id, Error: ErrQueueFull.Error()})
+		}
 		return nil, ErrQueueFull
 	}
+}
+
+// journalAppend writes rec to the WAL if one is configured, reporting
+// whether the record is durably on disk. Append failures are counted and
+// logged, never fatal: the journal is a recovery upgrade, not a
+// correctness dependency of the running process.
+func (s *Service) journalAppend(rec journalRecord) bool {
+	if s.wal == nil {
+		return false
+	}
+	if err := s.wal.append(rec); err != nil {
+		s.metrics.JournalErrors.Add(1)
+		s.cfg.Log.Printf("journal append %s %s: %v", rec.Op, rec.ID, err)
+		return false
+	}
+	return true
 }
 
 func (s *Service) newIDLocked() string {
@@ -233,83 +504,316 @@ func (s *Service) newIDLocked() string {
 }
 
 // evictTerminalLocked drops the oldest finished jobs until the index is
-// back under the retention bound.
+// back under the retention bound — done/failed first, quarantined only if
+// that is not enough (the poison ledger is the part operators come back
+// for, and it survives in the journal regardless).
 func (s *Service) evictTerminalLocked() {
-	kept := s.order[:0]
-	for _, id := range s.order {
-		j, ok := s.jobs[id]
-		if !ok {
-			continue
+	for _, evictable := range []func(*Job) bool{
+		func(j *Job) bool { return j.state == StateDone || j.state == StateFailed },
+		func(j *Job) bool { return j.state == StateQuarantined },
+	} {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			if len(s.jobs) >= maxRetainedJobs && evictable(j) {
+				delete(s.jobs, id)
+				continue
+			}
+			kept = append(kept, id)
 		}
-		if len(s.jobs) >= maxRetainedJobs && (j.state == StateDone || j.state == StateFailed) {
-			delete(s.jobs, id)
-			continue
+		s.order = kept
+		if len(s.jobs) < maxRetainedJobs {
+			return
 		}
-		kept = append(kept, id)
 	}
-	s.order = kept
 }
 
-// run executes one job on the calling worker goroutine.
+// run executes one attempt of a job on the calling worker goroutine and
+// routes the outcome: done, terminal failure, retry, or quarantine. The
+// job's done channel is closed on every terminal path and only there.
 func (s *Service) run(j *Job) {
+	ctx, cancel := context.WithDeadline(s.runCtx, j.deadline)
+	defer cancel()
+
+	// Memory admission: block until the job's table estimate fits under
+	// the server budget. The job stays visibly queued while it waits.
+	reserved, err := s.admit.acquire(ctx, j.estimate)
+	if err != nil {
+		s.finishAttempt(j, nil, err, false)
+		return
+	}
+	defer s.admit.release(reserved)
+
 	s.mu.Lock()
 	j.state = StateRunning
+	j.attempts++
 	j.started = time.Now()
+	attempt := j.attempts
 	s.mu.Unlock()
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
 
-	ctx, cancel := context.WithDeadline(s.runCtx, j.deadline)
-	defer cancel()
+	rep, err, panicked := s.runOnce(ctx, j, attempt)
+	if panicked {
+		s.metrics.JobsPanicked.Add(1)
+	}
+	s.finishAttempt(j, rep, err, panicked)
+}
 
+// runOnce is the panic-isolation boundary: everything the engine can do —
+// including panicking on a malformed instance — is converted into an
+// (report, error) pair here. The recover also covers the BeforeVerify
+// fault-injection hook, which is the chaos suite's stand-in for an engine
+// crash.
+func (s *Service) runOnce(ctx context.Context, j *Job, attempt int) (rep *verify.Report, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			rep = nil
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if h := s.cfg.Hooks; h != nil && h.BeforeVerify != nil {
+		if herr := h.BeforeVerify(j.id, attempt); herr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTransient, herr), false
+		}
+	}
 	// Reparse from the canonical text: it is a guaranteed fixpoint of the
 	// parser (see dsl.Format) and keeps Job free of engine closures.
-	var (
-		rep *verify.Report
-		err error
-	)
 	spec, perr := dsl.ParseSpec(j.spec.canonical)
 	if perr != nil {
-		err = perr // unreachable unless Format's contract breaks
-	} else {
-		var proto, cerr = spec.Protocol()
-		if cerr != nil {
-			err = cerr
-		} else {
-			t0 := time.Now()
-			rep, err = verify.CheckCtx(ctx, proto, j.spec.options.verifyOptions(s.cfg.EngineWorkers))
-			s.metrics.ObservePhase("verify", time.Since(t0))
+		return nil, perr, false // unreachable unless Format's contract breaks
+	}
+	proto, cerr := spec.Protocol()
+	if cerr != nil {
+		return nil, cerr, false
+	}
+	t0 := time.Now()
+	rep, err = verify.CheckCtx(ctx, proto, s.jobVerifyOptions(j))
+	s.metrics.ObservePhase("verify", time.Since(t0))
+	return rep, err, false
+}
+
+// jobVerifyOptions resolves the engine options for one attempt, applying
+// the degraded-mode clamps for jobs whose estimate exceeds the budget:
+// one engine worker (scratch memory scales with workers) and a MaxStates
+// ceiling sized to the budget, so the oversized ring sizes fail with the
+// engine's one-line guard error instead of an OOM kill.
+func (s *Service) jobVerifyOptions(j *Job) verify.Options {
+	workers := s.cfg.EngineWorkers
+	if j.degraded {
+		workers = 1
+	}
+	opts := j.spec.options.verifyOptions(workers)
+	if j.degraded {
+		opts.MaxStates = explicit.MaxStatesForBudget(s.cfg.MemoryBudgetBytes)
+	}
+	return opts
+}
+
+// finishAttempt classifies one attempt's outcome.
+func (s *Service) finishAttempt(j *Job, rep *verify.Report, err error, panicked bool) {
+	switch {
+	case err == nil:
+		s.complete(j, rep)
+	case errors.Is(err, context.Canceled):
+		// Only the server drain cancels runCtx: fail the job in this
+		// process but leave its journal record pending so a restart
+		// replays it — "in-flight jobs finish or journal as retryable".
+		s.finalize(j, StateFailed, "canceled by shutdown; journaled for replay", true)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.JobsTimeout.Add(1)
+		s.failTerminal(j, fmt.Sprintf("deadline exceeded after %v", time.Since(j.created).Round(time.Millisecond)))
+	case panicked || errors.Is(err, ErrTransient):
+		s.retryOrQuarantine(j, err)
+	default:
+		// Deterministic engine errors (state guard, instance shape):
+		// retrying cannot change them.
+		s.failTerminal(j, err.Error())
+	}
+}
+
+// complete finalizes a successful attempt: result projected, cached,
+// journaled done.
+func (s *Service) complete(j *Job, rep *verify.Report) {
+	res := resultFromReport(j.spec.name, rep)
+	s.metrics.StatesExplored.Add(rep.ExplicitStates)
+	s.metrics.RecordPeakTableBytes(rep.ExplicitPeakTableBytes)
+	s.metrics.JobsDone.Add(1)
+	// Write-through before the terminal journal record: once the WAL says
+	// done, the result must be re-servable from the cache.
+	s.writeThrough(j.key, res)
+	s.mu.Lock()
+	j.state = StateDone
+	j.result = res
+	j.err = ""
+	j.finished = time.Now()
+	closeNow := !j.doneClosed
+	j.doneClosed = true
+	s.mu.Unlock()
+	if j.journaled {
+		s.journalAppend(journalRecord{Op: opDone, ID: j.id})
+	}
+	if closeNow {
+		close(j.done)
+	}
+	s.metrics.ObservePhase("total", time.Since(j.created))
+}
+
+// failTerminal finalizes a deterministic failure: journaled as fail so a
+// restart does not replay it.
+func (s *Service) failTerminal(j *Job, msg string) {
+	s.finalize(j, StateFailed, msg, false)
+	if j.journaled {
+		s.journalAppend(journalRecord{Op: opFail, ID: j.id, Error: msg})
+	}
+	s.metrics.ObservePhase("total", time.Since(j.created))
+}
+
+// finalize moves j to a terminal state and closes done exactly once.
+// replayable failures keep their journal record pending (no terminal op),
+// which is precisely what makes them survive the restart.
+func (s *Service) finalize(j *Job, state JobState, msg string, replayable bool) {
+	s.mu.Lock()
+	j.state = state
+	j.err = msg
+	j.replayable = replayable
+	j.finished = time.Now()
+	closeNow := !j.doneClosed
+	j.doneClosed = true
+	s.mu.Unlock()
+	if closeNow {
+		if state == StateFailed {
+			s.metrics.JobsFailed.Add(1)
 		}
+		close(j.done)
+	}
+}
+
+// retryOrQuarantine handles a transient attempt failure: schedule the
+// next attempt with exponential backoff and deterministic jitter, or —
+// once MaxAttempts is spent — move the job to the poison quarantine.
+func (s *Service) retryOrQuarantine(j *Job, cause error) {
+	msg := cause.Error()
+	s.mu.Lock()
+	attempts := j.attempts
+	j.err = msg // visible while the job waits out its backoff
+	s.mu.Unlock()
+
+	if attempts >= s.cfg.MaxAttempts {
+		s.metrics.JobsQuarantined.Add(1)
+		s.cfg.Log.Printf("quarantining %s (%s) after %d attempts: %s",
+			j.id, j.spec.name, attempts, firstLine(msg))
+		s.finalize(j, StateQuarantined, msg, false)
+		if j.journaled {
+			s.journalAppend(journalRecord{Op: opQuarantine, ID: j.id, Error: msg})
+		}
+		s.metrics.ObservePhase("total", time.Since(j.created))
+		return
 	}
 
+	delay := backoffDelay(s.cfg.RetryBaseDelay, attempts, j.key)
+	if time.Now().Add(delay).After(j.deadline) {
+		// The backoff would outlive the deadline; fail now with the real
+		// cause instead of a synthetic timeout later.
+		s.metrics.JobsTimeout.Add(1)
+		s.failTerminal(j, fmt.Sprintf("deadline would expire during retry backoff; last failure: %s", firstLine(msg)))
+		return
+	}
+
+	s.metrics.JobsRetried.Add(1)
 	s.mu.Lock()
-	j.finished = time.Now()
-	if err != nil {
-		j.state = StateFailed
-		if errors.Is(err, context.DeadlineExceeded) {
-			j.err = fmt.Sprintf("deadline exceeded after %v", j.finished.Sub(j.created).Round(time.Millisecond))
-			s.metrics.JobsTimeout.Add(1)
-		} else {
-			j.err = err.Error()
-		}
-		s.metrics.JobsFailed.Add(1)
-	} else {
-		j.state = StateDone
-		j.result = resultFromReport(j.spec.name, rep)
-		s.metrics.StatesExplored.Add(rep.ExplicitStates)
-		s.metrics.RecordPeakTableBytes(rep.ExplicitPeakTableBytes)
-		s.metrics.JobsDone.Add(1)
+	if s.closed {
+		s.mu.Unlock()
+		s.finalize(j, StateFailed, "shutting down before retry; journaled for replay", true)
+		return
 	}
-	res := j.result
-	key := j.key
+	j.state = StateQueued
+	s.retries[j.id] = time.AfterFunc(delay, func() { s.requeue(j) })
 	s.mu.Unlock()
-	if res != nil {
-		// Write-through after releasing the job lock; the disk tier is
-		// best-effort (a failed write only costs a future re-verification).
-		_ = s.cache.Put(key, res)
+}
+
+// requeue puts a backed-off job back on the queue when its timer fires.
+func (s *Service) requeue(j *Job) {
+	s.mu.Lock()
+	delete(s.retries, j.id)
+	if s.closed {
+		s.mu.Unlock()
+		s.finalize(j, StateFailed, "shutting down before retry; journaled for replay", true)
+		return
 	}
-	close(j.done)
-	s.metrics.ObservePhase("total", time.Since(j.created))
+	select {
+	case s.queue <- j:
+		s.metrics.JobsQueued.Add(1)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		// The queue is saturated at retry time; rather than spin another
+		// timer forever, fail replayably — the journal still has the job.
+		s.finalize(j, StateFailed, "queue full at retry; journaled for replay", true)
+	}
+}
+
+// backoffDelay is base << (attempt-1) capped at 30s, jittered to
+// [50%,150%) by a hash of the job's content address and the attempt — so
+// two pathological jobs never thundering-herd in lockstep, yet a given
+// schedule is reproducible.
+func backoffDelay(base time.Duration, attempt int, key string) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	fmt.Fprintf(h, "|%d", attempt)
+	frac := float64(h.Sum64()>>11) / (1 << 53) // [0,1)
+	return time.Duration(float64(d) * (0.5 + frac))
+}
+
+// writeThrough stores the result, counts and logs (once per distinct
+// error) any disk-tier failure, and never fails the job: a lost disk
+// write only costs a future re-verification.
+func (s *Service) writeThrough(key string, res *Result) {
+	var err error
+	if h := s.cfg.Hooks; h != nil && h.CacheWrite != nil {
+		if err = h.CacheWrite(key); err != nil {
+			s.cache.insert(key, res) // the memory tier still holds the result
+		}
+	}
+	if err == nil {
+		err = s.cache.Put(key, res)
+	}
+	if err == nil {
+		return
+	}
+	s.metrics.CacheWriteErrors.Add(1)
+	msg := err.Error()
+	s.mu.Lock()
+	logIt := !s.cacheErrSeen[msg] && len(s.cacheErrSeen) < maxLoggedCacheErrors
+	if logIt {
+		s.cacheErrSeen[msg] = true
+	}
+	s.mu.Unlock()
+	if logIt {
+		s.cfg.Log.Printf("cache write-through failed (logged once per distinct error): %v", err)
+	}
+}
+
+// firstLine trims a multi-line error (panic stacks) for log lines.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // Job looks up a job by id.
@@ -320,14 +824,39 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// Jobs returns point-in-time views of every retained job, in creation
+// order, optionally filtered by state ("" = all). This is the API behind
+// GET /v1/jobs?state=quarantined — the poison-quarantine workflow.
+func (s *Service) Jobs(state JobState) []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok || (state != "" && j.state != state) {
+			continue
+		}
+		views = append(views, s.viewLocked(j))
+	}
+	return views
+}
+
 // Snapshot renders a consistent point-in-time view of a job.
 func (s *Service) Snapshot(j *Job) JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.viewLocked(j)
+}
+
+func (s *Service) viewLocked(j *Job) JobView {
 	return JobView{
 		ID:         j.id,
+		Name:       j.spec.name,
 		State:      j.state,
 		Cached:     j.cached,
+		Attempts:   j.attempts,
+		Degraded:   j.degraded,
+		Replayable: j.replayable,
 		Error:      j.err,
 		Result:     j.result,
 		CreatedAt:  stamp(j.created),
@@ -338,34 +867,72 @@ func (s *Service) Snapshot(j *Job) JobView {
 
 // Stats is the health summary served on /healthz.
 type Stats struct {
-	Queued       int `json:"queued"`
-	Running      int `json:"running"`
-	Workers      int `json:"workers"`
-	QueueCap     int `json:"queue_capacity"`
-	CacheEntries int `json:"cache_entries"`
+	Queued           int    `json:"queued"`
+	Running          int    `json:"running"`
+	Workers          int    `json:"workers"`
+	QueueCap         int    `json:"queue_capacity"`
+	CacheEntries     int    `json:"cache_entries"`
+	Quarantined      int    `json:"quarantined"`
+	CacheWriteErrors uint64 `json:"cache_write_errors"`
+	MemBudgetBytes   uint64 `json:"mem_budget_bytes"`
+	MemInUseBytes    uint64 `json:"mem_in_use_bytes"`
 }
 
 // Stats returns current occupancy.
 func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	quarantined := 0
+	for _, j := range s.jobs {
+		if j.state == StateQuarantined {
+			quarantined++
+		}
+	}
+	s.mu.Unlock()
 	return Stats{
-		Queued:       int(s.metrics.JobsQueued.Load()),
-		Running:      int(s.metrics.JobsRunning.Load()),
-		Workers:      s.cfg.Workers,
-		QueueCap:     s.cfg.QueueSize,
-		CacheEntries: s.cache.Len(),
+		Queued:           int(s.metrics.JobsQueued.Load()),
+		Running:          int(s.metrics.JobsRunning.Load()),
+		Workers:          s.cfg.Workers,
+		QueueCap:         s.cfg.QueueSize,
+		CacheEntries:     s.cache.Len(),
+		Quarantined:      quarantined,
+		CacheWriteErrors: s.metrics.CacheWriteErrors.Load(),
+		MemBudgetBytes:   s.cfg.MemoryBudgetBytes,
+		MemInUseBytes:    s.admit.used(),
 	}
 }
 
 // Shutdown drains gracefully: new submissions are rejected, queued jobs
-// run to completion, and the call blocks until the pool exits. When ctx
-// expires first, in-flight jobs are canceled (they finish as failed) and
-// Shutdown still waits for the pool before returning ctx's error. The disk
-// cache is write-through, so every completed result is already flushed.
+// run to completion, jobs waiting out a retry backoff are failed in this
+// process but kept pending in the journal (a restart replays them), and
+// the call blocks until the pool exits. When ctx expires first, in-flight
+// jobs are canceled — they too finish as replayable failures — and
+// Shutdown still waits for the pool before returning ctx's error. The
+// journal is then compacted down to replayable and quarantined jobs; the
+// disk cache is write-through, so every completed result is already
+// flushed.
 func (s *Service) Shutdown(ctx context.Context) error {
+	err := s.stop(ctx)
+	s.compactJournal()
+	return err
+}
+
+// stop is the drain half of Shutdown, shared with the chaos harness.
+func (s *Service) stop(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
+	var backedOff []*Job
+	for id, t := range s.retries {
+		t.Stop()
+		delete(s.retries, id)
+		if j, ok := s.jobs[id]; ok {
+			backedOff = append(backedOff, j)
+		}
+	}
 	s.mu.Unlock()
+	for _, j := range backedOff {
+		s.finalize(j, StateFailed, "shutting down before retry; journaled for replay", true)
+	}
 	if !already {
 		close(s.queue)
 	}
@@ -382,5 +949,67 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.cancelRun()
 		<-done
 		return ctx.Err()
+	}
+}
+
+// compactJournal rewrites the WAL to the minimal replay set: pending
+// submits for replayable failures and the submit+quarantine pairs of the
+// poison ledger.
+func (s *Service) compactJournal() {
+	if s.wal == nil {
+		return
+	}
+	var recs []journalRecord
+	s.mu.Lock()
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok || !j.journaled {
+			continue
+		}
+		switch {
+		case j.replayable, j.state == StateQuarantined:
+			opts := j.spec.options
+			recs = append(recs, journalRecord{
+				Op: opSubmit, ID: j.id, Name: j.spec.name, Spec: j.spec.canonical,
+				Options: &opts, TimeoutMS: j.timeout.Milliseconds(),
+			})
+			if j.state == StateQuarantined {
+				recs = append(recs, journalRecord{Op: opQuarantine, ID: j.id, Error: j.err})
+			}
+		}
+	}
+	s.mu.Unlock()
+	if err := s.wal.compact(recs); err != nil {
+		s.metrics.JournalErrors.Add(1)
+		s.cfg.Log.Printf("journal compaction: %v", err)
+	}
+}
+
+// crash stops the service the unclean way — queue closed, in-flight work
+// canceled immediately, journal left uncompacted — simulating a process
+// kill for the chaos suite. Exported to tests only via package access.
+func (s *Service) crash() {
+	s.cancelRun()
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	var backedOff []*Job
+	for id, t := range s.retries {
+		t.Stop()
+		delete(s.retries, id)
+		if j, ok := s.jobs[id]; ok {
+			backedOff = append(backedOff, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range backedOff {
+		s.finalize(j, StateFailed, "killed; journaled for replay", true)
+	}
+	if !already {
+		close(s.queue)
+	}
+	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.close()
 	}
 }

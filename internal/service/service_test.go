@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"errors"
+	"io"
+	"log"
 	"testing"
 	"time"
 )
@@ -26,6 +28,9 @@ action copy: (x[0] != x[1]) -> x[0] := (x[1])
 
 func newTestService(t *testing.T, cfg Config, start bool) *Service {
 	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

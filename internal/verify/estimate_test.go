@@ -1,0 +1,71 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paramring/internal/explicit"
+	"paramring/internal/protocols"
+)
+
+// TestEstimatePeakTableBytes pins the admission figure's contract: zero
+// when the options request no explicit work, conservative (>= the actual
+// observed peak) when they do, and saturating instead of overflowing.
+func TestEstimatePeakTableBytes(t *testing.T) {
+	p := protocols.All()["agreement"]
+
+	if got := EstimatePeakTableBytes(p, Options{}); got != 0 {
+		t.Fatalf("no explicit work must estimate 0 bytes, got %d", got)
+	}
+	if got := EstimatePeakTableBytes(p, Options{ConfirmMaxK: 9}); got != 0 {
+		t.Fatalf("witness confirmation alone must estimate 0 bytes, got %d", got)
+	}
+
+	opts := Options{CrossValidateMaxK: 6}
+	est := EstimatePeakTableBytes(p, opts)
+	if est == 0 {
+		t.Fatal("cross-validation must estimate nonzero table bytes")
+	}
+	rep, err := Check(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExplicitPeakTableBytes == 0 || rep.ExplicitPeakTableBytes > est {
+		t.Fatalf("estimate %d must bound the observed peak %d", est, rep.ExplicitPeakTableBytes)
+	}
+	// The estimate sums the per-K tables (they can be concurrently
+	// resident), so the largest single table alone must also fit under it.
+	states, _ := explicit.EstimateStates(p.Domain(), opts.CrossValidateMaxK)
+	if largest := explicit.EstimateTableBytes(states); est < largest {
+		t.Fatalf("estimate %d below the largest single table %d", est, largest)
+	}
+
+	// An overflowing shape saturates.
+	if got := EstimatePeakTableBytes(p, Options{CrossValidateMaxK: 70}); got != math.MaxUint64 {
+		t.Fatalf("overflowing estimate = %d, want MaxUint64", got)
+	}
+}
+
+// TestMaxStatesClampsExplicitWork: a MaxStates below the largest requested
+// ring size fails the run with the engine's one-line guard error — the
+// degraded-mode behavior admission control relies on instead of an OOM.
+func TestMaxStatesClampsExplicitWork(t *testing.T) {
+	p := protocols.All()["agreement"] // domain 2: K=6 is 64 states
+	_, err := Check(p, Options{CrossValidateMaxK: 6, MaxStates: 32, Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit 32") {
+		t.Fatalf("clamped run error = %v, want state-guard violation", err)
+	}
+	// A clamp that still fits every requested K changes nothing.
+	rep, err := Check(p, Options{CrossValidateMaxK: 4, MaxStates: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Check(p, Options{CrossValidateMaxK: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary() != ref.Summary() {
+		t.Fatalf("clamped summary %q != reference %q", rep.Summary(), ref.Summary())
+	}
+}

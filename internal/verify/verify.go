@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -68,6 +69,45 @@ type Options struct {
 	// instances out concurrently (0 = runtime.GOMAXPROCS(0); 1 =
 	// sequential). The report is identical for any worker count.
 	Workers int
+	// MaxStates, when > 0, overrides the explicit engine's state-count
+	// guard (explicit.DefaultMaxStates) for every instance this run
+	// builds. A resource governor (the service layer's memory admission
+	// control) lowers it so an instance whose tables would not fit the
+	// budget fails construction with a one-line error instead of OOMing;
+	// it never changes any verdict that completes.
+	MaxStates uint64
+}
+
+// EstimatePeakTableBytes returns a pre-run upper bound on the resident
+// explicit-engine table bytes a Check run with these options can hold at
+// once: the per-K membership bitsets of every ring size the run may have
+// concurrently in flight (cross-validation and the bounded fallback fan
+// out across workers, so all of 2..maxK can be resident together). Zero
+// means the options request no explicit work at all — the local theorems
+// allocate per-local-state structures, not per-global-state tables. The
+// service layer gates job admission on this figure against a server-wide
+// budget before any allocation happens.
+func EstimatePeakTableBytes(p *core.Protocol, opts Options) uint64 {
+	maxK := opts.CrossValidateMaxK
+	if opts.BoundedFallbackMaxK > maxK {
+		maxK = opts.BoundedFallbackMaxK
+	}
+	if maxK < 2 {
+		return 0
+	}
+	var total uint64
+	for k := 2; k <= maxK; k++ {
+		states, ok := explicit.EstimateStates(p.Domain(), k)
+		if !ok {
+			return math.MaxUint64
+		}
+		b := explicit.EstimateTableBytes(states)
+		if total > math.MaxUint64-b {
+			return math.MaxUint64
+		}
+		total += b
+	}
+	return total
 }
 
 // Report is the combined verification outcome.
@@ -149,6 +189,13 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 	}
 	rep := &Report{}
 	sys := p.Compile()
+	instOpts := func(workers int) []explicit.Option {
+		o := []explicit.Option{explicit.WithWorkers(workers)}
+		if opts.MaxStates > 0 {
+			o = append(o, explicit.WithMaxStates(opts.MaxStates))
+		}
+		return o
+	}
 	var explicitStates, explicitPeak atomic.Uint64
 	notePeak := func(in *explicit.Instance) {
 		for {
@@ -214,7 +261,7 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 	if rep.Livelock == Inconclusive && opts.BoundedFallbackMaxK > 1 {
 		found := make([]bool, opts.BoundedFallbackMaxK+1)
 		err := perK(2, opts.BoundedFallbackMaxK, opts.Workers, func(k int) error {
-			in, err := explicit.NewInstanceCtx(ctx, p, k, explicit.WithWorkers(opts.Workers))
+			in, err := explicit.NewInstanceCtx(ctx, p, k, instOpts(opts.Workers)...)
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return cerr
@@ -253,7 +300,7 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 	if opts.CrossValidateMaxK > 1 {
 		msgs := make([][]string, opts.CrossValidateMaxK+1)
 		err := perK(2, opts.CrossValidateMaxK, opts.Workers, func(k int) error {
-			in, err := explicit.NewInstanceCtx(ctx, p, k, explicit.WithWorkers(opts.Workers))
+			in, err := explicit.NewInstanceCtx(ctx, p, k, instOpts(opts.Workers)...)
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return cerr
