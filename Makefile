@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments figures clean
+.PHONY: all build vet test race cover bench bench-synth experiments figures clean
 
 all: build vet test
 
@@ -24,6 +24,11 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Seq-vs-par synthesis engine benchmark grid (flat enumeration vs pruned
+# sequential vs pruned parallel); writes BENCH_synth.json for the CI artifact.
+bench-synth:
+	BENCH_SYNTH_JSON=$(CURDIR)/BENCH_synth.json $(GO) test -run TestWriteBenchSynthJSON -v ./internal/synthesis/
+
 # Regenerate every figure/claim of the paper (summary table).
 experiments:
 	$(GO) run ./cmd/lrexperiments -summary
@@ -42,4 +47,4 @@ figures:
 	$(GO) run ./cmd/lrviz -protocol sum-not-two-ss -graph ltg > figures/fig12-ltg.dot
 
 clean:
-	rm -rf figures cover.out
+	rm -rf figures cover.out BENCH_synth.json

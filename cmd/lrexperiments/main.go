@@ -31,9 +31,15 @@ func main() {
 		"run up to this many experiments concurrently, buffering output and printing in order (1 streams; note concurrent runs add timing noise to T1/T4)")
 	maxStates := flag.Uint64("max-states", 0,
 		"override the explicit-engine state-count guard for the state-space experiments (0 = per-experiment defaults; engine ceiling 1<<28)")
+	synthWorkers := flag.Int("synth-workers", 1,
+		"parallel workers for the synthesis searches inside the Section 6 experiments (results are identical for any count)")
 	flag.Parse()
 
+	if *synthWorkers < 1 {
+		cli.Exit("lrexperiments", 2, fmt.Errorf("-synth-workers must be >= 1, got %d", *synthWorkers))
+	}
 	experiments.SetMaxStates(*maxStates)
+	experiments.SetSynthesisWorkers(*synthWorkers)
 
 	var list []experiments.Experiment
 	switch {

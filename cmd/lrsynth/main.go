@@ -27,18 +27,33 @@ func main() {
 	file := flag.String("file", "", "guarded-commands file (.gc) to synthesize from")
 	all := flag.Bool("all", false, "enumerate every accepted candidate set")
 	validate := flag.Int("validate", 7, "cross-validate accepted solutions with the explicit checker up to this K (0 disables)")
+	workers := flag.Int("workers", 1, "parallel search workers (the result is identical for any count)")
+	maxAssignments := flag.Int("max-assignments", 1<<20, "abort when a Resolve set admits more candidate assignments than this")
 	flag.Parse()
 
+	if *workers < 1 {
+		cli.Exit("lrsynth", 2, fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
+	if *maxAssignments < 1 {
+		cli.Exit("lrsynth", 2, fmt.Errorf("-max-assignments must be >= 1, got %d", *maxAssignments))
+	}
 	p, err := cli.LoadProtocol(*name, *file)
 	if err != nil {
 		cli.Exit("lrsynth", 2, err)
 	}
 
-	res, err := synthesis.Synthesize(p, synthesis.Options{All: *all})
+	res, err := synthesis.Synthesize(p, synthesis.Options{
+		All:            *all,
+		Workers:        *workers,
+		MaxAssignments: *maxAssignments,
+	})
 	if res != nil {
 		for _, s := range res.Steps {
 			fmt.Println(s)
 		}
+		st := res.Stats
+		fmt.Printf("\nsearch: %d candidate(s), %d evaluated, %d pruned in %d subtree cut(s), %d deadlock-rejected, memo %d hit(s) / %d miss(es), %d worker(s)\n",
+			st.Candidates, st.Evaluated, st.PrunedAssignments, st.PrunedSubtrees, st.DeadlockRejected, st.MemoHits, st.MemoMisses, st.Workers)
 	}
 	if err != nil {
 		if errors.Is(err, synthesis.ErrNoSolution) {

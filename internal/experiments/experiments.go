@@ -43,6 +43,24 @@ func stateLimit(def uint64) uint64 {
 	return def
 }
 
+// synthesisWorkers, when > 1, parallelizes the synthesis search in the
+// Section 6 experiments (set via SetSynthesisWorkers from lrexperiments
+// -synth-workers). The engine's deterministic first-accept rule makes every
+// experiment's output identical for any worker count.
+var synthesisWorkers int
+
+// SetSynthesisWorkers sets the worker count the synthesis experiments pass
+// to synthesis.Synthesize. n <= 1 searches sequentially.
+func SetSynthesisWorkers(n int) { synthesisWorkers = n }
+
+// synthOptions applies the worker override to an experiment's options.
+func synthOptions(opts synthesis.Options) synthesis.Options {
+	if synthesisWorkers > 1 {
+		opts.Workers = synthesisWorkers
+	}
+	return opts
+}
+
 // Outcome is the verdict of one experiment.
 type Outcome struct {
 	// Measured is a one-line summary of what this reproduction observed.
@@ -365,7 +383,7 @@ func figure9() Experiment {
 		Title: "3-coloring synthesis declares failure",
 		Paper: "Resolve = {00,11,22}; 2^3 = 8 candidate sets; every one forms a pseudo-livelock in a contiguous trail",
 		Run: func(w io.Writer) (Outcome, error) {
-			res, err := synthesis.Synthesize(protocols.Coloring(3), synthesis.Options{All: true})
+			res, err := synthesis.Synthesize(protocols.Coloring(3), synthOptions(synthesis.Options{All: true}))
 			for _, s := range res.Steps {
 				fmt.Fprintln(w, s)
 			}
@@ -384,7 +402,7 @@ func figure10() Experiment {
 		Title: "Agreement synthesis: one-sided correction converges for every K",
 		Paper: "Resolve={01} or {10}; include t01 xor t10; both-sided fails the sufficient condition",
 		Run: func(w io.Writer) (Outcome, error) {
-			res, err := synthesis.Synthesize(protocols.AgreementBase(), synthesis.Options{All: true})
+			res, err := synthesis.Synthesize(protocols.AgreementBase(), synthOptions(synthesis.Options{All: true}))
 			if err != nil {
 				return Outcome{}, err
 			}
@@ -424,7 +442,7 @@ func figure11() Experiment {
 		Title: "2-coloring synthesis cannot conclude (and SS 2-coloring is impossible)",
 		Paper: "both illegitimate deadlocks must be resolved; the resolution forms a trail; failure declared",
 		Run: func(w io.Writer) (Outcome, error) {
-			res, err := synthesis.Synthesize(protocols.Coloring(2), synthesis.Options{All: true})
+			res, err := synthesis.Synthesize(protocols.Coloring(2), synthOptions(synthesis.Options{All: true}))
 			for _, s := range res.Steps {
 				fmt.Fprintln(w, s)
 			}
@@ -455,7 +473,7 @@ func figure12() Experiment {
 		Paper: "{t21,t10,t02} and {t01,t12,t20} rejected (pseudo-livelock + trail; the former's trail is spurious); {t21,t12,t01} accepted and converging",
 		Run: func(w io.Writer) (Outcome, error) {
 			base := protocols.SumNotTwoBase()
-			res, err := synthesis.Synthesize(base, synthesis.Options{All: true})
+			res, err := synthesis.Synthesize(base, synthOptions(synthesis.Options{All: true}))
 			if err != nil {
 				return Outcome{}, err
 			}
@@ -665,7 +683,7 @@ func tableGeneralization() Experiment {
 			conv3 := explicit.MustNewInstance(res.Protocol, 3).CheckStrongConvergence().Converges
 			fail4 := !explicit.MustNewInstance(res.Protocol, 4).CheckStrongConvergence().Converges
 			fmt.Fprintf(w, "converges at K=3: %v; fails at K=4: %v\n", conv3, fail4)
-			_, lerr := synthesis.Synthesize(protocols.Coloring(3), synthesis.Options{})
+			_, lerr := synthesis.Synthesize(protocols.Coloring(3), synthOptions(synthesis.Options{}))
 			localFails := lerr != nil
 			fmt.Fprintf(w, "local methodology on the same input declares failure (correct for all K): %v\n", localFails)
 			// And matching B vs A is the paper's own instance of the story.

@@ -164,7 +164,7 @@ func extRecoveryRadius() Experiment {
 		Title: "Recovery radius of synthesized protocols",
 		Paper: "(systems view of convergence: how many steps from an arbitrary fault to I)",
 		Run: func(w io.Writer) (Outcome, error) {
-			res, err := synthesis.Synthesize(protocols.AgreementBase(), synthesis.Options{})
+			res, err := synthesis.Synthesize(protocols.AgreementBase(), synthOptions(synthesis.Options{}))
 			if err != nil {
 				return Outcome{}, err
 			}

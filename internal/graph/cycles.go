@@ -22,6 +22,10 @@ const DefaultCycleLimit = 200000
 // vertex. Self-loops yield single-vertex cycles. Cycles are returned in a
 // deterministic order.
 //
+// Both the circuit walk and the unblock cascade run on explicit heap stacks,
+// never on the call stack, so adversarially deep graphs (a single cycle
+// through every vertex, say) cannot overflow the goroutine stack.
+//
 // If more than limit cycles exist, a wrapped ErrCycleLimit is returned along
 // with the cycles found so far. limit <= 0 selects DefaultCycleLimit.
 func (g *Digraph) ElementaryCycles(limit int) ([][]int, error) {
@@ -33,56 +37,79 @@ func (g *Digraph) ElementaryCycles(limit int) ([][]int, error) {
 		blocked = make([]bool, g.n)
 		bmap    = make([][]int, g.n)
 		stack   []int
+		ubStack []int
 	)
 
-	// Johnson processes, for each start vertex s in increasing order, the
-	// subgraph induced on vertices >= s within the SCC of s.
-	var (
-		unblock func(u int)
-		circuit func(v, s int, sub *Digraph) (bool, error)
-	)
-	unblock = func(u int) {
+	// unblock clears the blocked flag of u and cascades through the b-map
+	// chains. Visiting a vertex means unblocking it and clearing its b-list;
+	// the visited set is plain reachability over blocked vertices, so the
+	// iterative traversal reproduces the recursive cascade exactly.
+	unblock := func(u int) {
 		blocked[u] = false
-		for _, w := range bmap[u] {
-			if blocked[w] {
-				unblock(w)
-			}
-		}
+		ubStack = append(ubStack[:0], bmap[u]...)
 		bmap[u] = bmap[u][:0]
-	}
-	circuit = func(v, s int, sub *Digraph) (bool, error) {
-		found := false
-		stack = append(stack, v)
-		blocked[v] = true
-		for _, w := range sub.adj[v] {
-			if w == s {
-				if len(cycles) >= limit {
-					return found, fmt.Errorf("%w (limit %d)", ErrCycleLimit, limit)
-				}
-				cyc := append([]int(nil), stack...)
-				cycles = append(cycles, cyc)
-				found = true
+		for len(ubStack) > 0 {
+			w := ubStack[len(ubStack)-1]
+			ubStack = ubStack[:len(ubStack)-1]
+			if !blocked[w] {
 				continue
 			}
-			if !blocked[w] {
-				f, err := circuit(w, s, sub)
-				if f {
-					found = true
+			blocked[w] = false
+			ubStack = append(ubStack, bmap[w]...)
+			bmap[w] = bmap[w][:0]
+		}
+	}
+
+	// circuit is Johnson's recursive CIRCUIT procedure converted to an
+	// explicit frame stack: each frame holds the vertex, the next adjacency
+	// index to examine, and whether a cycle was found below it.
+	type frame struct {
+		v     int
+		next  int
+		found bool
+	}
+	var frames []frame
+	circuit := func(s int, sub *Digraph) error {
+		frames = append(frames[:0], frame{v: s})
+		stack = append(stack[:0], s)
+		blocked[s] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			adj := sub.adj[f.v]
+			if f.next < len(adj) {
+				w := adj[f.next]
+				f.next++
+				if w == s {
+					if len(cycles) >= limit {
+						return fmt.Errorf("%w (limit %d)", ErrCycleLimit, limit)
+					}
+					cycles = append(cycles, append([]int(nil), stack...))
+					f.found = true
+					continue
 				}
-				if err != nil {
-					return found, err
+				if !blocked[w] {
+					frames = append(frames, frame{v: w})
+					stack = append(stack, w)
+					blocked[w] = true
+				}
+				continue
+			}
+			// Post-order: the frame is exhausted.
+			if f.found {
+				unblock(f.v)
+			} else {
+				for _, w := range adj {
+					bmap[w] = append(bmap[w], f.v)
 				}
 			}
-		}
-		if found {
-			unblock(v)
-		} else {
-			for _, w := range sub.adj[v] {
-				bmap[w] = append(bmap[w], v)
+			stack = stack[:len(stack)-1]
+			found := f.found
+			frames = frames[:len(frames)-1]
+			if found && len(frames) > 0 {
+				frames[len(frames)-1].found = true
 			}
 		}
-		stack = stack[:len(stack)-1]
-		return found, nil
+		return nil
 	}
 
 	for s := 0; s < g.n; s++ {
@@ -98,8 +125,7 @@ func (g *Digraph) ElementaryCycles(limit int) ([][]int, error) {
 			blocked[v] = false
 			bmap[v] = bmap[v][:0]
 		}
-		stack = stack[:0]
-		if _, err := circuit(s, s, sub); err != nil {
+		if err := circuit(s, sub); err != nil {
 			sortCycles(cycles)
 			return cycles, err
 		}

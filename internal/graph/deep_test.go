@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// These regression tests pin down that the cycle and hitting-set walks run on
+// explicit heap stacks rather than the call stack. They shrink the goroutine
+// stack ceiling and then drive both algorithms through graphs deep enough
+// that the former recursive implementations would overflow it and crash the
+// process — so a reintroduced recursion fails loudly, not flakily.
+
+// deepStackLimit is far below what ~2k recursive frames need but ample for
+// the shallow call chains of the iterative implementations.
+const deepStackLimit = 48 << 10
+
+// TestElementaryCyclesDeepGraph builds a "locked chain": from the start
+// vertex 0 the walk enters x=1, descends a 2k-vertex chain whose tail points
+// back at the blocked vertex 1, fails, and records the whole chain in the
+// b-map; when 1 later completes a cycle through y, the unblock cascade sweeps
+// the full chain. This drives both the circuit walk and the unblock cascade
+// to depth ~chainLen in one run.
+func TestElementaryCyclesDeepGraph(t *testing.T) {
+	const chainLen = 2048
+	defer debug.SetMaxStack(debug.SetMaxStack(deepStackLimit))
+
+	// Vertices: 0 = s, 1 = x, 2..chainLen+1 = chain, chainLen+2 = y.
+	y := chainLen + 2
+	g := New(y + 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	for v := 2; v <= chainLen; v++ {
+		g.AddEdge(v, v+1)
+	}
+	g.AddEdge(chainLen+1, 1) // chain tail back to x: blocked when rooted at 0
+	g.AddEdge(1, y)
+	g.AddEdge(y, 0)
+
+	cycles, err := g.ElementaryCycles(0)
+	if err != nil {
+		t.Fatalf("ElementaryCycles: %v", err)
+	}
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2", len(cycles))
+	}
+	// Shortest first: the triangle 0 -> 1 -> y -> 0.
+	if got := cycles[0]; len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != y {
+		t.Fatalf("short cycle = %v, want [0 1 %d]", got, y)
+	}
+	// Then the chain cycle 1 -> 2 -> ... -> chainLen+1 -> 1.
+	long := cycles[1]
+	if len(long) != chainLen+1 {
+		t.Fatalf("long cycle has %d vertices, want %d", len(long), chainLen+1)
+	}
+	for i, v := range long {
+		if v != i+1 {
+			t.Fatalf("long cycle[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestMinimalHittingSetsDeepFamily feeds a family of ~4k disjoint singleton
+// sets, forcing the branch-and-record walk to its maximum depth (one level
+// per set) with a single hitting set as the answer.
+func TestMinimalHittingSetsDeepFamily(t *testing.T) {
+	const m = 4096 // deeper than the cycle test: this walk is O(m^2) cheap
+	defer debug.SetMaxStack(debug.SetMaxStack(deepStackLimit))
+
+	family := make([][]int, m)
+	allowed := make(map[int]bool, m)
+	for i := range family {
+		family[i] = []int{i}
+		allowed[i] = true
+	}
+	sets, err := MinimalHittingSets(family, allowed, 10)
+	if err != nil {
+		t.Fatalf("MinimalHittingSets: %v", err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("got %d hitting sets, want 1", len(sets))
+	}
+	if len(sets[0]) != m {
+		t.Fatalf("hitting set has %d elements, want %d", len(sets[0]), m)
+	}
+	for i, v := range sets[0] {
+		if v != i {
+			t.Fatalf("hitting set[%d] = %d, want %d", i, v, i)
+		}
+	}
+}

@@ -41,12 +41,12 @@ func MinimalHittingSets(family [][]int, allowed map[int]bool, limit int) ([][]in
 	}
 
 	// Depth-first branch on the first un-hit set; collect all hitting sets,
-	// then filter to inclusion-minimal ones. Family sizes here are tiny
-	// (elementary cycles of <=27-vertex graphs), so this is plenty fast.
+	// then filter to inclusion-minimal ones. The walk runs on an explicit
+	// frame stack (depth = family size), so huge adversarial families cannot
+	// overflow the goroutine stack.
 	var (
 		results [][]int
 		current []int
-		recurse func(idx int) error
 	)
 	hits := func(set []int, chosen []int) bool {
 		for _, e := range set {
@@ -58,32 +58,45 @@ func MinimalHittingSets(family [][]int, allowed map[int]bool, limit int) ([][]in
 		}
 		return false
 	}
-	recurse = func(idx int) error {
-		// Advance past sets already hit.
+	// Advance past sets already hit by the current choice.
+	advance := func(idx int) int {
 		for idx < len(restricted) && hits(restricted[idx], current) {
 			idx++
 		}
-		if idx == len(restricted) {
+		return idx
+	}
+	// Each frame is one call of the former recursion: idx is the first un-hit
+	// set (already advanced), ei the next element of it to branch on, and
+	// hasElem records whether the parent pushed an element onto current for
+	// this call (false only for the root).
+	type hsFrame struct {
+		idx     int
+		ei      int
+		hasElem bool
+	}
+	frames := []hsFrame{{idx: advance(0)}}
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		if f.idx == len(restricted) {
+			// Every set is hit: record and return from this call.
 			if len(results) >= limit {
-				return fmt.Errorf("graph: hitting-set limit %d exceeded", limit)
+				return nil, fmt.Errorf("graph: hitting-set limit %d exceeded", limit)
 			}
 			res := append([]int(nil), current...)
 			sort.Ints(res)
 			results = append(results, res)
-			return nil
-		}
-		for _, e := range restricted[idx] {
+		} else if f.ei < len(restricted[f.idx]) {
+			e := restricted[f.idx][f.ei]
+			f.ei++
 			current = append(current, e)
-			err := recurse(idx + 1)
-			current = current[:len(current)-1]
-			if err != nil {
-				return err
-			}
+			frames = append(frames, hsFrame{idx: advance(f.idx + 1), hasElem: true})
+			continue
 		}
-		return nil
-	}
-	if err := recurse(0); err != nil {
-		return nil, err
+		// Call complete: undo the parent's element push and pop the frame.
+		if f.hasElem {
+			current = current[:len(current)-1]
+		}
+		frames = frames[:len(frames)-1]
 	}
 	return filterMinimal(results), nil
 }

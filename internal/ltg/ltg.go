@@ -43,6 +43,13 @@ func Build(sys *core.System) *LTG {
 	return &LTG{sys: sys, r: rcg.Build(sys)}
 }
 
+// BuildFrom constructs the LTG from an RCG the caller already built for sys,
+// sharing the s-arc skeleton instead of rebuilding it (the synthesis engine
+// overlays every candidate's t-arcs on one such skeleton).
+func BuildFrom(sys *core.System, r *rcg.RCG) *LTG {
+	return &LTG{sys: sys, r: r}
+}
+
 // System returns the underlying compiled protocol.
 func (l *LTG) System() *core.System { return l.sys }
 

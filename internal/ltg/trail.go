@@ -112,27 +112,20 @@ func CheckLivelockFreedom(p *core.Protocol, opts CheckOptions) (Report, error) {
 	}
 
 	if len(tarcs) > opts.MaxTArcs {
-		return l.coarseCheck(rep)
+		return l.coarseCheck(rep, tarcs)
 	}
 
 	// Exact subset search: a trail's t-arc set is some subset S'. For each
 	// subset that forms a pseudo-livelock, test whether every t-arc of S'
 	// can participate in a closed composite walk and whether the trail
 	// visits an illegitimate state.
-	total := 1 << len(tarcs)
-	for mask := 1; mask < total; mask++ {
-		subset := subsetOf(tarcs, mask)
-		rep.SubsetsChecked++
-		if !FormsPseudoLivelock(sys, subset) {
-			continue
-		}
-		if w := l.trailFor(subset); w != nil {
-			rep.Verdict = VerdictPotentialLivelock
-			rep.Witness = w
-			rep.Reason = fmt.Sprintf("t-arc set %s forms a pseudo-livelock and a contiguous trail through illegitimate state %s",
-				FormatTArcs(sys, subset), sys.Protocol().FormatState(w.IllegitimateStates[0]))
-			return rep, nil
-		}
+	w, checked := l.FindTrailSubset(tarcs, -1, nil)
+	rep.SubsetsChecked = checked
+	if w != nil {
+		rep.Verdict = VerdictPotentialLivelock
+		rep.Witness = w
+		rep.Reason = TrailReason(sys, w)
+		return rep, nil
 	}
 	rep.Verdict = VerdictFree
 	if rep.ContiguousOnly {
@@ -158,6 +151,13 @@ func CheckLivelockFreedomTransformed(p *core.Protocol, opts CheckOptions) (Repor
 	rep, err := CheckLivelockFreedom(q, opts)
 	rep.SelfDisabled = q != p
 	return rep, q, err
+}
+
+// TrailReason renders the standard one-line explanation of a
+// potential-livelock verdict for a given trail witness.
+func TrailReason(sys *core.System, w *TrailWitness) string {
+	return fmt.Sprintf("t-arc set %s forms a pseudo-livelock and a contiguous trail through illegitimate state %s",
+		FormatTArcs(sys, w.TArcs), sys.Protocol().FormatState(w.IllegitimateStates[0]))
 }
 
 func subsetOf(tarcs []core.LocalTransition, mask int) []core.LocalTransition {
@@ -301,9 +301,10 @@ func (l *LTG) sRunEndpoints(start int, sources []bool, sArcs *graph.Digraph) []i
 //   - the full composite graph has a cycle.
 //
 // When all three hold the coarse check cannot decide and returns Unknown.
-func (l *LTG) coarseCheck(rep Report) (Report, error) {
+// all is the t-arc set under scrutiny (usually l's compiled transitions, but
+// an overlay works the same way).
+func (l *LTG) coarseCheck(rep Report, all []core.LocalTransition) (Report, error) {
 	sys := l.sys
-	all := sys.Trans
 	rep.SubsetsChecked = 1
 	if !HasPseudoLivelockSubset(sys, all) {
 		rep.Verdict = VerdictFree

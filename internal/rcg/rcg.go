@@ -145,6 +145,54 @@ func (r *RCG) CheckDeadlockFreedom(cycleLimit int) (DeadlockReport, error) {
 	return rep, nil
 }
 
+// CheckDeadlockFreedomWithout applies Theorem 4.2 to the protocol obtained by
+// resolving the given local deadlock states — i.e. granting each of them a
+// recovery action so it is no longer a deadlock. Because the continuation
+// relation depends only on the read-window shape (never on transitions), the
+// revised protocol's RCG is this one, and its deadlock set is exactly
+// r's deadlocks minus resolved. The returned report is therefore identical to
+// compiling the revised protocol and running CheckDeadlockFreedom on it, at
+// none of the cost — which lets a synthesis search decide Theorem 4.2 once
+// per Resolve set instead of once per candidate assignment.
+func (r *RCG) CheckDeadlockFreedomWithout(resolved []core.LocalState, cycleLimit int) (DeadlockReport, error) {
+	drop := make(map[core.LocalState]bool, len(resolved))
+	for _, s := range resolved {
+		drop[s] = true
+	}
+	rep := DeadlockReport{}
+	for _, s := range r.sys.Deadlocks {
+		if !drop[s] {
+			rep.LocalDeadlocks = append(rep.LocalDeadlocks, s)
+		}
+	}
+	for _, s := range r.sys.IllegitimateDeadlocks() {
+		if !drop[s] {
+			rep.IllegitimateDeadlocks = append(rep.IllegitimateDeadlocks, s)
+		}
+	}
+	dg := r.g.InducedSubgraph(func(v int) bool {
+		return r.sys.IsDeadlock[v] && !drop[core.LocalState(v)]
+	})
+	illegit := func(v int) bool { return !r.sys.Legit[v] }
+	rep.Free = !dg.HasCycleThroughAny(illegit)
+	if rep.Free {
+		return rep, nil
+	}
+	cycles, err := dg.CyclesThroughAny(illegit, cycleLimit)
+	rep.BadCycles = make([][]core.LocalState, len(cycles))
+	for i, c := range cycles {
+		states := make([]core.LocalState, len(c))
+		for j, v := range c {
+			states[j] = core.LocalState(v)
+		}
+		rep.BadCycles[i] = states
+	}
+	if err != nil {
+		return rep, fmt.Errorf("rcg: witness enumeration incomplete: %w", err)
+	}
+	return rep, nil
+}
+
 // UnrollCycle converts an RCG cycle over local deadlocks into a concrete
 // global state for a ring of size k*len(cycle): process i takes the own
 // value of cycle[i mod n]. By construction of the continuation relation, the

@@ -1,8 +1,12 @@
 package synthesis
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
 
+	"paramring/internal/core"
 	"paramring/internal/protocols"
 )
 
@@ -29,5 +33,119 @@ func BenchmarkSynthesizeAll(b *testing.B) {
 				_, _ = Synthesize(p, Options{All: true}) // coloring3 fails by design
 			}
 		})
+	}
+}
+
+// The seq-vs-par engine comparison: every case runs the reference flat
+// enumeration, the sequential branch-and-bound walk, and the parallel walk —
+// all three produce the identical Result; the benchmark measures what pruning,
+// memoization and workers buy.
+type synthBenchCase struct {
+	name string
+	p    *core.Protocol
+}
+
+type synthBenchMode struct {
+	name string
+	opts Options
+}
+
+func synthBenchCases() []synthBenchCase {
+	return []synthBenchCase{
+		{"agreement", protocols.AgreementBase()},
+		{"sum-not-two", protocols.SumNotTwoBase()},
+		{"coloring3", protocols.Coloring(3)},
+		{"coloring4", protocols.Coloring(4)},
+	}
+}
+
+func synthBenchModes() []synthBenchMode {
+	// On a single-CPU host GOMAXPROCS is 1; floor the parallel mode at 2 so it
+	// always exercises the multi-worker path (the result is identical anyway).
+	return []synthBenchMode{
+		{"flat", Options{All: true, Flat: true}},
+		{"seq", Options{All: true}},
+		{"par", Options{All: true, Workers: max(2, runtime.GOMAXPROCS(0))}},
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	for _, c := range synthBenchCases() {
+		for _, m := range synthBenchModes() {
+			b.Run(c.name+"/"+m.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var st SearchStats
+				for i := 0; i < b.N; i++ {
+					res, _ := Synthesize(c.p, m.opts) // the colorings fail by design
+					if res != nil {
+						st = res.Stats
+					}
+				}
+				b.ReportMetric(float64(st.Candidates), "candidates/op")
+				b.ReportMetric(float64(st.Evaluated), "evaluated/op")
+				if tot := st.MemoHits + st.MemoMisses; tot > 0 {
+					b.ReportMetric(float64(st.MemoHits)/float64(tot), "memo-hit-rate")
+				}
+			})
+		}
+	}
+}
+
+// TestWriteBenchSynthJSON reruns the BenchmarkSynthesize grid via
+// testing.Benchmark and writes the results to the path named by the
+// BENCH_SYNTH_JSON environment variable (the `make bench-synth` CI artifact).
+// Without the variable the test is skipped.
+func TestWriteBenchSynthJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SYNTH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SYNTH_JSON=<path> to write the synthesis benchmark artifact")
+	}
+	type entry struct {
+		Name              string  `json:"name"`
+		Workers           int     `json:"workers"`
+		NsPerOp           int64   `json:"ns_per_op"`
+		Candidates        int     `json:"candidates"`
+		Evaluated         int     `json:"evaluated"`
+		PrunedAssignments int     `json:"pruned_assignments"`
+		MemoHits          uint64  `json:"memo_hits"`
+		MemoMisses        uint64  `json:"memo_misses"`
+		MemoHitRate       float64 `json:"memo_hit_rate"`
+	}
+	var entries []entry
+	for _, c := range synthBenchCases() {
+		for _, m := range synthBenchModes() {
+			var st SearchStats
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, _ := Synthesize(c.p, m.opts)
+					if res != nil {
+						st = res.Stats
+					}
+				}
+			})
+			e := entry{
+				Name:              c.name + "/" + m.name,
+				Workers:           st.Workers,
+				NsPerOp:           r.NsPerOp(),
+				Candidates:        st.Candidates,
+				Evaluated:         st.Evaluated,
+				PrunedAssignments: st.PrunedAssignments,
+				MemoHits:          st.MemoHits,
+				MemoMisses:        st.MemoMisses,
+			}
+			if tot := st.MemoHits + st.MemoMisses; tot > 0 {
+				e.MemoHitRate = float64(st.MemoHits) / float64(tot)
+			}
+			entries = append(entries, e)
+			t.Logf("%-22s %12d ns/op  candidates=%d evaluated=%d pruned=%d memo=%d/%d",
+				e.Name, e.NsPerOp, e.Candidates, e.Evaluated, e.PrunedAssignments, e.MemoHits, e.MemoMisses)
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -73,12 +73,25 @@ type Options struct {
 	ActionName string
 	// MaxResolveSets caps the number of minimal Resolve sets explored.
 	MaxResolveSets int
-	// MaxAssignments caps the candidate-set product per Resolve set.
+	// MaxAssignments caps the candidate-set product per Resolve set. The
+	// default is 1<<20: branch-and-bound pruning and per-set deadlock
+	// prechecks make products far beyond the old flat-enumeration cap (4096)
+	// tractable.
 	MaxAssignments int
 	// Check tunes the Theorem 5.14 trail search.
 	Check ltg.CheckOptions
 	// All requests every accepted candidate set, not just the first.
 	All bool
+	// Workers is the number of concurrent workers searching the assignment
+	// frontier (<= 0 selects 1, the sequential reference). Accepted,
+	// Rejections, ResolveSets and Steps are byte-identical at every worker
+	// count: the winner is always the lexicographically smallest accepted
+	// assignment index, and outcomes are assembled in index order.
+	Workers int
+	// Flat disables pruning, memoization and the per-Resolve-set deadlock
+	// precheck, evaluating every assignment independently — the original
+	// flat enumeration, kept as the reference path for differential tests.
+	Flat bool
 }
 
 func (o *Options) defaults() {
@@ -89,7 +102,13 @@ func (o *Options) defaults() {
 		o.MaxResolveSets = 64
 	}
 	if o.MaxAssignments <= 0 {
-		o.MaxAssignments = 4096
+		o.MaxAssignments = 1 << 20
+	}
+	if o.Check.MaxTArcs <= 0 {
+		o.Check.MaxTArcs = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 }
 
@@ -127,6 +146,9 @@ type Result struct {
 	Steps []string
 	// ResolveSets lists every minimal Resolve set considered.
 	ResolveSets [][]core.LocalState
+	// Stats reports how the search engine reached the result (diagnostic
+	// only: counts vary with worker speculation; the fields above do not).
+	Stats SearchStats
 }
 
 // Best returns the first accepted candidate.
@@ -180,7 +202,12 @@ func Synthesize(base *core.Protocol, opts Options) (*Result, error) {
 	logf("Step 2: %d illegitimate deadlock cycle(s); %d minimal Resolve set(s): %s",
 		len(badCycles), len(resolveSets), formatResolveSets(base, res.ResolveSets))
 
-	// Steps 3-5 per Resolve set.
+	// Steps 3-5 per Resolve set, searched by the engine: the base LTG is the
+	// shared s-arc skeleton candidates are overlaid on, and the memo carries
+	// Theorem 5.14 verdicts across assignments and Resolve sets.
+	eng := &engine{base: base, sys: sys, r: r, l: ltg.BuildFrom(sys, r), memo: ltg.NewMemo(), opts: opts}
+	defer func() { res.Stats = eng.stats() }()
+
 	for _, rs := range resolveSets {
 		resolve := toStates(rs)
 		inResolve := map[core.LocalState]bool{}
@@ -214,23 +241,40 @@ func Synthesize(base *core.Protocol, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("synthesis: %d candidate sets exceed limit %d", total, opts.MaxAssignments)
 		}
 
-		// Steps 4-5: try each assignment (one transition per resolved state).
-		for idx := 0; idx < total; idx++ {
-			chosen := assignment(perState, idx)
-			cand, reject, err := evaluate(base, sys, chosen, resolve, opts)
-			if err != nil {
-				return nil, err
+		// Steps 4-5: search the assignments (one transition per resolved
+		// state), then expand the outcome spans in ascending assignment
+		// order — the sequential assembly that keeps any worker count
+		// byte-identical to the flat loop's first-accept behavior.
+		spans, err := eng.runResolveSet(resolve, perState, total)
+		if err != nil {
+			return nil, err
+		}
+		logged := 0
+		for _, sp := range spans {
+			if sp.err != nil {
+				return nil, sp.err
 			}
-			if reject != nil {
-				res.Rejections = append(res.Rejections, *reject)
-				logf("  reject %s: %s", ltg.FormatTArcs(sys, chosen), reject.Reason)
+			if sp.cand != nil {
+				logf("  accept %s (phase %s)", ltg.FormatTArcs(sys, sp.cand.Chosen), sp.cand.Phase)
+				res.Accepted = append(res.Accepted, *sp.cand)
+				if !opts.All {
+					return res, nil
+				}
 				continue
 			}
-			logf("  accept %s (phase %s)", ltg.FormatTArcs(sys, chosen), cand.Phase)
-			res.Accepted = append(res.Accepted, *cand)
-			if !opts.All {
-				return res, nil
+			if sp.rej != nil {
+				res.Rejections = append(res.Rejections, *sp.rej)
+				logReject(res, sp.rej, sys, &logged)
+				continue
 			}
+			for idx := sp.lo; idx < sp.hi; idx++ {
+				rej := Rejection{Resolve: resolve, Chosen: assignment(perState, idx), Reason: sp.reason}
+				res.Rejections = append(res.Rejections, rej)
+				logReject(res, &rej, sys, &logged)
+			}
+		}
+		if omitted := logged - maxRejectLogLines; omitted > 0 {
+			logf("  ... %d further rejection(s) omitted from log", omitted)
 		}
 	}
 	if len(res.Accepted) == 0 {
@@ -238,6 +282,19 @@ func Synthesize(base *core.Protocol, opts Options) (*Result, error) {
 		return res, fmt.Errorf("%w (base protocol %q)", ErrNoSolution, base.Name())
 	}
 	return res, nil
+}
+
+// maxRejectLogLines caps the per-Resolve-set "reject" lines in the Steps
+// narrative. The Rejections list itself is never truncated; the cap only
+// keeps the narrative readable now that assignment spaces can be huge.
+const maxRejectLogLines = 1024
+
+// logReject appends the narrative line for one rejection, honoring the cap.
+func logReject(res *Result, rej *Rejection, sys *core.System, logged *int) {
+	*logged++
+	if *logged <= maxRejectLogLines {
+		res.Steps = append(res.Steps, fmt.Sprintf("  reject %s: %s", ltg.FormatTArcs(sys, rej.Chosen), rej.Reason))
+	}
 }
 
 // candidateTransitions lists the legal recovery transitions out of local
