@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-synth experiments figures clean
+.PHONY: all build vet test race cover bench bench-verify bench-synth bench-all bench-compare experiments figures clean
 
 all: build vet test
 
@@ -24,10 +24,28 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Seq-vs-par synthesis engine benchmark grid (flat enumeration vs pruned
-# sequential vs pruned parallel); writes BENCH_synth.json for the CI artifact.
+# The regression-gated snapshots (see PERFORMANCE.md). bench-verify and
+# bench-synth re-measure the deterministic lrbench grids and overwrite the
+# committed baselines at the repo root — run bench-all and commit the
+# result whenever a PR moves the numbers on purpose.
+bench-verify:
+	$(GO) run ./cmd/lrbench -suite verify -o BENCH_verify.json
+
 bench-synth:
-	BENCH_SYNTH_JSON=$(CURDIR)/BENCH_synth.json $(GO) test -run TestWriteBenchSynthJSON -v ./internal/synthesis/
+	$(GO) run ./cmd/lrbench -suite synth -o BENCH_synth.json
+
+bench-all: bench-verify bench-synth
+
+# Re-measure into *.new.json and gate against the committed baselines.
+# The default threshold is wider than lrbench's 10% because this target
+# usually runs on different hardware than the one that wrote the baseline;
+# CI widens it further (see .github/workflows/ci.yml).
+BENCH_THRESHOLD ?= 0.25
+bench-compare:
+	$(GO) run ./cmd/lrbench -suite verify -o BENCH_verify.new.json
+	$(GO) run ./cmd/lrbench -suite synth -o BENCH_synth.new.json
+	$(GO) run ./cmd/lrbench -compare -threshold $(BENCH_THRESHOLD) BENCH_verify.json BENCH_verify.new.json
+	$(GO) run ./cmd/lrbench -compare -threshold $(BENCH_THRESHOLD) BENCH_synth.json BENCH_synth.new.json
 
 # Regenerate every figure/claim of the paper (summary table).
 experiments:
@@ -47,4 +65,4 @@ figures:
 	$(GO) run ./cmd/lrviz -protocol sum-not-two-ss -graph ltg > figures/fig12-ltg.dot
 
 clean:
-	rm -rf figures cover.out BENCH_synth.json
+	rm -rf figures cover.out BENCH_verify.new.json BENCH_synth.new.json

@@ -1,0 +1,92 @@
+// Command lrbench runs the repository's deterministic benchmark suites and
+// gates performance regressions against committed baselines.
+//
+// Measure a suite and write its snapshot:
+//
+//	lrbench -suite verify -o BENCH_verify.json
+//	lrbench -suite synth -o BENCH_synth.json -benchtime 200ms
+//	lrbench -suite verify -smoke            # one iteration per metric, no -o
+//
+// Compare a fresh snapshot against a committed baseline:
+//
+//	lrbench -compare BENCH_verify.json new.json
+//	lrbench -compare -threshold 0.25 BENCH_verify.json new.json
+//
+// Compare prints a worst-first ratio table and exits 0 when the geometric
+// mean of the ns/op ratios is within the threshold, 1 when it regressed
+// (strictly above 1+threshold), and 2 on usage or snapshot errors — so CI
+// can fail a PR on the exit code alone. Metrics present in only one
+// snapshot are warnings, not failures: grid changes surface in the diff of
+// the committed baseline. PERFORMANCE.md documents the workflow, the
+// committed baselines, and how thresholds were chosen.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paramring/internal/bench"
+	"paramring/internal/cli"
+)
+
+func main() {
+	defer cli.ExitOnPanic("lrbench")
+	suite := flag.String("suite", "", "suite to run: verify | synth")
+	out := flag.String("o", "", "write the snapshot JSON to this path (default: stdout)")
+	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "per-metric time budget")
+	maxK := flag.Int("max-k", 12, "largest Table-1 global ring size (verify suite)")
+	smoke := flag.Bool("smoke", false, "single iteration per metric (grid sanity check; not a comparable baseline)")
+	compare := flag.Bool("compare", false, "compare two snapshots: lrbench -compare old.json new.json")
+	threshold := flag.Float64("threshold", bench.DefaultThreshold, "geomean regression gate for -compare (0.10 = fail above a 10% mean slowdown)")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			cli.Exit("lrbench", 2, fmt.Errorf("-compare needs exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		old, err := bench.ReadSnapshot(flag.Arg(0))
+		if err != nil {
+			cli.Exit("lrbench", 2, err)
+		}
+		cur, err := bench.ReadSnapshot(flag.Arg(1))
+		if err != nil {
+			cli.Exit("lrbench", 2, err)
+		}
+		c, err := bench.Compare(old, cur, *threshold)
+		if err != nil {
+			cli.Exit("lrbench", 2, err)
+		}
+		c.Format(os.Stdout)
+		if c.Regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *suite == "" {
+		cli.Exit("lrbench", 2, fmt.Errorf("specify -suite %v or -compare old.json new.json", bench.Suites))
+	}
+	snap, err := bench.Run(*suite, bench.Config{Benchtime: *benchtime, MaxK: *maxK, Smoke: *smoke})
+	if err != nil {
+		cli.Exit("lrbench", 1, err)
+	}
+	for _, m := range snap.Metrics {
+		fmt.Fprintf(os.Stderr, "%-48s %14.0f ns/op %10.0f allocs/op (n=%d)\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.N)
+	}
+	if *out == "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			cli.Exit("lrbench", 1, err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	if err := snap.WriteFile(*out); err != nil {
+		cli.Exit("lrbench", 1, err)
+	}
+	fmt.Fprintf(os.Stderr, "lrbench: wrote %s (%d metrics)\n", *out, len(snap.Metrics))
+}

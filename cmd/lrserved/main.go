@@ -27,6 +27,17 @@
 // enqueued: a crash or kill replays unfinished jobs on the next start,
 // and jobs whose retries are exhausted land in a persistent quarantine.
 //
+// With -pprof-addr set, a second listener serves the profiling surface
+// (net/http/pprof plus a runtime/trace capture endpoint) separately from
+// the public API:
+//
+//	lrserved -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	curl -o trace.out 'http://127.0.0.1:6060/debug/trace?seconds=5'
+//	go tool trace trace.out
+//
+// See PERFORMANCE.md for a worked capture session.
+//
 // SIGINT/SIGTERM drains gracefully: submissions are rejected, queued jobs
 // finish, and a second deadline cancels whatever is still running.
 package main
@@ -104,11 +115,16 @@ func main() {
 	retryBase := flag.Duration("retry-base-delay", 100*time.Millisecond, "first retry backoff (doubles per attempt, jittered, capped at 30s)")
 	memBudget := flag.Uint64("mem-budget-bytes", 0, "server-wide explicit-engine table budget; jobs estimated over it are rejected or degraded (0 = unlimited)")
 	degrade := flag.Bool("degrade-over-budget", false, "run over-budget jobs degraded (1 engine worker, budget-clamped state limit) instead of rejecting them")
+	specCacheSize := flag.Int("spec-cache-size", 1024, "compiled-spec cache entries (parse/compile memoization keyed by the canonical spec rendering)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for the pprof/trace profiling endpoints (empty = profiling off); bind to localhost in production")
 	flag.Parse()
 
 	if err := validateFlags(*queue, *workers, *engineWorkers, *cacheSize, *maxAttempts,
 		*jobTimeout, *maxTimeout, *drain, *retryBase, *cacheDir); err != nil {
 		cli.Exit("lrserved", 2, err)
+	}
+	if *specCacheSize < 0 {
+		cli.Exit("lrserved", 2, fmt.Errorf("-spec-cache-size must be >= 0, got %d", *specCacheSize))
 	}
 
 	svc, err := service.New(service.Config{
@@ -118,6 +134,7 @@ func main() {
 		DefaultTimeout:    *jobTimeout,
 		MaxTimeout:        *maxTimeout,
 		CacheSize:         *cacheSize,
+		SpecCacheSize:     *specCacheSize,
 		CacheDir:          *cacheDir,
 		MaxAttempts:       *maxAttempts,
 		RetryBaseDelay:    *retryBase,
@@ -133,6 +150,25 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Opt-in profiling on its own listener: profile scrapes and trace
+	// captures stay off the public API surface, and a firewall rule (or a
+	// localhost bind) keeps them operator-only. The server is deliberately
+	// not drained on shutdown — a capture mid-drain is exactly when an
+	// operator wants one.
+	if *pprofAddr != "" {
+		dbg := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           service.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "lrserved: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("lrserved: pprof/trace endpoints on %s\n", *pprofAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

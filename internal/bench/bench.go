@@ -1,0 +1,173 @@
+// Package bench is the deterministic benchmark harness behind cmd/lrbench.
+//
+// It re-measures the paper's cost-shaped claims — the Table-1 local-vs-
+// global sweep, the Table-4 synthesis grid, and the service layer's
+// compiled-spec cache — with a self-contained measure loop (no testing.B,
+// so a plain binary controls the per-metric time budget), and records the
+// results as a canonical JSON Snapshot (BENCH_verify.json /
+// BENCH_synth.json at the repo root). Compare diffs two snapshots and
+// gates on the geometric-mean ns/op ratio, which is how CI turns the
+// committed baselines into a regression gate: see PERFORMANCE.md for the
+// workflow and the thresholds' rationale.
+//
+// The grids are fixed and the metric names are stable identifiers —
+// comparisons only ever match by exact name, so renaming a metric
+// deliberately detaches it from its baseline history.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the snapshot JSON layout. Compare refuses
+// mismatched schemas rather than guessing at field meanings.
+const SchemaVersion = 1
+
+// Result is one measured metric: averages over the final timing run.
+type Result struct {
+	// N is the iteration count of the final timing run.
+	N int `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocation counts and bytes per
+	// iteration (whole-process deltas, like testing.B's -benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Measure times fn until the timing run lasts at least benchtime,
+// calibrating the iteration count the same way testing.B does: run once,
+// extrapolate, grow by at most 100x per round. fn must perform exactly n
+// iterations of the operation. A benchtime <= 0 means a single iteration
+// (the CI smoke setting).
+func Measure(benchtime time.Duration, fn func(n int)) Result {
+	if benchtime <= 0 {
+		return run(1, fn)
+	}
+	n := 1
+	for {
+		r := run(n, fn)
+		elapsed := time.Duration(r.NsPerOp * float64(r.N))
+		if elapsed >= benchtime || n >= 1e9 {
+			return r
+		}
+		// Predict the iteration count that lands ~1.2x past the budget,
+		// bounded to at least +1 and at most 100x per round so one noisy
+		// first run cannot overshoot by orders of magnitude.
+		next := n * 100
+		if r.NsPerOp > 0 {
+			predicted := int(1.2 * float64(benchtime) / r.NsPerOp)
+			if predicted < next {
+				next = predicted
+			}
+		}
+		if next <= n {
+			next = n + 1
+		}
+		n = next
+	}
+}
+
+// run times exactly n iterations, with allocation deltas read from the
+// runtime around the run (GC first, so the previous round's garbage is
+// not charged to this one).
+func run(n int, fn func(n int)) Result {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn(n)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		N:           n,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}
+}
+
+// Metric is one named row of a Snapshot.
+type Metric struct {
+	// Name is the stable identifier comparisons match on, e.g.
+	// "table1/global/seq/sum-not-two/K=10".
+	Name string `json:"name"`
+	Result
+	// Extra holds derived gauges that travel with the metric but do not
+	// gate comparisons: states/sec, resident table bytes, candidate and
+	// pruning counts. Keys are sorted in the JSON encoding, so snapshots
+	// are byte-stable for identical measurements.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is one lrbench run: the environment it measured in plus the
+// measured grid, in grid order.
+type Snapshot struct {
+	Schema    int      `json:"schema"`
+	Suite     string   `json:"suite"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Benchtime string   `json:"benchtime"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// NewSnapshot returns an empty snapshot stamped with the current
+// environment.
+func NewSnapshot(suite string, benchtime time.Duration) *Snapshot {
+	return &Snapshot{
+		Schema:    SchemaVersion,
+		Suite:     suite,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: benchtime.String(),
+	}
+}
+
+// Add appends a measured metric. extra may be nil.
+func (s *Snapshot) Add(name string, r Result, extra map[string]float64) {
+	s.Metrics = append(s.Metrics, Metric{Name: name, Result: r, Extra: extra})
+}
+
+// Metric returns the named metric and whether it exists.
+func (s *Snapshot) Metric(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteFile writes the snapshot as indented JSON with a trailing newline
+// (so the committed baselines diff cleanly).
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSnapshot loads and validates a snapshot file.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: snapshot schema %d, this lrbench reads %d", path, s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMeasureCalibratesToBenchtime(t *testing.T) {
+	var total int
+	r := Measure(20*time.Millisecond, func(n int) {
+		total = n
+		for i := 0; i < n; i++ {
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	if r.N != total {
+		t.Fatalf("result N %d != last run's n %d", r.N, total)
+	}
+	if r.N < 2 {
+		t.Fatalf("a 100us op under a 20ms budget must calibrate past n=1, got n=%d", r.N)
+	}
+	if elapsed := time.Duration(r.NsPerOp * float64(r.N)); elapsed < 20*time.Millisecond {
+		t.Fatalf("final timing run %v shorter than the benchtime budget", elapsed)
+	}
+}
+
+func TestMeasureSmokeRunsOnce(t *testing.T) {
+	calls := 0
+	r := Measure(0, func(n int) {
+		calls++
+		if n != 1 {
+			t.Fatalf("smoke mode must request n=1, got %d", n)
+		}
+	})
+	if calls != 1 || r.N != 1 {
+		t.Fatalf("smoke mode ran %d times, N=%d", calls, r.N)
+	}
+}
+
+func TestMeasureCountsAllocs(t *testing.T) {
+	var sink [][]byte
+	r := Measure(0, func(n int) {
+		sink = make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			sink = append(sink, make([]byte, 4096))
+		}
+	})
+	_ = sink
+	if r.AllocsPerOp < 1 || r.BytesPerOp < 4096 {
+		t.Fatalf("allocation deltas not captured: %+v", r)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewSnapshot("verify", 100*time.Millisecond)
+	s.Add("a/b", Result{N: 3, NsPerOp: 1500}, map[string]float64{"states": 81})
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != "verify" || got.Schema != SchemaVersion || len(got.Metrics) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	m, ok := got.Metric("a/b")
+	if !ok || m.NsPerOp != 1500 || m.Extra["states"] != 81 {
+		t.Fatalf("metric mangled: %+v", m)
+	}
+}
+
+func TestReadSnapshotRejectsSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	s := NewSnapshot("verify", 0)
+	s.Schema = SchemaVersion + 1
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("schema mismatch must be rejected")
+	}
+}

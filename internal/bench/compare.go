@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DefaultThreshold is the regression gate: a geometric-mean slowdown
+// strictly greater than this fraction fails the comparison. 10% is wide
+// enough that scheduler jitter on one metric cannot trip it (the geomean
+// averages log-ratios across the whole grid) while a real hot-path
+// regression — which typically moves several related metrics together —
+// still lands well past it. CI uses a wider value to absorb
+// runner-hardware variance; see PERFORMANCE.md.
+const DefaultThreshold = 0.10
+
+// Row is one metric's old-vs-new comparison.
+type Row struct {
+	Name  string  `json:"name"`
+	OldNs float64 `json:"old_ns_per_op"`
+	NewNs float64 `json:"new_ns_per_op"`
+	// Ratio is NewNs / OldNs: > 1 is a slowdown.
+	Ratio float64 `json:"ratio"`
+}
+
+// Comparison is the outcome of Compare.
+type Comparison struct {
+	Threshold float64 `json:"threshold"`
+	// Rows covers the metrics present in both snapshots with positive
+	// timings, sorted by descending ratio (worst regression first).
+	Rows []Row `json:"rows"`
+	// Geomean is the geometric mean of the row ratios — the gated figure.
+	Geomean float64 `json:"geomean"`
+	// Regressed reports Geomean > 1 + Threshold (strictly: a geomean of
+	// exactly 1 + Threshold passes).
+	Regressed bool `json:"regressed"`
+	// MissingInNew lists baseline metrics the new snapshot lacks and
+	// MissingInOld the converse — renamed or added grid entries. Both are
+	// warnings, not failures: a grid change is visible in the diff of the
+	// committed baseline, not something the gate should conflate with a
+	// slowdown.
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	MissingInOld []string `json:"missing_in_old,omitempty"`
+}
+
+// Compare diffs two snapshots metric-by-metric. It fails when the
+// baseline is empty, the suites differ, or no metric name appears in both
+// snapshots — each of those means the comparison would gate on nothing.
+func Compare(old, new *Snapshot, threshold float64) (*Comparison, error) {
+	if len(old.Metrics) == 0 {
+		return nil, fmt.Errorf("baseline snapshot has no metrics")
+	}
+	if old.Suite != new.Suite {
+		return nil, fmt.Errorf("suite mismatch: baseline %q vs new %q", old.Suite, new.Suite)
+	}
+	c := &Comparison{Threshold: threshold}
+	newByName := make(map[string]Metric, len(new.Metrics))
+	for _, m := range new.Metrics {
+		newByName[m.Name] = m
+	}
+	oldNames := make(map[string]bool, len(old.Metrics))
+	logSum, logN := 0.0, 0
+	for _, om := range old.Metrics {
+		oldNames[om.Name] = true
+		nm, ok := newByName[om.Name]
+		if !ok {
+			c.MissingInNew = append(c.MissingInNew, om.Name)
+			continue
+		}
+		if om.NsPerOp <= 0 || nm.NsPerOp <= 0 {
+			// A non-positive timing is a broken measurement, not a 0x or
+			// infinite ratio; keep it out of the geomean.
+			c.MissingInNew = append(c.MissingInNew, om.Name)
+			continue
+		}
+		ratio := nm.NsPerOp / om.NsPerOp
+		c.Rows = append(c.Rows, Row{Name: om.Name, OldNs: om.NsPerOp, NewNs: nm.NsPerOp, Ratio: ratio})
+		logSum += math.Log(ratio)
+		logN++
+	}
+	for _, nm := range new.Metrics {
+		if !oldNames[nm.Name] {
+			c.MissingInOld = append(c.MissingInOld, nm.Name)
+		}
+	}
+	if logN == 0 {
+		return nil, fmt.Errorf("no metric appears in both snapshots (baseline has %d, new has %d)",
+			len(old.Metrics), len(new.Metrics))
+	}
+	sort.SliceStable(c.Rows, func(i, j int) bool { return c.Rows[i].Ratio > c.Rows[j].Ratio })
+	c.Geomean = math.Exp(logSum / float64(logN))
+	c.Regressed = c.Geomean > 1+threshold
+	return c, nil
+}
+
+// Format writes the comparison as a human-readable table: worst ratios
+// first, then the warnings, then the gated verdict line.
+func (c *Comparison) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-48s %14s %14s %8s\n", "metric", "old ns/op", "new ns/op", "ratio")
+	for _, r := range c.Rows {
+		fmt.Fprintf(w, "%-48s %14.0f %14.0f %8.3f\n", r.Name, r.OldNs, r.NewNs, r.Ratio)
+	}
+	for _, name := range c.MissingInNew {
+		fmt.Fprintf(w, "warning: %s: in baseline but not comparable in new snapshot\n", name)
+	}
+	for _, name := range c.MissingInOld {
+		fmt.Fprintf(w, "warning: %s: new metric with no baseline\n", name)
+	}
+	verdict := "ok"
+	if c.Regressed {
+		verdict = "REGRESSED"
+	}
+	fmt.Fprintf(w, "geomean %.4f (threshold %.2f): %s\n", c.Geomean, 1+c.Threshold, verdict)
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(suite string, ns map[string]float64) *Snapshot {
+	s := NewSnapshot(suite, 0)
+	// Insertion order is irrelevant to Compare; fix it for readability.
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if v, ok := ns[name]; ok {
+			s.Add(name, Result{N: 1, NsPerOp: v}, nil)
+		}
+	}
+	return s
+}
+
+func TestCompareExactlyAtThresholdPasses(t *testing.T) {
+	// Every metric exactly 10% slower: geomean is exactly 1.10, and the
+	// gate is strict (> 1+threshold), so this must still pass.
+	old := snap("verify", map[string]float64{"a": 1000, "b": 2000})
+	cur := snap("verify", map[string]float64{"a": 1100, "b": 2200})
+	c, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Geomean-1.10) > 1e-9 {
+		t.Fatalf("geomean = %v, want 1.10", c.Geomean)
+	}
+	if c.Regressed {
+		t.Fatal("exactly 10% must not trip a 10% gate (strict >)")
+	}
+}
+
+func TestCompareJustOverThresholdFails(t *testing.T) {
+	old := snap("verify", map[string]float64{"a": 1000, "b": 2000})
+	cur := snap("verify", map[string]float64{"a": 1101, "b": 2202})
+	c, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed {
+		t.Fatalf("geomean %v must trip a 10%% gate", c.Geomean)
+	}
+}
+
+func TestCompareGeomeanAveragesAcrossMetrics(t *testing.T) {
+	// One metric 2x slower, one 2x faster: geomean 1.0, no regression —
+	// the gate reacts to the grid-wide mean, not a single noisy row.
+	old := snap("verify", map[string]float64{"a": 1000, "b": 1000})
+	cur := snap("verify", map[string]float64{"a": 2000, "b": 500})
+	c, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Geomean-1.0) > 1e-9 || c.Regressed {
+		t.Fatalf("geomean = %v regressed = %v, want 1.0 / false", c.Geomean, c.Regressed)
+	}
+	// Rows are sorted worst-first.
+	if c.Rows[0].Name != "a" || c.Rows[0].Ratio != 2.0 {
+		t.Fatalf("rows not sorted by descending ratio: %+v", c.Rows)
+	}
+}
+
+func TestCompareMissingMetricIsWarningNotFailure(t *testing.T) {
+	old := snap("verify", map[string]float64{"a": 1000, "b": 1000})
+	cur := snap("verify", map[string]float64{"a": 1000, "c": 1000})
+	c, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed {
+		t.Fatal("a renamed metric must not read as a slowdown")
+	}
+	if len(c.MissingInNew) != 1 || c.MissingInNew[0] != "b" {
+		t.Fatalf("MissingInNew = %v, want [b]", c.MissingInNew)
+	}
+	if len(c.MissingInOld) != 1 || c.MissingInOld[0] != "c" {
+		t.Fatalf("MissingInOld = %v, want [c]", c.MissingInOld)
+	}
+	var b strings.Builder
+	c.Format(&b)
+	if out := b.String(); !strings.Contains(out, "warning:") || !strings.Contains(out, "geomean") {
+		t.Fatalf("Format output missing warnings/verdict:\n%s", out)
+	}
+}
+
+func TestCompareEmptyBaselineErrors(t *testing.T) {
+	old := NewSnapshot("verify", 0)
+	cur := snap("verify", map[string]float64{"a": 1000})
+	if _, err := Compare(old, cur, 0.10); err == nil {
+		t.Fatal("empty baseline must be an error, not a pass")
+	}
+}
+
+func TestCompareDisjointMetricsErrors(t *testing.T) {
+	old := snap("verify", map[string]float64{"a": 1000})
+	cur := snap("verify", map[string]float64{"b": 1000})
+	if _, err := Compare(old, cur, 0.10); err == nil {
+		t.Fatal("an empty intersection gates on nothing and must error")
+	}
+}
+
+func TestCompareSuiteMismatchErrors(t *testing.T) {
+	old := snap("verify", map[string]float64{"a": 1000})
+	cur := snap("synth", map[string]float64{"a": 1000})
+	if _, err := Compare(old, cur, 0.10); err == nil {
+		t.Fatal("comparing different suites must error")
+	}
+}
+
+func TestCompareNonPositiveTimingExcluded(t *testing.T) {
+	old := snap("verify", map[string]float64{"a": 1000, "b": 0})
+	cur := snap("verify", map[string]float64{"a": 1000, "b": 1000})
+	c, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 1 || c.Rows[0].Name != "a" {
+		t.Fatalf("zero-ns baseline row must be excluded from the geomean: %+v", c.Rows)
+	}
+	if len(c.MissingInNew) != 1 {
+		t.Fatalf("broken measurement should surface as a warning: %+v", c)
+	}
+}

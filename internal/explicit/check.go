@@ -3,6 +3,7 @@ package explicit
 import (
 	"context"
 	"fmt"
+	"runtime/trace"
 )
 
 // cancelCheckMask throttles context polls in the hot scan loops: ctx.Err()
@@ -120,6 +121,7 @@ func (in *Instance) FindLivelockCtx(ctx context.Context) ([]uint64, error) {
 // the same (sorted) adjacency means the same witness cycle either way.
 // Cancellation is polled once per cancelCheckMask+1 visited states.
 func (in *Instance) findLivelock(ctx context.Context, restricted func(id uint64) []uint64) ([]uint64, error) {
+	defer trace.StartRegion(ctx, "explicit.livelockTarjan").End()
 	const unvisited = -1
 	index := make([]int32, in.n)
 	low := make([]int32, in.n)
@@ -324,19 +326,23 @@ func (in *Instance) CheckStrongConvergenceSeq() ConvergenceReport {
 
 func (in *Instance) checkStrongConvergenceSeq(ctx context.Context) (ConvergenceReport, error) {
 	rep := ConvergenceReport{StatesExplored: in.n}
+	scan := trace.StartRegion(ctx, "explicit.deadlockScan")
 	sc := in.newScratch()
 	for id := uint64(0); id < in.n; id++ {
 		if id&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
+				scan.End()
 				return ConvergenceReport{}, err
 			}
 		}
 		if !in.inI.Get(id) && in.isDeadlockScratch(id, sc) {
 			d := id
 			rep.DeadlockWitness = &d
+			scan.End()
 			return rep, nil
 		}
 	}
+	scan.End()
 	c, err := in.FindLivelockCtx(ctx)
 	if err != nil {
 		return ConvergenceReport{}, err

@@ -3,6 +3,7 @@ package explicit
 import (
 	"context"
 	"math"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
 )
@@ -77,6 +78,7 @@ func (in *Instance) forEachChunk(fn func(lo, hi uint64)) {
 // early once a lower-ranged worker has already won, so the result equals
 // the sequential ascending scan's first hit.
 func (in *Instance) firstIllegitimateDeadlockParallel(ctx context.Context) (uint64, bool) {
+	defer trace.StartRegion(ctx, "explicit.deadlockScan").End()
 	var best atomic.Uint64
 	best.Store(math.MaxUint64)
 	in.forEachChunk(func(lo, hi uint64) {
@@ -171,6 +173,7 @@ func (in *Instance) buildNotIGraphParallel(ctx context.Context) (*notIGraph, boo
 	if in.n > math.MaxUint32 || in.n*uint64(in.k) > parallelEdgeBudget {
 		return nil, false
 	}
+	defer trace.StartRegion(ctx, "explicit.csrBuild").End()
 	type chunk struct {
 		lo, hi uint64
 		deg    []uint32

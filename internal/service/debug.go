@@ -1,0 +1,36 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the opt-in profiling surface lrserved mounts on the
+// address given by its -pprof-addr flag — a separate listener so profile
+// scrapes never contend with (or get exposed next to) the public API:
+//
+//	GET /debug/pprof/              index of the runtime profiles
+//	GET /debug/pprof/profile       CPU profile (?seconds=N, default 30)
+//	GET /debug/pprof/heap          heap profile (?gc=1 to run GC first)
+//	GET /debug/pprof/goroutine     goroutine dump (?debug=2 for stacks)
+//	GET /debug/pprof/block|mutex   contention profiles (enable rates first)
+//	GET /debug/pprof/trace         runtime/trace capture (?seconds=N)
+//	GET /debug/trace               alias for /debug/pprof/trace
+//
+// The trace endpoints stream a runtime execution trace for `go tool
+// trace`; the engines annotate their hot phases with trace regions
+// (explicit state scans, Tarjan, the synthesis frontier), so a capture
+// taken under load shows where verification wall-clock goes. Capturing a
+// trace or CPU profile is mutually exclusive with any other concurrent
+// capture of the same kind — the runtime enforces this and the handler
+// reports it as an error. PERFORMANCE.md walks through a capture session.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", pprof.Trace)
+	return mux
+}

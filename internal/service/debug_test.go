@@ -1,0 +1,105 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDebugHandlerEndpoints exercises the pprof surface end to end: every
+// profile endpoint must answer 200 with a non-empty body, and the trace
+// endpoints must stream a parseable runtime trace header.
+func TestDebugHandlerEndpoints(t *testing.T) {
+	ts := httptest.NewServer(DebugHandler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/allocs?debug=1",
+		"/debug/pprof/cmdline",
+	} {
+		status, body := get(path)
+		if status != http.StatusOK || len(body) == 0 {
+			t.Errorf("%s: status %d, %d bytes", path, status, len(body))
+		}
+	}
+
+	for _, path := range []string{"/debug/trace?seconds=0.05", "/debug/pprof/trace?seconds=0.05"} {
+		status, body := get(path)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, status, body)
+		}
+		// A runtime/trace stream begins with the "go 1.xx trace" magic.
+		if !strings.Contains(string(body[:min(64, len(body))]), "trace") {
+			t.Errorf("%s: body does not look like a runtime trace: %q", path, body[:min(32, len(body))])
+		}
+	}
+}
+
+// TestDebugHandlerUnderLoad is the -race check for the pprof-enabled
+// server: concurrent profile scrapes while verification jobs run through
+// the service. Races between the debug surface and the engines (e.g. the
+// trace regions added to the explicit scan loops) would surface here.
+func TestDebugHandlerUnderLoad(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2}, true)
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+	dbg := httptest.NewServer(DebugHandler())
+	defer dbg.Close()
+
+	var wg sync.WaitGroup
+	// Verification load: distinct specs so the engine actually runs, with
+	// cross-validation to touch the explicit engine's annotated paths.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := "protocol p" + string(rune('a'+i)) +
+				"\ndomain 2\nwindow -1 0\nlegit x[-1] == x[0]\naction t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1\n"
+			j, err := svc.Submit(Request{Spec: spec, Options: RequestOptions{CrossValidateMaxK: 5}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			waitDone(t, j)
+		}(i)
+	}
+	// Concurrent scrapes, including an execution-trace capture.
+	for _, path := range []string{
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/trace?seconds=0.1",
+	} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			resp, err := http.Get(dbg.URL + path)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(path)
+	}
+	wg.Wait()
+}

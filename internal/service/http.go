@@ -118,11 +118,12 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st := s.Stats()
 	s.metrics.WriteTo(w, map[string]float64{
-		"lrserved_queue_capacity":   float64(st.QueueCap),
-		"lrserved_cache_entries":    float64(st.CacheEntries),
-		"lrserved_workers":          float64(st.Workers),
-		"lrserved_jobs_quarantined": float64(st.Quarantined),
-		"lrserved_mem_budget_bytes": float64(st.MemBudgetBytes),
-		"lrserved_mem_in_use_bytes": float64(st.MemInUseBytes),
+		"lrserved_queue_capacity":     float64(st.QueueCap),
+		"lrserved_cache_entries":      float64(st.CacheEntries),
+		"lrserved_spec_cache_entries": float64(st.SpecCache.Entries),
+		"lrserved_workers":            float64(st.Workers),
+		"lrserved_jobs_quarantined":   float64(st.Quarantined),
+		"lrserved_mem_budget_bytes":   float64(st.MemBudgetBytes),
+		"lrserved_mem_in_use_bytes":   float64(st.MemInUseBytes),
 	})
 }

@@ -116,7 +116,11 @@ type Result struct {
 	Summary              string   `json:"summary"`
 }
 
-// resultFromReport projects the engine report onto the wire shape.
+// resultFromReport projects the engine report onto the wire shape. Result
+// deliberately carries no timings: it is content-addressed and shared
+// through the cache, so it must be a pure function of (spec, options) —
+// the chaos suite pins this byte-for-byte. Per-job costs such as the spec
+// compile time live on JobView instead.
 func resultFromReport(name string, rep *verify.Report) *Result {
 	return &Result{
 		Protocol:             name,
@@ -183,6 +187,9 @@ type Job struct {
 	// estimate is the pre-run explicit-table byte estimate
 	// (verify.EstimatePeakTableBytes) that memory admission reserves.
 	estimate uint64
+	// compileNS is the DSL front-end cost paid for this submission (0 on a
+	// compiled-spec cache hit); snapshots surface it as JobView.CompileNS.
+	compileNS int64
 	// degraded marks a job whose estimate alone exceeds the server
 	// budget, accepted under Config.DegradeOverBudget: it runs with one
 	// engine worker and a budget-sized MaxStates clamp.
@@ -219,8 +226,13 @@ type JobView struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Replayable marks a failure a restarted process will rerun from the
 	// journal (drain cancel, shutdown during backoff).
-	Replayable bool    `json:"replayable,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	Replayable bool   `json:"replayable,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// CompileNS is the DSL front-end cost (parse + validate + compile to
+	// core.Protocol tables) this submission paid, in nanoseconds: 0 when
+	// the compiled-spec cache already held the protocol. Aggregate
+	// distribution: the lrserved_spec_compile_seconds histogram.
+	CompileNS  int64   `json:"compile_ns"`
 	Result     *Result `json:"result,omitempty"`
 	CreatedAt  string  `json:"created_at"`
 	StartedAt  string  `json:"started_at,omitempty"`

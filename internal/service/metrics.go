@@ -34,15 +34,23 @@ type Metrics struct {
 	CacheMisses    atomic.Uint64
 	StatesExplored atomic.Uint64 // explicit-engine states, fresh runs only
 
+	// SpecCacheHits / SpecCacheMisses count compiled-spec cache outcomes:
+	// a hit means the DSL front end (parse + validate + compile to
+	// core.Protocol tables) was skipped for a submission; a miss paid it
+	// and recorded the cost in the compile histogram below.
+	SpecCacheHits   atomic.Uint64
+	SpecCacheMisses atomic.Uint64
+
 	// PeakTableBytes is a high-water gauge of the largest resident
 	// explicit-engine per-state table any single verification held (one bit
 	// per global state with the packed bitset substrate). Update through
 	// RecordPeakTableBytes.
 	PeakTableBytes atomic.Uint64
 
-	parse  histogram
-	verify histogram
-	total  histogram
+	parse   histogram
+	verify  histogram
+	total   histogram
+	compile histogram // spec compile cost, misses only (lrserved_spec_compile_seconds)
 }
 
 // RecordPeakTableBytes raises the PeakTableBytes high-water mark to v when
@@ -63,7 +71,17 @@ func NewMetrics() *Metrics {
 		h.bounds = []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30}
 		h.counts = make([]uint64, len(h.bounds))
 	}
+	// Spec compiles are microsecond-scale; give the compile histogram its
+	// own finer buckets so the compiled-spec cache win stays resolvable.
+	m.compile.bounds = []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 1e-1, 1}
+	m.compile.counts = make([]uint64, len(m.compile.bounds))
 	return m
+}
+
+// ObserveCompile records one cold spec-compile cost (spec-cache misses
+// only; hits by definition pay nothing worth observing).
+func (m *Metrics) ObserveCompile(d time.Duration) {
+	m.compile.observe(d.Seconds())
 }
 
 // ObservePhase records one per-phase latency sample (phases: parse, verify,
@@ -102,17 +120,30 @@ func (h *histogram) observe(v float64) {
 	h.n++
 }
 
+// write renders the histogram in exposition format. An empty phase emits
+// the series without a phase label (single-histogram metrics like
+// lrserved_spec_compile_seconds).
 func (h *histogram) write(w io.Writer, name, phase string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	label := func(le string) string {
+		if phase == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{phase=%q,le=%q}", phase, le)
+	}
+	suffix := ""
+	if phase != "" {
+		suffix = fmt.Sprintf("{phase=%q}", phase)
+	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n", name, phase, trimFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, label(trimFloat(b)), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", name, phase, h.n)
-	fmt.Fprintf(w, "%s_sum{phase=%q} %g\n", name, phase, h.sum)
-	fmt.Fprintf(w, "%s_count{phase=%q} %d\n", name, phase, h.n)
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, label("+Inf"), h.n)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.n)
 }
 
 func trimFloat(v float64) string {
@@ -142,6 +173,8 @@ func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
 	counter("lrserved_journal_errors_total", "Job-journal append or compaction failures.", m.JournalErrors.Load())
 	counter("lrserved_cache_hits_total", "Verifications served from the result cache.", m.CacheHits.Load())
 	counter("lrserved_cache_misses_total", "Verifications that had to run the engine.", m.CacheMisses.Load())
+	counter("lrserved_spec_cache_hits_total", "Submissions whose spec compile was served from the compiled-spec cache.", m.SpecCacheHits.Load())
+	counter("lrserved_spec_cache_misses_total", "Submissions that paid a cold DSL parse+compile.", m.SpecCacheMisses.Load())
 	counter("lrserved_states_explored_total", "Explicit-engine global states enumerated.", m.StatesExplored.Load())
 	gauge("lrserved_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued.Load()))
 	gauge("lrserved_jobs_running", "Jobs currently executing.", float64(m.JobsRunning.Load()))
@@ -159,4 +192,7 @@ func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
 	m.parse.write(w, hname, "parse")
 	m.verify.write(w, hname, "verify")
 	m.total.write(w, hname, "total")
+	const cname = "lrserved_spec_compile_seconds"
+	fmt.Fprintf(w, "# HELP %s Cold spec parse+compile cost (compiled-spec cache misses).\n# TYPE %s histogram\n", cname, cname)
+	m.compile.write(w, cname, "")
 }

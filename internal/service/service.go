@@ -9,7 +9,13 @@
 // answered from the cache without touching the engine. The cache is keyed
 // by the canonical dsl.Format rendering of the spec plus the normalized
 // option set, so whitespace, comments, and parenthesization never cause a
-// re-verification. cmd/lrserved exposes this package over HTTP.
+// re-verification. A second, compiled-spec cache (verify.SpecCache, keyed
+// by the canonical rendering alone) sits in front of the DSL: repeat
+// submissions skip parse/validate/compile even when the result cache
+// misses — e.g. the same protocol under different option sets — and the
+// cold compile cost is observable per job (Result.CompileNS) and in
+// aggregate (the lrserved_spec_compile_seconds histogram). cmd/lrserved
+// exposes this package over HTTP.
 //
 // The execution layer is crash-safe and resource-governed:
 //
@@ -45,8 +51,6 @@ import (
 	"sync"
 	"time"
 
-	"paramring/internal/core"
-	"paramring/internal/dsl"
 	"paramring/internal/explicit"
 	"paramring/internal/verify"
 )
@@ -102,6 +106,12 @@ type Config struct {
 	MaxTimeout time.Duration
 	// CacheSize bounds the in-memory result cache entries (default 1024).
 	CacheSize int
+	// SpecCacheSize bounds the compiled-spec cache entries (default 1024).
+	// The spec cache memoizes the DSL front end — parse, validation, and
+	// the core.Protocol tables — keyed by the canonical dsl.Format
+	// rendering, so repeat submissions and sweep variants of one protocol
+	// skip compilation even when the result cache misses.
+	SpecCacheSize int
 	// CacheDir, when non-empty, persists results as one JSON file per
 	// content address AND enables the durable job journal
 	// (<CacheDir>/journal.wal), both surviving restarts.
@@ -168,7 +178,8 @@ type Service struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *resultCache
-	wal     *journal // nil without CacheDir
+	specs   *verify.SpecCache // compiled-spec cache in front of the DSL
+	wal     *journal          // nil without CacheDir
 	admit   *admission
 
 	queue     chan *Job
@@ -230,6 +241,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:          cfg,
 		metrics:      NewMetrics(),
 		cache:        cache,
+		specs:        verify.NewSpecCache(cfg.SpecCacheSize),
 		wal:          wal,
 		admit:        newAdmission(cfg.MemoryBudgetBytes),
 		queue:        make(chan *Job, queueCap),
@@ -310,11 +322,10 @@ func (s *Service) jobFromRecord(rec journalRecord) *Job {
 	if rec.Spec == "" {
 		return nil
 	}
-	spec, err := dsl.ParseSpec(rec.Spec)
-	if err != nil {
-		return nil
-	}
-	proto, err := spec.Protocol()
+	// Replay goes through the compiled-spec cache too: journaled specs are
+	// canonical renderings, so the replayed protocols warm the cache the
+	// re-enqueued jobs are about to execute against.
+	cs, _, err := s.specs.Compile(rec.Spec)
 	if err != nil {
 		return nil
 	}
@@ -331,11 +342,11 @@ func (s *Service) jobFromRecord(rec journalRecord) *Job {
 	j := &Job{
 		id:        rec.ID,
 		key:       cacheKey(rec.Spec, opts),
-		spec:      specHandle{name: spec.Name, canonical: rec.Spec, options: opts},
+		spec:      specHandle{name: cs.Name, canonical: rec.Spec, options: opts},
 		created:   now,
 		deadline:  now.Add(timeout), // re-anchored: the old anchor died with the old process
 		timeout:   timeout,
-		estimate:  verify.EstimatePeakTableBytes(proto, opts.verifyOptions(s.cfg.EngineWorkers)),
+		estimate:  verify.EstimatePeakTableBytes(cs.Protocol, opts.verifyOptions(s.cfg.EngineWorkers)),
 		journaled: true,
 		done:      make(chan struct{}),
 	}
@@ -375,21 +386,27 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	}
 
 	t0 := time.Now()
-	spec, err := dsl.ParseSpec(req.Spec)
-	var proto *core.Protocol
-	if err == nil {
-		// Compile too: "parses but writes outside the window/domain" must
-		// be a 400, not a failed job.
-		proto, err = spec.Protocol()
-	}
+	// The compiled-spec cache fronts the DSL: a hit skips parse, validation
+	// ("parses but writes outside the window/domain" must be a 400, not a
+	// failed job — compile errors surface here either way), and the
+	// core.Protocol table build; a miss pays them once per canonical spec.
+	cs, specHit, err := s.specs.Compile(req.Spec)
 	if err != nil {
 		s.metrics.ParseErrors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	canonical := dsl.Format(spec)
+	compileNS := int64(0)
+	if specHit {
+		s.metrics.SpecCacheHits.Add(1)
+	} else {
+		s.metrics.SpecCacheMisses.Add(1)
+		s.metrics.ObserveCompile(time.Duration(cs.CompileNS))
+		compileNS = cs.CompileNS
+	}
+	canonical := cs.Canonical
 	opts := req.Options.normalize()
 	key := cacheKey(canonical, opts)
-	estimate := verify.EstimatePeakTableBytes(proto, opts.verifyOptions(s.cfg.EngineWorkers))
+	estimate := verify.EstimatePeakTableBytes(cs.Protocol, opts.verifyOptions(s.cfg.EngineWorkers))
 	s.metrics.ObservePhase("parse", time.Since(t0))
 
 	degraded := false
@@ -414,14 +431,15 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	}
 
 	j := &Job{
-		key:      key,
-		spec:     specHandle{name: spec.Name, canonical: canonical, options: opts},
-		created:  t0,
-		deadline: t0.Add(timeout),
-		timeout:  timeout,
-		estimate: estimate,
-		degraded: degraded,
-		done:     make(chan struct{}),
+		key:       key,
+		spec:      specHandle{name: cs.Name, canonical: canonical, options: opts},
+		created:   t0,
+		deadline:  t0.Add(timeout),
+		timeout:   timeout,
+		estimate:  estimate,
+		degraded:  degraded,
+		compileNS: compileNS,
+		done:      make(chan struct{}),
 	}
 
 	if res, ok := s.cache.Get(key); ok {
@@ -457,7 +475,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	// queue-full path keeps the WAL from replaying a job the client was
 	// told to resubmit.
 	j.journaled = s.journalAppend(journalRecord{
-		Op: opSubmit, ID: j.id, Name: spec.Name, Spec: canonical,
+		Op: opSubmit, ID: j.id, Name: cs.Name, Spec: canonical,
 		Options: &opts, TimeoutMS: timeout.Milliseconds(),
 	})
 
@@ -581,18 +599,16 @@ func (s *Service) runOnce(ctx context.Context, j *Job, attempt int) (rep *verify
 			return nil, fmt.Errorf("%w: %v", ErrTransient, herr), false
 		}
 	}
-	// Reparse from the canonical text: it is a guaranteed fixpoint of the
-	// parser (see dsl.Format) and keeps Job free of engine closures.
-	spec, perr := dsl.ParseSpec(j.spec.canonical)
-	if perr != nil {
-		return nil, perr, false // unreachable unless Format's contract breaks
-	}
-	proto, cerr := spec.Protocol()
+	// Recompile from the canonical text through the spec cache: normally a
+	// hit on the entry Submit warmed (keeping Job free of engine closures);
+	// after an eviction it is an ordinary miss, because the canonical text
+	// is a guaranteed fixpoint of the parser (see dsl.Format).
+	cs, _, cerr := s.specs.Compile(j.spec.canonical)
 	if cerr != nil {
-		return nil, cerr, false
+		return nil, cerr, false // unreachable unless Format's contract breaks
 	}
 	t0 := time.Now()
-	rep, err = verify.CheckCtx(ctx, proto, s.jobVerifyOptions(j))
+	rep, err = verify.CheckCtx(ctx, cs.Protocol, s.jobVerifyOptions(j))
 	s.metrics.ObservePhase("verify", time.Since(t0))
 	return rep, err, false
 }
@@ -858,6 +874,7 @@ func (s *Service) viewLocked(j *Job) JobView {
 		Degraded:   j.degraded,
 		Replayable: j.replayable,
 		Error:      j.err,
+		CompileNS:  j.compileNS,
 		Result:     j.result,
 		CreatedAt:  stamp(j.created),
 		StartedAt:  stamp(j.started),
@@ -876,6 +893,11 @@ type Stats struct {
 	CacheWriteErrors uint64 `json:"cache_write_errors"`
 	MemBudgetBytes   uint64 `json:"mem_budget_bytes"`
 	MemInUseBytes    uint64 `json:"mem_in_use_bytes"`
+	// SpecCache reports the compiled-spec cache: entries resident and the
+	// cache-internal hit/miss counters, which include the workers' own
+	// canonical-text compiles. The lrserved_spec_cache_{hits,misses}_total
+	// metrics count submissions only — they are the front-end skip rate.
+	SpecCache verify.SpecCacheStats `json:"spec_cache"`
 }
 
 // Stats returns current occupancy.
@@ -898,6 +920,7 @@ func (s *Service) Stats() Stats {
 		CacheWriteErrors: s.metrics.CacheWriteErrors.Load(),
 		MemBudgetBytes:   s.cfg.MemoryBudgetBytes,
 		MemInUseBytes:    s.admit.used(),
+		SpecCache:        s.specs.Stats(),
 	}
 }
 

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const scSpec = "protocol p\ndomain 2\nwindow 0 1\nlegit x[0] == x[1]\naction f: x[0] != x[1] -> x[0] := x[1]\n"
+
+// scVariant is scSpec with comments and whitespace noise: a different byte
+// string that must share both the compiled-spec entry and the result-cache
+// line.
+const scVariant = "# noise\nprotocol p\n\ndomain 2\nwindow 0   1\n" +
+	"legit (x[0] == x[1])\naction f: (x[0] != x[1]) -> x[0] := x[1]\n"
+
+func scSubmitWait(t *testing.T, s *Service, spec string) JobView {
+	t.Helper()
+	j, err := s.Submit(Request{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	return s.Snapshot(j)
+}
+
+func TestServiceSpecCacheCountsAndCompileNS(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1}, true)
+
+	v1 := scSubmitWait(t, s, scSpec)
+	if v1.State != StateDone || v1.Cached {
+		t.Fatalf("first submission: %+v", v1)
+	}
+	if v1.CompileNS <= 0 {
+		t.Fatalf("cold submission must report its compile cost, got %d", v1.CompileNS)
+	}
+	// Cache-level counters include the worker's own Compile of the
+	// canonical text (a hit on the entry Submit warmed); the
+	// lrserved_spec_cache_* metrics below count submissions only.
+	if st := s.Stats().SpecCache; st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after cold submit: %+v", st)
+	}
+
+	// Byte-identical resubmission: result-cache hit AND spec-cache hit,
+	// with zero compile cost.
+	v2 := scSubmitWait(t, s, scSpec)
+	if v2.State != StateDone || !v2.Cached {
+		t.Fatalf("repeat submission not served from cache: %+v", v2)
+	}
+	if v2.CompileNS != 0 {
+		t.Fatalf("spec-cache hit must report compile_ns 0, got %d", v2.CompileNS)
+	}
+
+	// A formatting variant is a different byte string but the same
+	// protocol: still one spec-cache entry, still a result-cache hit.
+	v3 := scSubmitWait(t, s, scVariant)
+	if v3.State != StateDone || !v3.Cached || v3.CompileNS != 0 {
+		t.Fatalf("variant submission: %+v", v3)
+	}
+	if st := s.Stats().SpecCache; st.Hits != 3 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after variant submit: %+v", st)
+	}
+	if hits := s.Metrics().SpecCacheHits.Load(); hits != 2 {
+		t.Fatalf("metrics spec cache hits = %d, want 2", hits)
+	}
+}
+
+func TestServiceSpecCacheMetricsExposition(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1}, true)
+	scSubmitWait(t, s, scSpec)
+	scSubmitWait(t, s, scSpec)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	s.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"lrserved_spec_cache_hits_total 1",
+		"lrserved_spec_cache_misses_total 1",
+		"lrserved_spec_cache_entries 1",
+		"lrserved_spec_compile_seconds_count 1",
+		`lrserved_spec_compile_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `"spec_cache"`) {
+		t.Errorf("/healthz missing spec_cache stats: %s", body)
+	}
+}

@@ -1,8 +1,6 @@
 package synthesis
 
 import (
-	"encoding/json"
-	"os"
 	"runtime"
 	"testing"
 
@@ -91,61 +89,8 @@ func BenchmarkSynthesize(b *testing.B) {
 	}
 }
 
-// TestWriteBenchSynthJSON reruns the BenchmarkSynthesize grid via
-// testing.Benchmark and writes the results to the path named by the
-// BENCH_SYNTH_JSON environment variable (the `make bench-synth` CI artifact).
-// Without the variable the test is skipped.
-func TestWriteBenchSynthJSON(t *testing.T) {
-	path := os.Getenv("BENCH_SYNTH_JSON")
-	if path == "" {
-		t.Skip("set BENCH_SYNTH_JSON=<path> to write the synthesis benchmark artifact")
-	}
-	type entry struct {
-		Name              string  `json:"name"`
-		Workers           int     `json:"workers"`
-		NsPerOp           int64   `json:"ns_per_op"`
-		Candidates        int     `json:"candidates"`
-		Evaluated         int     `json:"evaluated"`
-		PrunedAssignments int     `json:"pruned_assignments"`
-		MemoHits          uint64  `json:"memo_hits"`
-		MemoMisses        uint64  `json:"memo_misses"`
-		MemoHitRate       float64 `json:"memo_hit_rate"`
-	}
-	var entries []entry
-	for _, c := range synthBenchCases() {
-		for _, m := range synthBenchModes() {
-			var st SearchStats
-			r := testing.Benchmark(func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					res, _ := Synthesize(c.p, m.opts)
-					if res != nil {
-						st = res.Stats
-					}
-				}
-			})
-			e := entry{
-				Name:              c.name + "/" + m.name,
-				Workers:           st.Workers,
-				NsPerOp:           r.NsPerOp(),
-				Candidates:        st.Candidates,
-				Evaluated:         st.Evaluated,
-				PrunedAssignments: st.PrunedAssignments,
-				MemoHits:          st.MemoHits,
-				MemoMisses:        st.MemoMisses,
-			}
-			if tot := st.MemoHits + st.MemoMisses; tot > 0 {
-				e.MemoHitRate = float64(st.MemoHits) / float64(tot)
-			}
-			entries = append(entries, e)
-			t.Logf("%-22s %12d ns/op  candidates=%d evaluated=%d pruned=%d memo=%d/%d",
-				e.Name, e.NsPerOp, e.Candidates, e.Evaluated, e.PrunedAssignments, e.MemoHits, e.MemoMisses)
-		}
-	}
-	data, err := json.MarshalIndent(entries, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-}
+// The BENCH_synth.json artifact this grid used to write via an env-gated
+// test is now produced by `make bench-synth` -> cmd/lrbench, whose
+// internal/bench suite mirrors synthBenchCases/synthBenchModes and whose
+// snapshots are regression-gated against the committed baseline (see
+// PERFORMANCE.md).

@@ -1,7 +1,9 @@
 package synthesis
 
 import (
+	"context"
 	"fmt"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
 
@@ -102,6 +104,10 @@ type rsSearch struct {
 // order-dependent happens there, sequentially, so any worker count yields the
 // same Result.
 func (e *engine) runResolveSet(resolve []core.LocalState, perState [][]core.LocalTransition, total int) ([]span, error) {
+	// Synthesize has no context plumbing (the search is deterministic and
+	// in-process); Background still lets `go tool trace` attribute the
+	// frontier's wall-clock to this region when a capture is running.
+	defer trace.StartRegion(context.Background(), "synthesis.resolveSet").End()
 	e.candidates += total
 	m := len(perState)
 	s := &rsSearch{eng: e, resolve: resolve, perState: perState, total: total}

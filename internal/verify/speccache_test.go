@@ -1,0 +1,199 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"paramring/internal/dsl"
+)
+
+const agreementSpec = `protocol agreement
+domain 2
+window -1 0
+legit x[-1] == x[0]
+action t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1
+`
+
+// agreementVariants are textual renderings of the same protocol: extra
+// comments, blank lines, whitespace, and redundant parentheses. All of them
+// must canonicalize onto one cache entry.
+var agreementVariants = []string{
+	agreementSpec,
+	"# a comment\nprotocol agreement\n\ndomain 2\nwindow -1 0\n" +
+		"legit x[-1] == x[0]\naction t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1\n",
+	"protocol   agreement\ndomain 2\nwindow -1   0\n" +
+		"legit (x[-1] == x[0])\naction t01: (x[-1] == 1) && (x[0] == 0) -> x[0] := 1\n",
+}
+
+func TestSpecCacheHitSkipsCompile(t *testing.T) {
+	c := NewSpecCache(8)
+	cold, hit, err := c.Compile(agreementSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first Compile must be a miss")
+	}
+	if cold.CompileNS <= 0 {
+		t.Fatalf("cold compile must record its cost, got %d", cold.CompileNS)
+	}
+	warm, hit, err := c.Compile(agreementSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("byte-identical resubmission must hit")
+	}
+	if warm != cold {
+		t.Fatal("hit must return the shared entry, not a recompile")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestSpecCacheKeyDoesNotFragmentOnFormatting(t *testing.T) {
+	c := NewSpecCache(8)
+	var first *CompiledSpec
+	for i, src := range agreementVariants {
+		cs, hit, err := c.Compile(src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if i == 0 {
+			first = cs
+			continue
+		}
+		if !hit {
+			t.Fatalf("variant %d recompiled: formatting fragmented the key", i)
+		}
+		if cs != first {
+			t.Fatalf("variant %d got a distinct entry", i)
+		}
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("cache holds %d entries for one protocol, want 1", got)
+	}
+}
+
+// TestSpecCacheHitReportMatchesColdPath is the correctness contract: a
+// verification run on a cache-hit Protocol must produce a byte-identical
+// Report to one on a freshly compiled Protocol.
+func TestSpecCacheHitReportMatchesColdPath(t *testing.T) {
+	opts := Options{CrossValidateMaxK: 4, BoundedFallbackMaxK: 4}
+
+	coldProto, err := dsl.Parse(agreementSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep, err := Check(coldProto, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewSpecCache(8)
+	if _, _, err := c.Compile(agreementSpec); err != nil {
+		t.Fatal(err)
+	}
+	cs, hit, err := c.Compile(agreementVariants[1]) // comment variant, same entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("expected a canonical-key hit")
+	}
+	hotRep, err := Check(cs.Protocol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldJSON, err := json.Marshal(coldRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotJSON, err := json.Marshal(hotRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldJSON) != string(hotJSON) {
+		t.Fatalf("cache-hit report differs from cold path:\ncold: %s\nhot:  %s", coldJSON, hotJSON)
+	}
+}
+
+func TestSpecCacheCanonicalResubmissionSkipsParse(t *testing.T) {
+	c := NewSpecCache(8)
+	cs, _, err := c.Compile(agreementSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submitting the canonical rendering itself must hit the main index
+	// directly (no alias entry needed).
+	if _, hit, err := c.Compile(cs.Canonical); err != nil || !hit {
+		t.Fatalf("canonical resubmission: hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+func TestSpecCacheErrorNotCached(t *testing.T) {
+	c := NewSpecCache(8)
+	for i := 0; i < 2; i++ {
+		if _, hit, err := c.Compile("protocol broken\nnonsense\n"); err == nil || hit {
+			t.Fatalf("attempt %d: hit=%v err=%v, want miss with error", i, hit, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("errors must not occupy cache entries")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("error paths must not count as hits or misses, got %+v", st)
+	}
+}
+
+func TestSpecCacheEviction(t *testing.T) {
+	c := NewSpecCache(2)
+	specs := make([]string, 3)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(
+			"protocol p%d\ndomain %d\nwindow -1 0\nlegit x[-1] == x[0]\n", i, i+2)
+		if _, hit, err := c.Compile(specs[i]); err != nil || hit {
+			t.Fatalf("spec %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("len = %d, want the bound 2", got)
+	}
+	// The oldest entry was evicted: recompiling it is a miss again.
+	if _, hit, err := c.Compile(specs[0]); err != nil || hit {
+		t.Fatalf("evicted spec must miss, hit=%v err=%v", hit, err)
+	}
+}
+
+func TestSpecCacheConcurrentSharesOneEntry(t *testing.T) {
+	c := NewSpecCache(8)
+	const goroutines = 16
+	out := make([]*CompiledSpec, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cs, _, err := c.Compile(agreementVariants[g%len(agreementVariants)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[g] = cs
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 shared entry", c.Len())
+	}
+	for g := 1; g < goroutines; g++ {
+		if out[g] != out[0] {
+			t.Fatal("concurrent compiles must converge on one shared entry")
+		}
+	}
+}

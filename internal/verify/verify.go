@@ -2,6 +2,13 @@
 // paper's local theorems (rcg, ltg), witness confirmation, and optional
 // bounded explicit cross-validation into a single structured report — the
 // API a downstream user reaches for first.
+//
+// The package also owns SpecCache, the compiled-spec cache that memoizes
+// the DSL front end (parse + validate + compile to core.Protocol tables)
+// keyed by the canonical dsl.Format rendering. The service layer mounts it
+// in front of the job pipeline so repeat submissions and batch sweeps of
+// the same protocol skip the front end entirely; see PERFORMANCE.md for
+// the measured effect.
 package verify
 
 import (
