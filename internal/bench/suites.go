@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
 
 	"paramring/internal/core"
 	"paramring/internal/explicit"
+	"paramring/internal/invariant"
 	"paramring/internal/ltg"
 	"paramring/internal/protocols"
 	"paramring/internal/rcg"
@@ -116,6 +118,44 @@ func VerifySuite(cfg Config) (*Snapshot, error) {
 	}), map[string]float64{
 		"peak_table_bytes": float64(verify.EstimatePeakTableBytes(p, vopts)),
 	})
+
+	// Invariant lane: cold symbolic analysis (traps + deadlock ranking +
+	// termination LP, parameterized in K) and the independent certificate
+	// re-check that every Proved verdict pays. sum-not-two-ss is the cheap
+	// shape (2 local transitions); matchingA drives the LP through ~650
+	// pivots, so its two rows bound the lane's cost range. No gate
+	// thresholds ride on these — the compare step reports them as
+	// warnings-only metrics.
+	for _, ic := range []struct {
+		name string
+		p    *core.Protocol
+	}{
+		{"sum-not-two-ss", p},
+		{"matchingA", protocols.MatchingA()},
+	} {
+		ip := ic.p
+		irep, err := invariant.Analyze(context.Background(), ip, invariant.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.Add("invariant/analyze/"+ic.name, Measure(cfg.Benchtime, func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := invariant.Analyze(context.Background(), ip, invariant.Options{}); err != nil {
+					panic(err)
+				}
+			}
+		}), map[string]float64{
+			"invariants": float64(irep.InvariantCount),
+			"cert_bytes": float64(irep.Certificate.Size()),
+		})
+		s.Add("invariant/recheck/"+ic.name, Measure(cfg.Benchtime, func(n int) {
+			for i := 0; i < n; i++ {
+				if err := invariant.CheckCertificate(ip, irep.Certificate); err != nil {
+					panic(err)
+				}
+			}
+		}), nil)
+	}
 
 	// Table 1, local side: the complete all-K verification (Theorem 4.2
 	// over the RCG plus Theorem 5.14 over the LTG) — constant in K.

@@ -13,6 +13,7 @@ import (
 	"paramring/internal/core"
 	"paramring/internal/dsl"
 	"paramring/internal/protocols"
+	"paramring/internal/verify"
 )
 
 // Exit prints one "tool: error" line to stderr and exits with code.
@@ -37,6 +38,29 @@ func ExitOnPanic(tool string) {
 	if r := recover(); r != nil {
 		Exit(tool, 1, fmt.Errorf("%v", r))
 	}
+}
+
+// VerdictExitCode maps a finished verification report onto the verdict
+// half of the tools' exit-code contract (the error half stays with Exit:
+// 1 for runtime failures, 2 for usage errors):
+//
+//	0 — every property settled conclusively (proved or refuted) by some
+//	    lane, and the lanes that ran agree;
+//	3 — at least one property is inconclusive in every lane that ran;
+//	4 — cross-lane disagreement: two lanes reached conclusive,
+//	    conflicting verdicts (or a certificate failed its independent
+//	    re-check) — a tool bug, never a protocol property.
+//
+// Disagreement dominates: a report with conflicts exits 4 even when every
+// verdict looks settled, because none of them can be trusted.
+func VerdictExitCode(rep *verify.Report) int {
+	if len(rep.Disagreements) > 0 {
+		return 4
+	}
+	if rep.Deadlock == verify.Inconclusive || rep.Livelock == verify.Inconclusive {
+		return 3
+	}
+	return 0
 }
 
 // LoadProtocol resolves a protocol from either a zoo name or a guarded-

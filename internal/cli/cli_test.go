@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"paramring/internal/verify"
 )
 
 func TestLoadProtocolZoo(t *testing.T) {
@@ -51,6 +53,33 @@ func TestZooNamesSorted(t *testing.T) {
 	for i := 1; i < len(parts); i++ {
 		if parts[i] < parts[i-1] {
 			t.Fatal("names not sorted")
+		}
+	}
+}
+
+// TestVerdictExitCode pins the verdict half of the exit-code contract.
+// Exit 4 (cross-lane disagreement) cannot be produced honestly by any
+// shipped protocol — that is the point of three independent lanes — so it
+// is exercised here on a hand-built report rather than end to end.
+func TestVerdictExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  verify.Report
+		want int
+	}{
+		{"proved", verify.Report{Deadlock: verify.Proved, Livelock: verify.Proved}, 0},
+		{"refuted is settled too", verify.Report{Deadlock: verify.Refuted, Livelock: verify.Proved}, 0},
+		{"livelock open", verify.Report{Deadlock: verify.Proved, Livelock: verify.Inconclusive}, 3},
+		{"deadlock open", verify.Report{Deadlock: verify.Inconclusive, Livelock: verify.Refuted}, 3},
+		{"disagreement dominates settled verdicts",
+			verify.Report{Deadlock: verify.Proved, Livelock: verify.Proved,
+				Disagreements: []string{"K=4: explicit livelock contradicts invariant-lane Holds"}}, 4},
+		{"disagreement dominates inconclusive",
+			verify.Report{Disagreements: []string{"x"}}, 4},
+	}
+	for _, c := range cases {
+		if got := VerdictExitCode(&c.rep); got != c.want {
+			t.Errorf("%s: exit = %d, want %d", c.name, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,175 @@
+package invariant
+
+import (
+	"context"
+	"fmt"
+
+	"paramring/internal/core"
+)
+
+// analysis carries the compiled protocol plus the window arithmetic every
+// certificate family shares. All derived data comes from core alone.
+type analysis struct {
+	p    *core.Protocol
+	sys  *core.System
+	opts Options
+
+	d, lo, hi, w, own, n int
+	// nCtx is d^(w-1): the number of completions of the combined window
+	// [lo-hi, hi-lo] beyond the w positions the actor's own window fixes.
+	nCtx int
+}
+
+func newAnalysis(p *core.Protocol, opts Options) (*analysis, error) {
+	lo, hi := p.Window()
+	a := &analysis{
+		p:    p,
+		opts: opts,
+		d:    p.Domain(),
+		lo:   lo,
+		hi:   hi,
+		w:    p.W(),
+		own:  p.OwnIndex(),
+		n:    p.NumLocalStates(),
+	}
+	if a.n > opts.MaxLocalStates {
+		return nil, fmt.Errorf("invariant: %d local states exceed the lane limit %d", a.n, opts.MaxLocalStates)
+	}
+	a.nCtx = 1
+	for i := 1; i < a.w; i++ {
+		a.nCtx *= a.d
+	}
+	a.sys = p.Compile()
+	return a, nil
+}
+
+// freeOffsets lists the combined-window offsets (relative to the acting
+// process) not covered by the actor's own window [lo, hi]: the w-1 positions
+// [lo-hi, lo-1] and [hi+1, hi-lo], in increasing order. Together with the
+// actor's window they form the 2w-1 positions read by the w processes whose
+// views contain the actor's variable.
+func (a *analysis) freeOffsets() []int {
+	var out []int
+	for t := a.lo - a.hi; t < a.lo; t++ {
+		out = append(out, t)
+	}
+	for t := a.hi + 1; t <= a.hi-a.lo; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// contextValues decodes a context code (0 <= code < nCtx) into a map from
+// free offset to domain value, in the fixed freeOffsets order.
+func (a *analysis) contextValues(code int, free []int, into map[int]int) {
+	for _, t := range free {
+		into[t] = code % a.d
+		code /= a.d
+	}
+}
+
+// neighborState encodes the local state of the process o positions left of
+// the actor (window offsets o in [lo, hi]; o == 0 is the actor itself). The
+// actor's own variable carries ownVal (source or destination value of the
+// transition); positions inside the actor's window come from srcView;
+// positions beyond it come from the free context.
+func (a *analysis) neighborState(srcView core.View, ownVal int, free map[int]int, o int) core.LocalState {
+	v := make(core.View, a.w)
+	for m := 0; m < a.w; m++ {
+		t := a.lo + m - o
+		switch {
+		case t == 0:
+			v[m] = ownVal
+		case t >= a.lo && t <= a.hi:
+			v[m] = srcView[t-a.lo]
+		default:
+			v[m] = free[t]
+		}
+	}
+	return core.Encode(v, a.d)
+}
+
+// valueTraps computes the distinct non-trivial value traps: for each domain
+// value v, the forward-reachability closure of v in the write graph is the
+// minimal trap containing v. Traps equal to the full domain are dropped as
+// trivially true. Deterministic: sets are emitted in order of their smallest
+// generating value, each sorted ascending.
+func (a *analysis) valueTraps() [][]int {
+	adj := make([][]bool, a.d)
+	for i := range adj {
+		adj[i] = make([]bool, a.d)
+	}
+	for _, t := range a.sys.Trans {
+		adj[a.sys.OwnValue(t.Src)][a.sys.OwnValue(t.Dst)] = true
+	}
+	seen := map[string]bool{}
+	var out [][]int
+	for v := 0; v < a.d; v++ {
+		in := make([]bool, a.d)
+		in[v] = true
+		queue := []int{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for y := 0; y < a.d; y++ {
+				if adj[x][y] && !in[y] {
+					in[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+		var set []int
+		for y := 0; y < a.d; y++ {
+			if in[y] {
+				set = append(set, y)
+			}
+		}
+		if len(set) == a.d {
+			continue
+		}
+		key := fmt.Sprint(set)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+// closureLocal checks that legitimacy is preserved by every local transition
+// in every context: whenever the actor's source view and all affected
+// neighbors' before-views satisfy LC, the destination view and all
+// after-views do too. The premise over-approximates membership in I (a
+// global state in I makes all of them legitimate), so a clean pass is sound
+// for every ring size K >= w; sizes below w are covered by the small-K
+// micro-check.
+func (a *analysis) closureLocal(ctx context.Context) (bool, error) {
+	free := a.freeOffsets()
+	ctxVals := map[int]int{}
+	for ti, tr := range a.sys.Trans {
+		if ti%8 == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		srcView := a.p.Decode(tr.Src)
+		srcOwn := srcView[a.own]
+		dstOwn := a.p.Decode(tr.Dst)[a.own]
+		for code := 0; code < a.nCtx; code++ {
+			a.contextValues(code, free, ctxVals)
+			allLegit := true
+			for o := a.lo; o <= a.hi && allLegit; o++ {
+				allLegit = a.sys.Legit[a.neighborState(srcView, srcOwn, ctxVals, o)]
+			}
+			if !allLegit {
+				continue
+			}
+			for o := a.lo; o <= a.hi; o++ {
+				if !a.sys.Legit[a.neighborState(srcView, dstOwn, ctxVals, o)] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,237 @@
+package invariant
+
+// The deadlock certificate. A global deadlock of a ring of size K is exactly
+// a cyclic sequence s_1 .. s_K of local deadlock states where each adjacent
+// pair overlaps (the continuation relation: the last w-1 window values of
+// s_i are the first w-1 of s_{i+1}) — the same characterization behind
+// Theorem 4.2. Deadlock-freedom for every K is therefore equivalent to the
+// continuation graph over local deadlocks having no cycle through an
+// illegitimate vertex, and THAT is equivalent to the existence of a ranking:
+//
+//	r(u) >= r(v)  for every continuation arc u -> v between deadlocks,
+//	r(u) >  r(v)  whenever u or v is illegitimate.
+//
+// Soundness: a cycle through an illegitimate vertex would chain the
+// inequalities around the loop into r(u) > r(u). Completeness: if no such
+// cycle exists, every illegitimate vertex lies in a trivial SCC without a
+// self-loop, so ranking each SCC by its longest path to a sink in the
+// condensation (strict on every cross-SCC arc, equal within an SCC)
+// satisfies both conditions. The construction below is exactly that; its
+// output is replayable by CheckCertificate with nothing but decoded-view
+// comparisons and integer compares.
+
+// deadlockCert builds the ranking, or a refuting continuation cycle through
+// an illegitimate deadlock when no ranking exists.
+func (a *analysis) deadlockCert() (*DeadlockCertificate, Verdict) {
+	dead := a.sys.Deadlocks
+	cert := &DeadlockCertificate{Deadlocks: make([]int, len(dead))}
+	idx := make(map[int]int, len(dead)) // state code -> vertex index
+	for i, s := range dead {
+		cert.Deadlocks[i] = int(s)
+		idx[int(s)] = i
+	}
+	succ := func(u int) []int {
+		return a.contSuccessors(cert.Deadlocks[u], idx)
+	}
+
+	comp, order := tarjan(len(dead), succ)
+	nc := 0
+	for _, c := range comp {
+		if c >= nc {
+			nc = c + 1
+		}
+	}
+	compSize := make([]int, nc)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	selfLoop := make([]bool, len(dead))
+	for u := range dead {
+		for _, v := range succ(u) {
+			if v == u {
+				selfLoop[u] = true
+			}
+		}
+	}
+
+	// Refutation: an illegitimate vertex on any cycle (a nontrivial SCC or a
+	// self-loop). Pick the smallest such state for determinism.
+	for u := range dead {
+		if a.sys.Legit[dead[u]] {
+			continue
+		}
+		if selfLoop[u] {
+			cert.BadCycle = []int{cert.Deadlocks[u]}
+			return cert, Fails
+		}
+		if compSize[comp[u]] > 1 {
+			cert.BadCycle = a.cycleThrough(u, comp, succ, cert.Deadlocks)
+			return cert, Fails
+		}
+	}
+
+	// Ranking: Tarjan completes SCCs in reverse topological order (every
+	// edge out of a later-completed SCC lands in an earlier-completed one),
+	// so ranks resolve in one pass over components in completion order.
+	rank := make([]int, nc)
+	byComp := make([][]int, nc)
+	for u, c := range comp {
+		byComp[c] = append(byComp[c], u)
+	}
+	_ = order
+	for c := 0; c < nc; c++ {
+		for _, u := range byComp[c] {
+			for _, v := range succ(u) {
+				if comp[v] != c && rank[comp[v]]+1 > rank[c] {
+					rank[c] = rank[comp[v]] + 1
+				}
+			}
+		}
+	}
+	cert.Free = true
+	cert.Ranks = make([]int, len(dead))
+	for u := range dead {
+		cert.Ranks[u] = rank[comp[u]]
+	}
+	return cert, Holds
+}
+
+// contSuccessors returns the continuation successors of deadlock state s
+// restricted to deadlock states, as vertex indices in ascending order. For
+// width w > 1 the successors of s are exactly the states congruent to
+// s/d modulo d^(w-1); for w == 1 windows share no variables and the
+// continuation graph is complete (including self-loops).
+func (a *analysis) contSuccessors(s int, idx map[int]int) []int {
+	var out []int
+	if a.w == 1 {
+		for v := 0; v < len(idx); v++ {
+			out = append(out, v)
+		}
+		return out
+	}
+	step := a.n / a.d // d^(w-1)
+	base := s / a.d
+	for j := 0; j < a.d; j++ {
+		if v, ok := idx[base+j*step]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// cycleThrough finds a continuation cycle through vertex u inside its SCC
+// (which is nontrivial, so one exists), returned as state codes starting at
+// u. Deterministic: depth-first over ascending successors.
+func (a *analysis) cycleThrough(u int, comp []int, succ func(int) []int, states []int) []int {
+	type frame struct {
+		v    int
+		next int
+	}
+	onPath := make(map[int]bool)
+	stack := []frame{{v: u}}
+	onPath[u] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := succ(f.v)
+		advanced := false
+		for f.next < len(ss) {
+			v := ss[f.next]
+			f.next++
+			if v == u && len(stack) > 0 {
+				cycle := make([]int, len(stack))
+				for i, fr := range stack {
+					cycle[i] = states[fr.v]
+				}
+				return cycle
+			}
+			if comp[v] != comp[u] || onPath[v] {
+				continue
+			}
+			onPath[v] = true
+			stack = append(stack, frame{v: v})
+			advanced = true
+			break
+		}
+		if !advanced && f.next >= len(ss) {
+			onPath[f.v] = false
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Unreachable for a nontrivial SCC; return the self loop as a fallback.
+	return []int{states[u]}
+}
+
+// tarjan is an iterative Tarjan SCC over vertices 0..n-1. It returns the
+// component id per vertex (ids in completion order: every edge crosses from
+// a higher id to a lower id or stays inside one component) and the vertex
+// completion order.
+func tarjan(n int, succ func(int) []int) (comp []int, order []int) {
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var sccStack []int
+	var nextIndex, nextComp int
+
+	type frame struct {
+		v    int
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		stack := []frame{{v: root}}
+		index[root] = nextIndex
+		low[root] = nextIndex
+		nextIndex++
+		sccStack = append(sccStack, root)
+		onStack[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ss := succ(f.v)
+			if f.next < len(ss) {
+				wv := ss[f.next]
+				f.next++
+				if index[wv] == -1 {
+					index[wv] = nextIndex
+					low[wv] = nextIndex
+					nextIndex++
+					sccStack = append(sccStack, wv)
+					onStack[wv] = true
+					stack = append(stack, frame{v: wv})
+				} else if onStack[wv] && index[wv] < low[f.v] {
+					low[f.v] = index[wv]
+				}
+				continue
+			}
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				if low[v] < low[stack[len(stack)-1].v] {
+					low[stack[len(stack)-1].v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					wv := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[wv] = false
+					comp[wv] = nextComp
+					order = append(order, wv)
+					if wv == v {
+						break
+					}
+				}
+				nextComp++
+			}
+		}
+	}
+	return comp, order
+}

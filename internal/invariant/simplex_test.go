@@ -1,0 +1,149 @@
+package invariant
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func feasibleStrict(t *testing.T, rows [][]int64, n int) (sol []*big.Rat, ok bool) {
+	t.Helper()
+	sol, ok, _, err := solveStrict(context.Background(), rows, n, 100000)
+	if err != nil {
+		t.Fatalf("solveStrict: %v", err)
+	}
+	return sol, ok
+}
+
+func TestSolveStrictBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]int64
+		n    int
+		want bool
+	}{
+		{"empty system", nil, 3, true},
+		{"single variable", [][]int64{{1}}, 1, true},
+		{"contradictory pair", [][]int64{{1}, {-1}}, 1, false},
+		{"antisymmetric", [][]int64{{1, -1}, {-1, 1}}, 2, false},
+		{"triangular", [][]int64{{1, 0}, {1, -1}}, 2, true},
+		{"zero row", [][]int64{{0, 0}}, 2, false},
+		{"chain", [][]int64{{1, -1, 0}, {0, 1, -1}}, 3, true},
+		{"cycle sums to zero", [][]int64{{1, -1, 0}, {0, 1, -1}, {-1, 0, 1}}, 3, false},
+	}
+	for _, tc := range cases {
+		sol, ok := feasibleStrict(t, tc.rows, tc.n)
+		if ok != tc.want {
+			t.Errorf("%s: feasible = %v, want %v", tc.name, ok, tc.want)
+		}
+		if ok {
+			assertStrict(t, tc.name, tc.rows, sol)
+		}
+	}
+}
+
+func assertStrict(t *testing.T, name string, rows [][]int64, sol []*big.Rat) {
+	t.Helper()
+	for ri, row := range rows {
+		sum := new(big.Rat)
+		for j, c := range row {
+			if c != 0 {
+				sum.Add(sum, new(big.Rat).Mul(big.NewRat(c, 1), sol[j]))
+			}
+		}
+		if sum.Sign() >= 0 {
+			t.Errorf("%s: row %d: %v · sol = %v, want < 0", name, ri, row, sum)
+		}
+	}
+}
+
+// TestSolveStrictRandomFeasible plants a random solution, builds rows it
+// strictly satisfies, and requires the solver to find a (possibly
+// different) strict solution.
+func TestSolveStrictRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		planted := make([]int64, n)
+		for j := range planted {
+			planted[j] = int64(rng.Intn(21) - 10)
+		}
+		m := 1 + rng.Intn(12)
+		rows := make([][]int64, 0, m)
+		for len(rows) < m {
+			row := make([]int64, n)
+			var dot int64
+			for j := range row {
+				row[j] = int64(rng.Intn(7) - 3)
+				dot += row[j] * planted[j]
+			}
+			if dot == 0 {
+				continue // flipping cannot make it strict; resample
+			}
+			if dot > 0 {
+				for j := range row {
+					row[j] = -row[j]
+				}
+			}
+			rows = append(rows, row)
+		}
+		sol, ok := feasibleStrict(t, rows, n)
+		if !ok {
+			t.Fatalf("trial %d: planted-feasible system reported infeasible (planted %v, rows %v)",
+				trial, planted, rows)
+		}
+		assertStrict(t, "random", rows, sol)
+	}
+}
+
+// TestSolveStrictRandomInfeasible embeds a positive combination that sums
+// to zero (row + its negation), which no strict solution can satisfy.
+func TestSolveStrictRandomInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := rng.Intn(8)
+		var rows [][]int64
+		for i := 0; i < m; i++ {
+			row := make([]int64, n)
+			for j := range row {
+				row[j] = int64(rng.Intn(7) - 3)
+			}
+			rows = append(rows, row)
+		}
+		row := make([]int64, n)
+		for j := range row {
+			row[j] = int64(rng.Intn(7) - 3)
+		}
+		neg := make([]int64, n)
+		for j := range row {
+			neg[j] = -row[j]
+		}
+		rows = append(rows, row, neg)
+		if _, ok := feasibleStrict(t, rows, n); ok {
+			t.Fatalf("trial %d: infeasible system reported feasible (rows %v)", trial, rows)
+		}
+	}
+}
+
+// TestSolveStrictDeterministic pins that repeated solves return the
+// identical solution vector.
+func TestSolveStrictDeterministic(t *testing.T) {
+	rows := [][]int64{{1, -1, 0, 2}, {0, 1, -1, -1}, {2, 0, 1, -3}, {-1, 2, 0, -1}}
+	first, ok := feasibleStrict(t, rows, 4)
+	if !ok {
+		t.Fatalf("system unexpectedly infeasible")
+	}
+	for i := 0; i < 5; i++ {
+		again, ok := feasibleStrict(t, rows, 4)
+		if !ok {
+			t.Fatalf("rerun %d infeasible", i)
+		}
+		for j := range first {
+			if first[j].Cmp(again[j]) != 0 {
+				t.Fatalf("rerun %d: sol[%d] = %v, first run %v", i, j, again[j], first[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package invariant
+
+import (
+	"paramring/internal/core"
+)
+
+// Ring sizes 2 <= K < w wrap a process's window onto itself, so the
+// parameterized context-quantified certificates do not speak about them.
+// There are at most d^(w-1) such global states per size — never more than
+// the LP's own context enumeration — so these sizes are closed out
+// exhaustively, still without touching the explicit engine: the transition
+// function is evaluated straight off core.Protocol's action closures.
+
+// smallKCheck examines every ring size in [2, w). It returns the
+// certificate fragment (nil when the range is empty), whether all sizes are
+// livelock-free, and whether all sizes preserve closure of I.
+func (a *analysis) smallKCheck() (*SmallKCertificate, bool, bool) {
+	if a.w <= 2 {
+		return nil, true, true
+	}
+	cert := &SmallKCertificate{}
+	livelockOK, closureOK := true, true
+	for k := 2; k < a.w; k++ {
+		cert.Checked = append(cert.Checked, k)
+		cycle := smallRingLivelock(a.p, k)
+		if cycle != nil && cert.WitnessK == 0 {
+			cert.WitnessK = k
+			cert.WitnessCycle = cycle
+		}
+		if cycle != nil {
+			livelockOK = false
+		}
+		if !smallRingClosure(a.p, k) {
+			closureOK = false
+		}
+	}
+	return cert, livelockOK, closureOK
+}
+
+// smallRing enumerates the d^K global states of a size-K ring directly from
+// the protocol's action tables.
+type smallRing struct {
+	p    *core.Protocol
+	k, d int
+	n    int // d^K
+	lo   int
+}
+
+func newSmallRing(p *core.Protocol, k int) *smallRing {
+	r := &smallRing{p: p, k: k, d: p.Domain()}
+	r.lo, _ = p.Window()
+	r.n = 1
+	for i := 0; i < k; i++ {
+		r.n *= r.d
+	}
+	return r
+}
+
+// vals decodes a global state code into one value per process.
+func (r *smallRing) vals(g int) []int {
+	out := make([]int, r.k)
+	for i := 0; i < r.k; i++ {
+		out[i] = g % r.d
+		g /= r.d
+	}
+	return out
+}
+
+// view builds process i's (wrapped) window view.
+func (r *smallRing) view(vals []int, i int) core.View {
+	w := r.p.W()
+	v := make(core.View, w)
+	for m := 0; m < w; m++ {
+		v[m] = vals[((i+r.lo+m)%r.k+r.k)%r.k]
+	}
+	return v
+}
+
+// legit reports whether the global state satisfies I(K) = AND LC_i.
+func (r *smallRing) legit(vals []int) bool {
+	for i := 0; i < r.k; i++ {
+		if !r.p.LegitimateView(r.view(vals, i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// succs lists the distinct successor state codes of g, in deterministic
+// order (process ascending, action order, Next order). Stuttering writes
+// produce a global self-loop, which is a genuine one-state cycle.
+func (r *smallRing) succs(g int) []int {
+	vals := r.vals(g)
+	var out []int
+	seen := map[int]bool{}
+	mult := 1
+	for i := 0; i < r.k; i++ {
+		v := r.view(vals, i)
+		for _, act := range r.p.Actions() {
+			if !act.Guard(v) {
+				continue
+			}
+			for _, nv := range act.Next(v) {
+				ng := g + (nv-vals[i])*mult
+				if !seen[ng] {
+					seen[ng] = true
+					out = append(out, ng)
+				}
+			}
+		}
+		mult *= r.d
+	}
+	return out
+}
+
+// smallRingLivelock searches the size-k ring for a cycle lying entirely
+// outside I(K) — an infinite computation that never converges, i.e. a real
+// livelock witness. Returns the cycle as global valuations, or nil.
+func smallRingLivelock(p *core.Protocol, k int) [][]int {
+	r := newSmallRing(p, k)
+	outside := make([]bool, r.n)
+	for g := 0; g < r.n; g++ {
+		outside[g] = !r.legit(r.vals(g))
+	}
+	color := make([]byte, r.n) // 0 white, 1 on stack, 2 done
+	type frame struct {
+		g    int
+		next int
+		ss   []int
+	}
+	for start := 0; start < r.n; start++ {
+		if !outside[start] || color[start] != 0 {
+			continue
+		}
+		stack := []frame{{g: start, ss: r.succs(start)}}
+		color[start] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(f.ss) {
+				ng := f.ss[f.next]
+				f.next++
+				if !outside[ng] || color[ng] == 2 {
+					continue
+				}
+				if color[ng] == 1 {
+					// Cycle: unwind the stack back to ng.
+					var cycle [][]int
+					for i := range stack {
+						if stack[i].g == ng || len(cycle) > 0 {
+							cycle = append(cycle, r.vals(stack[i].g))
+						}
+					}
+					return cycle
+				}
+				color[ng] = 1
+				stack = append(stack, frame{g: ng, ss: r.succs(ng)})
+				advanced = true
+				break
+			}
+			if !advanced && f.next >= len(f.ss) {
+				color[f.g] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// smallRingClosure reports whether I(K) is closed under the protocol on the
+// size-k ring: every successor of a legitimate state is legitimate.
+func smallRingClosure(p *core.Protocol, k int) bool {
+	r := newSmallRing(p, k)
+	for g := 0; g < r.n; g++ {
+		vals := r.vals(g)
+		if !r.legit(vals) {
+			continue
+		}
+		for _, ng := range r.succs(g) {
+			if !r.legit(r.vals(ng)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// ssSpec is the paper's accepted sum-not-two solution (specs/sum-not-two.gc):
+// self-stabilizing for every K, and the invariant lane proves both
+// properties symbolically — deadlock by ranking, livelock by a termination
+// potential.
+const ssSpec = `protocol sum-not-two
+domain 3
+window -1 0
+legit x[0] + x[-1] != 2
+
+action up:   x[0] + x[-1] == 2 && x[0] != 2 -> x[0] := (x[0] + 1) % 3
+action down: x[0] + x[-1] == 2 && x[0] == 2 -> x[0] := (x[0] - 1) % 3
+`
+
+// TestInvariantOnlyAdmitsOverBudget is the admission contract for the new
+// lane: the invariant backend is symbolic (EstimatePeakTableBytes reports 0
+// explicit bytes for it), so a theorem+invariant-only submission clears a
+// memory budget that rejects any explicit work — the lane certifies ring
+// sizes the bitset engine could never hold.
+func TestInvariantOnlyAdmitsOverBudget(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1, MemoryBudgetBytes: 16}, true)
+
+	// Explicit cross-validation to K=6 estimates 40 bytes > 16: rejected.
+	_, err := svc.Submit(Request{Spec: tinySpec, Options: RequestOptions{CrossValidateMaxK: 6}})
+	if !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("explicit submission error = %v, want ErrOverBudget", err)
+	}
+
+	// The invariant-only request estimates zero bytes and completes.
+	j, err := svc.Submit(Request{Spec: ssSpec, Options: RequestOptions{Invariant: true}})
+	if err != nil {
+		t.Fatalf("invariant-only submission rejected: %v", err)
+	}
+	waitDone(t, j)
+	v := svc.Snapshot(j)
+	if v.State != StateDone || v.Degraded {
+		t.Fatalf("invariant-only job: %+v", v)
+	}
+	r := v.Result
+	if r.InvariantDeadlock != "proved" || r.InvariantLivelock != "proved" {
+		t.Fatalf("lane verdicts: deadlock=%q livelock=%q (summary: %s)",
+			r.InvariantDeadlock, r.InvariantLivelock, r.Summary)
+	}
+	if r.InvariantCount <= 0 || r.InvariantCertBytes <= 0 {
+		t.Fatalf("certificate stats missing from result: %+v", r)
+	}
+	if len(r.Disagreements) != 0 {
+		t.Fatalf("disagreements: %v", r.Disagreements)
+	}
+	if r.ExplicitStates != 0 || r.ExplicitPeakBytes != 0 {
+		t.Fatalf("invariant-only run touched the explicit engine: %+v", r)
+	}
+}
+
+// TestInvariantCacheKeyNoCollision: the lane set is part of the verdict
+// payload, so invariant-on and invariant-off submissions of the same spec
+// must occupy distinct cache entries — and a repeat invariant submission
+// must hit its own entry with the lane fields intact.
+func TestInvariantCacheKeyNoCollision(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1}, true)
+
+	jOff, err := svc.Submit(Request{Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jOff)
+	if r := svc.Snapshot(jOff).Result; r.InvariantDeadlock != "" || r.InvariantCount != 0 {
+		t.Fatalf("lane fields on a lane-less run: %+v", r)
+	}
+
+	jOn, err := svc.Submit(Request{Spec: tinySpec, Options: RequestOptions{Invariant: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jOn)
+	if svc.Snapshot(jOn).Cached {
+		t.Fatal("invariant-on submission collided with the invariant-off cache entry")
+	}
+	if got := svc.Metrics().CacheMisses.Load(); got != 2 {
+		t.Fatalf("cache misses = %d, want 2 (one per lane set)", got)
+	}
+
+	jHit, err := svc.Submit(Request{Spec: tinySpecVariant, Options: RequestOptions{Invariant: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jHit)
+	v := svc.Snapshot(jHit)
+	if !v.Cached {
+		t.Fatal("repeat invariant submission missed its cache entry")
+	}
+	if v.Result.InvariantDeadlock != "proved" || v.Result.InvariantCertBytes <= 0 {
+		t.Fatalf("cached result lost the lane projection: %+v", v.Result)
+	}
+}
+
+// TestInvariantMetricsExposed: the lane's counters and the certificate-size
+// high-water gauge appear on /metrics after a lane run, and a cached
+// re-serve adds nothing.
+func TestInvariantMetricsExposed(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1}, true)
+	j, err := svc.Submit(Request{Spec: tinySpec, Options: RequestOptions{Invariant: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	certBytes := svc.Snapshot(j).Result.InvariantCertBytes
+
+	jHit, err := svc.Submit(Request{Spec: tinySpec, Options: RequestOptions{Invariant: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jHit)
+
+	var buf bytes.Buffer
+	svc.Metrics().WriteTo(&buf, nil)
+	text := buf.String()
+	for _, want := range []string{
+		"lrserved_invariant_runs_total 1", // the cached re-serve added nothing
+		"lrserved_invariant_disagreements_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "lrserved_invariant_certificate_bytes") || certBytes <= 0 {
+		t.Errorf("certificate gauge missing (cert %d bytes):\n%s", certBytes, text)
+	}
+	if svc.Metrics().InvariantCertBytes.Load() != uint64(certBytes) {
+		t.Errorf("gauge %d != result certificate bytes %d",
+			svc.Metrics().InvariantCertBytes.Load(), certBytes)
+	}
+}

@@ -23,6 +23,12 @@ type RequestOptions struct {
 	// MaxTArcs bounds the Theorem 5.14 trail search (0 selects the ltg
 	// default of 16).
 	MaxTArcs int `json:"max_tarcs,omitempty"`
+	// Invariant enables the trap/structural-invariant lane: a symbolic
+	// third verdict source, independent of both the theorems and the
+	// explicit engine, whose conclusive verdicts ship a re-checked
+	// certificate. It estimates zero explicit-table bytes, so an
+	// invariant-only submission clears memory admission at any ring size.
+	Invariant bool `json:"invariant,omitempty"`
 	// Workers is a hint for the explicit-engine worker count, clamped to
 	// the server's EngineWorkers cap (0 keeps the server setting). Verdicts
 	// and witnesses are identical for any worker count (the engine's
@@ -61,8 +67,11 @@ func (o RequestOptions) normalize() RequestOptions {
 // never fragment the cache.
 func (o RequestOptions) keyString() string {
 	o = o.normalize()
-	return fmt.Sprintf("confirm=%d xval=%d fallback=%d tarcs=%d",
-		o.ConfirmMaxK, o.CrossValidateMaxK, o.BoundedFallbackMaxK, o.MaxTArcs)
+	// Invariant changes the lane set and therefore the result payload, so
+	// it must fragment the cache: an invariant-on and an invariant-off
+	// submission of the same spec may never collide on one entry.
+	return fmt.Sprintf("confirm=%d xval=%d fallback=%d tarcs=%d inv=%t",
+		o.ConfirmMaxK, o.CrossValidateMaxK, o.BoundedFallbackMaxK, o.MaxTArcs, o.Invariant)
 }
 
 // verifyOptions translates to the engine's option struct. The effective
@@ -81,6 +90,7 @@ func (o RequestOptions) verifyOptions(engineWorkers int) verify.Options {
 		BoundedFallbackMaxK: o.BoundedFallbackMaxK,
 		Check:               ltg.CheckOptions{MaxTArcs: o.MaxTArcs},
 		Workers:             workers,
+		Invariant:           o.Invariant,
 	}
 }
 
@@ -113,7 +123,17 @@ type Result struct {
 	Disagreements        []string `json:"disagreements,omitempty"`
 	ExplicitStates       uint64   `json:"explicit_states"`
 	ExplicitPeakBytes    uint64   `json:"explicit_peak_table_bytes,omitempty"`
-	Summary              string   `json:"summary"`
+	// Invariant-lane projection (all empty/zero unless the submission set
+	// options.invariant). Verdicts use the shared proved/refuted/
+	// inconclusive scale of the other lanes.
+	InvariantDeadlock         string `json:"invariant_deadlock,omitempty"`
+	InvariantLivelock         string `json:"invariant_livelock,omitempty"`
+	InvariantClosure          string `json:"invariant_closure,omitempty"`
+	InvariantSkipped          string `json:"invariant_skipped,omitempty"`
+	InvariantCount            int    `json:"invariant_count,omitempty"`
+	InvariantCertBytes        int    `json:"invariant_certificate_bytes,omitempty"`
+	LivelockProvedByInvariant bool   `json:"livelock_proved_by_invariant,omitempty"`
+	Summary                   string `json:"summary"`
 }
 
 // resultFromReport projects the engine report onto the wire shape. Result
@@ -122,7 +142,7 @@ type Result struct {
 // the chaos suite pins this byte-for-byte. Per-job costs such as the spec
 // compile time live on JobView instead.
 func resultFromReport(name string, rep *verify.Report) *Result {
-	return &Result{
+	res := &Result{
 		Protocol:             name,
 		Deadlock:             rep.Deadlock.String(),
 		DeadlockWitnessK:     rep.DeadlockWitnessK,
@@ -138,6 +158,16 @@ func resultFromReport(name string, rep *verify.Report) *Result {
 		ExplicitPeakBytes:    rep.ExplicitPeakTableBytes,
 		Summary:              rep.Summary(),
 	}
+	if rep.Invariant {
+		res.InvariantDeadlock = rep.InvariantDeadlock.String()
+		res.InvariantLivelock = rep.InvariantLivelock.String()
+		res.InvariantClosure = rep.InvariantClosure.String()
+		res.InvariantCount = rep.InvariantCount
+		res.InvariantCertBytes = rep.InvariantCertBytes
+		res.LivelockProvedByInvariant = rep.LivelockProvedByInvariant
+	}
+	res.InvariantSkipped = rep.InvariantSkipped
+	return res
 }
 
 // JobState is the lifecycle of a submitted job.

@@ -47,6 +47,20 @@ type Metrics struct {
 	// RecordPeakTableBytes.
 	PeakTableBytes atomic.Uint64
 
+	// InvariantRuns counts verifications where the invariant lane ran to
+	// completion; InvariantProved the subset whose livelock verdict was
+	// settled by the lane alone (theorems silent or contiguous-only);
+	// InvariantDisagreements counts finished verifications whose report
+	// carried cross-lane conflicts — a tool-bug alarm that should read 0.
+	InvariantRuns          atomic.Uint64
+	InvariantProved        atomic.Uint64
+	InvariantDisagreements atomic.Uint64
+
+	// InvariantCertBytes is a high-water gauge of the largest canonical
+	// certificate any verification produced. Update through
+	// RecordInvariantCertBytes.
+	InvariantCertBytes atomic.Uint64
+
 	parse   histogram
 	verify  histogram
 	total   histogram
@@ -59,6 +73,16 @@ func (m *Metrics) RecordPeakTableBytes(v uint64) {
 	for {
 		cur := m.PeakTableBytes.Load()
 		if v <= cur || m.PeakTableBytes.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordInvariantCertBytes raises the InvariantCertBytes high-water mark.
+func (m *Metrics) RecordInvariantCertBytes(v uint64) {
+	for {
+		cur := m.InvariantCertBytes.Load()
+		if v <= cur || m.InvariantCertBytes.CompareAndSwap(cur, v) {
 			return
 		}
 	}
@@ -176,9 +200,13 @@ func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
 	counter("lrserved_spec_cache_hits_total", "Submissions whose spec compile was served from the compiled-spec cache.", m.SpecCacheHits.Load())
 	counter("lrserved_spec_cache_misses_total", "Submissions that paid a cold DSL parse+compile.", m.SpecCacheMisses.Load())
 	counter("lrserved_states_explored_total", "Explicit-engine global states enumerated.", m.StatesExplored.Load())
+	counter("lrserved_invariant_runs_total", "Verifications where the invariant lane ran to completion.", m.InvariantRuns.Load())
+	counter("lrserved_invariant_proved_total", "Livelock verdicts settled by the invariant lane where the theorems were silent.", m.InvariantProved.Load())
+	counter("lrserved_invariant_disagreements_total", "Finished verifications whose report carried cross-lane conflicts (tool-bug alarm).", m.InvariantDisagreements.Load())
 	gauge("lrserved_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued.Load()))
 	gauge("lrserved_jobs_running", "Jobs currently executing.", float64(m.JobsRunning.Load()))
 	gauge("lrserved_explicit_peak_table_bytes", "Largest resident explicit-engine state table of any verification.", float64(m.PeakTableBytes.Load()))
+	gauge("lrserved_invariant_certificate_bytes", "Largest canonical invariant certificate of any verification.", float64(m.InvariantCertBytes.Load()))
 	names := make([]string, 0, len(extraGauges))
 	for n := range extraGauges {
 		names = append(names, n)

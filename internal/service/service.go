@@ -658,6 +658,16 @@ func (s *Service) complete(j *Job, rep *verify.Report) {
 	res := resultFromReport(j.spec.name, rep)
 	s.metrics.StatesExplored.Add(rep.ExplicitStates)
 	s.metrics.RecordPeakTableBytes(rep.ExplicitPeakTableBytes)
+	if rep.Invariant {
+		s.metrics.InvariantRuns.Add(1)
+		s.metrics.RecordInvariantCertBytes(uint64(rep.InvariantCertBytes))
+		if rep.LivelockProvedByInvariant {
+			s.metrics.InvariantProved.Add(1)
+		}
+	}
+	if len(rep.Disagreements) > 0 {
+		s.metrics.InvariantDisagreements.Add(1)
+	}
 	s.metrics.JobsDone.Add(1)
 	// Write-through before the terminal journal record: once the WAL says
 	// done, the result must be re-servable from the cache.

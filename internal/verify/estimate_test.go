@@ -21,6 +21,12 @@ func TestEstimatePeakTableBytes(t *testing.T) {
 	if got := EstimatePeakTableBytes(p, Options{ConfirmMaxK: 9}); got != 0 {
 		t.Fatalf("witness confirmation alone must estimate 0 bytes, got %d", got)
 	}
+	// The invariant lane is symbolic — a theorem+invariant-only run holds no
+	// explicit tables whatever the ring size it certifies, so admission
+	// control must wave it through even under a tiny memory budget.
+	if got := EstimatePeakTableBytes(p, Options{Invariant: true}); got != 0 {
+		t.Fatalf("invariant-only run must estimate 0 bytes, got %d", got)
+	}
 
 	opts := Options{CrossValidateMaxK: 6}
 	est := EstimatePeakTableBytes(p, opts)

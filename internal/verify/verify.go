@@ -24,9 +24,16 @@ import (
 	"paramring/internal/core"
 	"paramring/internal/explicit"
 	"paramring/internal/graph"
+	"paramring/internal/invariant"
 	"paramring/internal/ltg"
 	"paramring/internal/rcg"
 )
+
+// invariantAnalyze is the invariant-lane entry point. It is a variable so
+// the disagreement-injection test can stand in a deliberately miscompiled
+// analysis and assert that Check surfaces the conflict instead of silently
+// preferring one lane.
+var invariantAnalyze = invariant.Analyze
 
 // Status is the overall verdict for a property across all ring sizes.
 type Status int
@@ -83,6 +90,18 @@ type Options struct {
 	// budget fails construction with a one-line error instead of OOMing;
 	// it never changes any verdict that completes.
 	MaxStates uint64
+	// Invariant enables the trap/structural-invariant lane (package
+	// invariant): a third verdict source, independent of both the
+	// rcg/ltg theorems and the explicit engine, that works directly on
+	// the local action tables — parameterized in K, never building a
+	// per-K instance. Its conclusive verdicts ship a machine-checkable
+	// Certificate that CheckCtx re-validates with the lane's independent
+	// checker before comparing verdicts across lanes.
+	Invariant bool
+	// InvariantMaxStates, when > 0, overrides the invariant lane's
+	// local-state guard (invariant.Options.MaxLocalStates). Like
+	// MaxStates it is a resource governor, not a verdict knob.
+	InvariantMaxStates int
 }
 
 // EstimatePeakTableBytes returns a pre-run upper bound on the resident
@@ -91,9 +110,12 @@ type Options struct {
 // concurrently in flight (cross-validation and the bounded fallback fan
 // out across workers, so all of 2..maxK can be resident together). Zero
 // means the options request no explicit work at all — the local theorems
-// allocate per-local-state structures, not per-global-state tables. The
-// service layer gates job admission on this figure against a server-wide
-// budget before any allocation happens.
+// allocate per-local-state structures, not per-global-state tables, and
+// the invariant lane (Options.Invariant) is equally symbolic, so a
+// theorem+invariant-only run reports zero here and clears any admission
+// ceiling regardless of ring size. The service layer gates job admission
+// on this figure against a server-wide budget before any allocation
+// happens.
 func EstimatePeakTableBytes(p *core.Protocol, opts Options) uint64 {
 	maxK := opts.CrossValidateMaxK
 	if opts.BoundedFallbackMaxK > maxK {
@@ -146,6 +168,38 @@ type Report struct {
 	// no livelock for any ring size 2..LivelockBoundedFreeK (set only for
 	// Inconclusive verdicts with Options.BoundedFallbackMaxK).
 	LivelockBoundedFreeK int
+	// LivelockTheorem preserves Theorem 5.14's own verdict before any
+	// invariant-lane merge or bounded-fallback refutation touches
+	// Livelock, so per-lane renderings can show each lane's original
+	// answer side by side.
+	LivelockTheorem Status
+
+	// Invariant is true when the invariant lane ran to completion (see
+	// Options.Invariant); InvariantSkipped carries the reason when it was
+	// requested but did not run.
+	Invariant bool
+	// InvariantDeadlock / InvariantLivelock / InvariantClosure are the
+	// lane's per-property verdicts, mapped onto the shared Status scale
+	// (invariant.Holds -> Proved, Fails -> Refuted, Unknown ->
+	// Inconclusive). They are comparison inputs: CheckCtx never silently
+	// overwrites a theorem verdict with them — conclusive conflicts land
+	// in Disagreements with both lanes rendered side by side.
+	InvariantDeadlock Status
+	InvariantLivelock Status
+	InvariantClosure  Status
+	// InvariantSkipped is set (with the reason) when Options.Invariant was
+	// requested but the lane could not run (e.g. the local-state guard).
+	InvariantSkipped string
+	// InvariantCount is the number of invariants in the certified set.
+	InvariantCount int
+	// InvariantCertBytes is the canonical certificate's encoded size.
+	InvariantCertBytes int
+	// InvariantDetail is the lane's full report, certificate included.
+	InvariantDetail *invariant.Report
+	// LivelockProvedByInvariant records that the all-K, all-pattern
+	// livelock-freedom proof came from the invariant lane where Theorem
+	// 5.14 was inconclusive, skipped, or contiguous-only.
+	LivelockProvedByInvariant bool
 
 	// SelfStabilizing is true when both properties are Proved on a
 	// unidirectional ring: the protocol strongly stabilizes for every K
@@ -261,6 +315,85 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 		}
 	}
 
+	// Invariant lane: an independent symbolic backend (value traps, the
+	// deadlock-continuation ranking, and a termination potential) computed
+	// straight from the local action tables, parameterized in K. It runs
+	// after the theorems so conclusive-vs-conclusive conflicts — which
+	// would indicate a tool bug, not a protocol property — can be surfaced
+	// immediately, and before the bounded fallback so a lane-proved
+	// livelock verdict skips the explicit search entirely.
+	theoremLivelock := rep.Livelock
+	rep.LivelockTheorem = theoremLivelock
+	if opts.Invariant {
+		irep, err := invariantAnalyze(ctx, p, invariant.Options{MaxLocalStates: opts.InvariantMaxStates})
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return nil, ctx.Err()
+		case err != nil:
+			rep.InvariantSkipped = err.Error()
+			rep.InvariantDeadlock = Inconclusive
+			rep.InvariantLivelock = Inconclusive
+			rep.InvariantClosure = Inconclusive
+		default:
+			rep.Invariant = true
+			rep.InvariantDetail = irep
+			rep.InvariantDeadlock = verdictStatus(irep.Deadlock)
+			rep.InvariantLivelock = verdictStatus(irep.Livelock)
+			rep.InvariantClosure = verdictStatus(irep.Closure)
+			rep.InvariantCount = irep.InvariantCount
+			// Trust nothing the lane claims until its certificate survives
+			// the independent checker; a failed re-check is a tool-bug
+			// diagnostic and demotes every lane verdict to Inconclusive.
+			if irep.Certificate == nil {
+				rep.Disagreements = append(rep.Disagreements,
+					"invariant lane: report carries no certificate")
+				rep.InvariantDeadlock = Inconclusive
+				rep.InvariantLivelock = Inconclusive
+				rep.InvariantClosure = Inconclusive
+			} else {
+				rep.InvariantCertBytes = irep.Certificate.Size()
+				if cerr := invariant.CheckCertificate(p, irep.Certificate); cerr != nil {
+					rep.Disagreements = append(rep.Disagreements,
+						fmt.Sprintf("invariant lane: certificate failed independent re-check: %v", cerr))
+					rep.InvariantDeadlock = Inconclusive
+					rep.InvariantLivelock = Inconclusive
+					rep.InvariantClosure = Inconclusive
+				}
+			}
+		}
+		// Lane-vs-theorem comparison. Both deadlock lanes are exact, so any
+		// difference is a bug; the theorem verdict is kept (never silently
+		// replaced) and the conflict is reported with both lanes side by
+		// side.
+		if rep.InvariantDeadlock != Inconclusive && rep.InvariantDeadlock != rep.Deadlock {
+			rep.Disagreements = append(rep.Disagreements, fmt.Sprintf(
+				"deadlock-freedom: Theorem 4.2 says %v, invariant lane says %v", rep.Deadlock, rep.InvariantDeadlock))
+		}
+		if rep.InvariantLivelock != Inconclusive && theoremLivelock != Inconclusive &&
+			rep.InvariantLivelock != theoremLivelock {
+			rep.Disagreements = append(rep.Disagreements, fmt.Sprintf(
+				"livelock-freedom: Theorem 5.14 says %v, invariant lane says %v", theoremLivelock, rep.InvariantLivelock))
+		}
+		// Where the theorems are silent the certified lane verdict settles
+		// the property — this is the lane's reason to exist: matchingA/B and
+		// MIS are Proved here and nowhere else in the repo.
+		if theoremLivelock == Inconclusive && len(rep.Disagreements) == 0 {
+			switch rep.InvariantLivelock {
+			case Proved:
+				rep.Livelock = Proved
+				rep.LivelockProvedByInvariant = true
+			case Refuted:
+				rep.Livelock = Refuted
+				rep.LivelockWitnessK = rep.InvariantDetail.LivelockWitnessK
+			}
+		}
+		// A theorem-Proved verdict that covers contiguous livelocks only is
+		// completed to all interleavings by the lane's termination argument.
+		if theoremLivelock == Proved && rep.ContiguousOnly && rep.InvariantLivelock == Proved {
+			rep.LivelockProvedByInvariant = true
+		}
+	}
+
 	// Bounded fallback for inconclusive livelock verdicts: every ring size
 	// in [2, bound] is searched (fanned out across workers — the smallest
 	// livelocking K wins the merge, so the verdict matches the sequential
@@ -299,7 +432,7 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 	}
 
 	rep.SelfStabilizing = rep.Deadlock == Proved && rep.Livelock == Proved &&
-		!rep.ContiguousOnly && rep.LivelockSkipped == ""
+		((!rep.ContiguousOnly && rep.LivelockSkipped == "") || rep.LivelockProvedByInvariant)
 
 	// Optional exhaustive cross-validation, fanned out per ring size;
 	// disagreement messages are merged in K order so the report is
@@ -321,18 +454,30 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 				msgs[k] = append(msgs[k],
 					fmt.Sprintf("K=%d: explicit deadlock contradicts Theorem 4.2 Proved", k))
 			}
+			if hasDeadlock && rep.InvariantDeadlock == Proved {
+				msgs[k] = append(msgs[k],
+					fmt.Sprintf("K=%d: explicit deadlock contradicts invariant-lane Holds", k))
+			}
 			if !hasDeadlock && rep.Deadlock == Refuted && containsK(dl, k) {
 				msgs[k] = append(msgs[k],
 					fmt.Sprintf("K=%d: Theorem 4.2 witness size not reproduced", k))
 			}
-			if rep.Livelock == Proved {
+			// A livelock search arbitrates every lane that claims freedom:
+			// Theorem 5.14, the invariant lane, or both.
+			if rep.Livelock == Proved || rep.InvariantLivelock == Proved {
 				cycle, err := in.FindLivelockCtx(ctx)
 				if err != nil {
 					return err
 				}
 				if cycle != nil {
-					msgs[k] = append(msgs[k],
-						fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+					if rep.Livelock == Proved && !rep.LivelockProvedByInvariant {
+						msgs[k] = append(msgs[k],
+							fmt.Sprintf("K=%d: explicit livelock contradicts Theorem 5.14 Proved", k))
+					}
+					if rep.InvariantLivelock == Proved {
+						msgs[k] = append(msgs[k],
+							fmt.Sprintf("K=%d: explicit livelock contradicts invariant-lane Holds", k))
+					}
 				}
 			}
 			return nil
@@ -345,9 +490,26 @@ func CheckCtx(ctx context.Context, p *core.Protocol, opts Options) (*Report, err
 			rep.Disagreements = append(rep.Disagreements, msgs[k]...)
 		}
 	}
+	// Any cross-lane conflict is a tool-bug condition: no headline claim
+	// survives it, whatever the individual lanes said.
+	if len(rep.Disagreements) > 0 {
+		rep.SelfStabilizing = false
+	}
 	rep.ExplicitStates = explicitStates.Load()
 	rep.ExplicitPeakTableBytes = explicitPeak.Load()
 	return rep, nil
+}
+
+// verdictStatus maps the invariant lane's verdict scale onto the report's.
+func verdictStatus(v invariant.Verdict) Status {
+	switch v {
+	case invariant.Holds:
+		return Proved
+	case invariant.Fails:
+		return Refuted
+	default:
+		return Inconclusive
+	}
 }
 
 // perK runs fn(k) for every k in [lo, hi] across at most workers
@@ -403,6 +565,17 @@ func (r *Report) Summary() string {
 	}
 	if r.LivelockBoundedFreeK > 0 {
 		fmt.Fprintf(&b, " (no livelock up to K=%d)", r.LivelockBoundedFreeK)
+	}
+	if r.LivelockProvedByInvariant {
+		b.WriteString(" [proved by invariant lane]")
+	}
+	if r.Invariant {
+		fmt.Fprintf(&b, "; invariant lane: deadlock %v, livelock %v, closure %v (%d invariants, certificate %d bytes)",
+			r.InvariantDeadlock, r.InvariantLivelock, r.InvariantClosure,
+			r.InvariantCount, r.InvariantCertBytes)
+	}
+	if r.InvariantSkipped != "" {
+		fmt.Fprintf(&b, "; invariant lane skipped: %s", r.InvariantSkipped)
 	}
 	if r.SelfStabilizing {
 		b.WriteString("; SELF-STABILIZING FOR EVERY K")
