@@ -15,9 +15,12 @@
 // Compare prints a worst-first ratio table and exits 0 when the geometric
 // mean of the ns/op ratios is within the threshold, 1 when it regressed
 // (strictly above 1+threshold), and 2 on usage or snapshot errors — so CI
-// can fail a PR on the exit code alone. Metrics present in only one
-// snapshot are warnings, not failures: grid changes surface in the diff of
-// the committed baseline. PERFORMANCE.md documents the workflow, the
+// can fail a PR on the exit code alone. A metric present in only one
+// snapshot, or carrying a zero/negative ns/op, is a broken comparison, not
+// a warning: the gate would silently measure a different grid than the
+// committed baseline describes, so lrbench prints one "error:" line per
+// broken metric and exits 2. Regenerate the baseline when the grid
+// legitimately changes. PERFORMANCE.md documents the workflow, the
 // committed baselines, and how thresholds were chosen.
 package main
 
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	defer cli.ExitOnPanic("lrbench")
-	suite := flag.String("suite", "", "suite to run: verify | synth")
+	suite := flag.String("suite", "", "suite to run: verify | synth | fleet")
 	out := flag.String("o", "", "write the snapshot JSON to this path (default: stdout)")
 	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "per-metric time budget")
 	maxK := flag.Int("max-k", 12, "largest Table-1 global ring size (verify suite)")
@@ -60,6 +63,12 @@ func main() {
 			cli.Exit("lrbench", 2, err)
 		}
 		c.Format(os.Stdout)
+		if len(c.Broken) > 0 {
+			// The table above carries one "error:" line per broken metric.
+			cli.Exit("lrbench", 2, fmt.Errorf(
+				"comparison broken: %d metric(s) missing or non-positive; regenerate the baseline if the grid changed",
+				len(c.Broken)))
+		}
 		if c.Regressed {
 			os.Exit(1)
 		}

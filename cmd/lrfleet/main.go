@@ -1,0 +1,176 @@
+// Command lrfleet manages a fleet-scale spec corpus: ingest specs from
+// files or a protogen sweep manifest, verify the whole corpus through the
+// local-reasoning lanes with shared per-family memo state, and inspect the
+// result.
+//
+// Usage:
+//
+//	lrfleet -corpus DIR -manifest sweep.json ingest     # ingest a generated sweep
+//	lrfleet -corpus DIR ingest spec1.gc spec2.gc        # ingest spec files
+//	lrfleet -corpus DIR verify                          # verify dirty entries
+//	lrfleet -corpus DIR -force verify                   # verify everything
+//	lrfleet -corpus DIR status                          # corpus summary
+//
+// Ingest dedups on the canonical rendering (formatting variants of one
+// protocol share an entry), and an edit dirties the entry's transitive
+// reverse-dependency closure, so a re-run of verify touches exactly the
+// affected specs. Verify shares one compiled-spec cache and, per protocol
+// family (shape), one skeleton LTG and one Theorem 5.14 verdict memo
+// across all jobs — sharing never changes a verdict.
+//
+// Exit codes: 0 success (verify: every scheduled spec produced a verdict),
+// 1 when any spec's verification errored, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"paramring/internal/cli"
+	"paramring/internal/corpus"
+	"paramring/internal/protogen"
+	"paramring/internal/verify"
+)
+
+func main() {
+	defer cli.ExitOnPanic("lrfleet")
+	dir := flag.String("corpus", "", "corpus directory (required; created on first use)")
+	manifest := flag.String("manifest", "", "protogen sweep manifest (JSON) to ingest")
+	workers := flag.Int("workers", 0, "concurrent verification jobs; 0 selects GOMAXPROCS")
+	force := flag.Bool("force", false, "verify every entry, clean or not")
+	isolated := flag.Bool("isolated", false, "disable per-family memo sharing (comparison baseline)")
+	invariant := flag.Bool("invariant", false, "also run the invariant-certificate lane per spec")
+	crossValidate := flag.Int("cross-validate", 0, "cross-validate verdicts exhaustively up to this ring size (0 disables)")
+	flag.Parse()
+
+	if *dir == "" {
+		cli.Exit("lrfleet", 2, fmt.Errorf("-corpus is required"))
+	}
+	if flag.NArg() < 1 {
+		cli.Exit("lrfleet", 2, fmt.Errorf("usage: lrfleet -corpus DIR [flags] <ingest|verify|status> [files...]"))
+	}
+	store, err := corpus.Open(*dir)
+	if err != nil {
+		cli.Exit("lrfleet", 2, err)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "ingest":
+		files := flag.Args()[1:]
+		if *manifest == "" && len(files) == 0 {
+			cli.Exit("lrfleet", 2, fmt.Errorf("ingest needs -manifest and/or spec files"))
+		}
+		counts := map[corpus.Outcome]int{}
+		if *manifest != "" {
+			sw, err := protogen.LoadSweep(*manifest)
+			if err != nil {
+				cli.Exit("lrfleet", 2, err)
+			}
+			specs, err := sw.Specs()
+			if err != nil {
+				cli.Exit("lrfleet", 2, err)
+			}
+			for _, sp := range specs {
+				if _, out, err := store.Ingest(sp.Name, sp.Source, sp.Deps...); err != nil {
+					cli.Exit("lrfleet", 1, fmt.Errorf("sweep spec %s: %w", sp.Name, err))
+				} else {
+					counts[out]++
+				}
+			}
+		}
+		for _, path := range files {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				cli.Exit("lrfleet", 2, err)
+			}
+			// The file base name (without extension) names the entry, so an
+			// edited file updates its own entry even if the protocol name
+			// inside changed.
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			if _, out, err := store.Ingest(name, string(data)); err != nil {
+				cli.Exit("lrfleet", 1, fmt.Errorf("%s: %w", path, err))
+			} else {
+				counts[out]++
+			}
+		}
+		if err := store.Save(); err != nil {
+			cli.Exit("lrfleet", 1, err)
+		}
+		fmt.Printf("ingested: %d added, %d updated, %d unchanged (%d entries, %d dirty)\n",
+			counts[corpus.Added], counts[corpus.Updated], counts[corpus.Unchanged],
+			store.Len(), len(store.Dirty()))
+
+	case "verify":
+		rep, err := store.VerifyAll(context.Background(), corpus.FleetOptions{
+			Workers:  *workers,
+			Force:    *force,
+			Isolated: *isolated,
+			Verify: verify.Options{
+				Invariant:         *invariant,
+				CrossValidateMaxK: *crossValidate,
+			},
+		})
+		if err != nil {
+			cli.Exit("lrfleet", 1, err)
+		}
+		if err := store.Save(); err != nil {
+			cli.Exit("lrfleet", 1, err)
+		}
+		for _, r := range rep.Results {
+			status := r.Verdict
+			if r.Err != "" {
+				status = "ERROR: " + r.Err
+			} else if r.SelfStabilizing {
+				status += " self-stabilizing"
+			}
+			fmt.Printf("  %-24s %s  %s\n", r.Name, r.ID, status)
+		}
+		hitRate := 0.0
+		if total := rep.MemoHits + rep.MemoMisses; total > 0 {
+			hitRate = float64(rep.MemoHits) / float64(total)
+		}
+		fmt.Printf("verified %d spec(s) in %d famil(ies), %d skipped clean, %d failed — %.1f specs/sec\n",
+			rep.Scheduled, rep.Families, rep.Skipped, rep.Failed, rep.SpecsPerSec)
+		fmt.Printf("shared memo: %d hit(s) / %d miss(es) (%.0f%% hit rate); spec cache: %d hit(s) / %d miss(es)\n",
+			rep.MemoHits, rep.MemoMisses, 100*hitRate, rep.SpecCacheHits, rep.SpecCacheMisses)
+		if rep.Failed > 0 {
+			os.Exit(1)
+		}
+
+	case "status":
+		entries := store.Entries()
+		families := map[string]bool{}
+		verified, dirty, stabilizing := 0, 0, 0
+		for _, e := range entries {
+			families[e.Family] = true
+			if e.Verified {
+				verified++
+			}
+			if e.Dirty || !e.Verified {
+				dirty++
+			}
+			if e.SelfStabilizing {
+				stabilizing++
+			}
+		}
+		fmt.Printf("corpus %s: %d entries in %d famil(ies); %d verified (%d self-stabilizing), %d dirty\n",
+			*dir, len(entries), len(families), verified, stabilizing, dirty)
+		for _, e := range entries {
+			state := "dirty"
+			if e.Verified && !e.Dirty {
+				state = e.Verdict
+				if e.SelfStabilizing {
+					state += " self-stabilizing"
+				}
+			}
+			fmt.Printf("  %-24s %s  family=%s  %s\n", e.Name, e.ID, e.Family, state)
+		}
+
+	default:
+		cli.Exit("lrfleet", 2, fmt.Errorf("unknown command %q (want ingest, verify, or status)", cmd))
+	}
+}

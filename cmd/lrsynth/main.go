@@ -27,12 +27,12 @@ func main() {
 	file := flag.String("file", "", "guarded-commands file (.gc) to synthesize from")
 	all := flag.Bool("all", false, "enumerate every accepted candidate set")
 	validate := flag.Int("validate", 7, "cross-validate accepted solutions with the explicit checker up to this K (0 disables)")
-	workers := flag.Int("workers", 1, "parallel search workers (the result is identical for any count)")
+	workers := flag.Int("workers", 0, "parallel search workers; 0 selects GOMAXPROCS (the result is identical for any count)")
 	maxAssignments := flag.Int("max-assignments", 1<<20, "abort when a Resolve set admits more candidate assignments than this")
 	flag.Parse()
 
-	if *workers < 1 {
-		cli.Exit("lrsynth", 2, fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	if *workers < 0 {
+		cli.Exit("lrsynth", 2, fmt.Errorf("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", *workers))
 	}
 	if *maxAssignments < 1 {
 		cli.Exit("lrsynth", 2, fmt.Errorf("-max-assignments must be >= 1, got %d", *maxAssignments))

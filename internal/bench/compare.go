@@ -36,18 +36,27 @@ type Comparison struct {
 	// Regressed reports Geomean > 1 + Threshold (strictly: a geomean of
 	// exactly 1 + Threshold passes).
 	Regressed bool `json:"regressed"`
-	// MissingInNew lists baseline metrics the new snapshot lacks and
-	// MissingInOld the converse — renamed or added grid entries. Both are
-	// warnings, not failures: a grid change is visible in the diff of the
-	// committed baseline, not something the gate should conflate with a
-	// slowdown.
+	// MissingInNew lists baseline metrics absent from (or not comparable
+	// in) the new snapshot and MissingInOld the converse. Either means the
+	// grids diverged — a renamed benchmark, a dropped case, or a broken
+	// measurement — so the geomean would silently gate on a different
+	// metric set than the committed baseline describes. Both are failures:
+	// Broken carries the diagnostics, and lrbench exits 2.
 	MissingInNew []string `json:"missing_in_new,omitempty"`
 	MissingInOld []string `json:"missing_in_old,omitempty"`
+	// Broken holds one human-readable diagnostic per mismatched or
+	// non-positive metric. Non-empty Broken means the comparison is
+	// unusable as a gate, independent of Regressed.
+	Broken []string `json:"broken,omitempty"`
 }
 
-// Compare diffs two snapshots metric-by-metric. It fails when the
+// Compare diffs two snapshots metric-by-metric. It errors when the
 // baseline is empty, the suites differ, or no metric name appears in both
 // snapshots — each of those means the comparison would gate on nothing.
+// Grid mismatches that still leave comparable rows — a metric missing from
+// either side, or a zero/negative ns/op — do not error (the table is still
+// worth printing) but are recorded in Broken, which callers must treat as
+// a failed gate.
 func Compare(old, new *Snapshot, threshold float64) (*Comparison, error) {
 	if len(old.Metrics) == 0 {
 		return nil, fmt.Errorf("baseline snapshot has no metrics")
@@ -67,12 +76,17 @@ func Compare(old, new *Snapshot, threshold float64) (*Comparison, error) {
 		nm, ok := newByName[om.Name]
 		if !ok {
 			c.MissingInNew = append(c.MissingInNew, om.Name)
+			c.Broken = append(c.Broken,
+				fmt.Sprintf("metric %s: in baseline but missing from new snapshot", om.Name))
 			continue
 		}
 		if om.NsPerOp <= 0 || nm.NsPerOp <= 0 {
 			// A non-positive timing is a broken measurement, not a 0x or
-			// infinite ratio; keep it out of the geomean.
+			// infinite ratio; keep it out of the geomean and flag it.
 			c.MissingInNew = append(c.MissingInNew, om.Name)
+			c.Broken = append(c.Broken,
+				fmt.Sprintf("metric %s: non-positive ns/op (baseline %g, new %g)",
+					om.Name, om.NsPerOp, nm.NsPerOp))
 			continue
 		}
 		ratio := nm.NsPerOp / om.NsPerOp
@@ -83,6 +97,8 @@ func Compare(old, new *Snapshot, threshold float64) (*Comparison, error) {
 	for _, nm := range new.Metrics {
 		if !oldNames[nm.Name] {
 			c.MissingInOld = append(c.MissingInOld, nm.Name)
+			c.Broken = append(c.Broken,
+				fmt.Sprintf("metric %s: in new snapshot but missing from baseline", nm.Name))
 		}
 	}
 	if logN == 0 {
@@ -96,21 +112,22 @@ func Compare(old, new *Snapshot, threshold float64) (*Comparison, error) {
 }
 
 // Format writes the comparison as a human-readable table: worst ratios
-// first, then the warnings, then the gated verdict line.
+// first, then one error line per broken metric, then the gated verdict
+// line.
 func (c *Comparison) Format(w io.Writer) {
 	fmt.Fprintf(w, "%-48s %14s %14s %8s\n", "metric", "old ns/op", "new ns/op", "ratio")
 	for _, r := range c.Rows {
 		fmt.Fprintf(w, "%-48s %14.0f %14.0f %8.3f\n", r.Name, r.OldNs, r.NewNs, r.Ratio)
 	}
-	for _, name := range c.MissingInNew {
-		fmt.Fprintf(w, "warning: %s: in baseline but not comparable in new snapshot\n", name)
-	}
-	for _, name := range c.MissingInOld {
-		fmt.Fprintf(w, "warning: %s: new metric with no baseline\n", name)
+	for _, msg := range c.Broken {
+		fmt.Fprintf(w, "error: %s\n", msg)
 	}
 	verdict := "ok"
 	if c.Regressed {
 		verdict = "REGRESSED"
+	}
+	if len(c.Broken) > 0 {
+		verdict += " (gate BROKEN: metric grids diverged)"
 	}
 	fmt.Fprintf(w, "geomean %.4f (threshold %.2f): %s\n", c.Geomean, 1+c.Threshold, verdict)
 }

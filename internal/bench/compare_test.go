@@ -64,7 +64,11 @@ func TestCompareGeomeanAveragesAcrossMetrics(t *testing.T) {
 	}
 }
 
-func TestCompareMissingMetricIsWarningNotFailure(t *testing.T) {
+// A metric present in only one snapshot must not read as a slowdown, but it
+// must break the gate: the grids diverged, so the geomean no longer measures
+// what the committed baseline describes. Compare records a diagnostic per
+// mismatch and Format prints them as "error:" lines.
+func TestCompareMissingMetricBreaksGate(t *testing.T) {
 	old := snap("verify", map[string]float64{"a": 1000, "b": 1000})
 	cur := snap("verify", map[string]float64{"a": 1000, "c": 1000})
 	c, err := Compare(old, cur, 0.10)
@@ -80,10 +84,40 @@ func TestCompareMissingMetricIsWarningNotFailure(t *testing.T) {
 	if len(c.MissingInOld) != 1 || c.MissingInOld[0] != "c" {
 		t.Fatalf("MissingInOld = %v, want [c]", c.MissingInOld)
 	}
+	if len(c.Broken) != 2 {
+		t.Fatalf("Broken = %v, want one diagnostic per mismatched metric", c.Broken)
+	}
+	for _, msg := range c.Broken {
+		if !strings.Contains(msg, "metric ") || !strings.Contains(msg, "missing") {
+			t.Fatalf("diagnostic %q does not name the metric and the problem", msg)
+		}
+	}
 	var b strings.Builder
 	c.Format(&b)
-	if out := b.String(); !strings.Contains(out, "warning:") || !strings.Contains(out, "geomean") {
-		t.Fatalf("Format output missing warnings/verdict:\n%s", out)
+	out := b.String()
+	if !strings.Contains(out, "error: metric b") || !strings.Contains(out, "error: metric c") {
+		t.Fatalf("Format output missing per-metric error lines:\n%s", out)
+	}
+	if !strings.Contains(out, "BROKEN") || !strings.Contains(out, "geomean") {
+		t.Fatalf("Format verdict must flag the broken gate:\n%s", out)
+	}
+}
+
+// A clean comparison must carry no Broken diagnostics and no error lines.
+func TestCompareCleanHasNoBrokenDiagnostics(t *testing.T) {
+	old := snap("verify", map[string]float64{"a": 1000, "b": 2000})
+	cur := snap("verify", map[string]float64{"a": 1100, "b": 2200})
+	c, err := Compare(old, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Broken) != 0 {
+		t.Fatalf("Broken = %v on a clean comparison", c.Broken)
+	}
+	var b strings.Builder
+	c.Format(&b)
+	if out := b.String(); strings.Contains(out, "error:") || strings.Contains(out, "BROKEN") {
+		t.Fatalf("clean comparison printed error lines:\n%s", out)
 	}
 }
 
@@ -111,7 +145,10 @@ func TestCompareSuiteMismatchErrors(t *testing.T) {
 	}
 }
 
-func TestCompareNonPositiveTimingExcluded(t *testing.T) {
+// A zero or negative ns/op is a broken measurement: it must stay out of the
+// geomean (no 0x or infinite ratios skewing the gate) and must surface as a
+// Broken diagnostic naming the metric and both values.
+func TestCompareNonPositiveTimingBreaksGate(t *testing.T) {
 	old := snap("verify", map[string]float64{"a": 1000, "b": 0})
 	cur := snap("verify", map[string]float64{"a": 1000, "b": 1000})
 	c, err := Compare(old, cur, 0.10)
@@ -121,7 +158,11 @@ func TestCompareNonPositiveTimingExcluded(t *testing.T) {
 	if len(c.Rows) != 1 || c.Rows[0].Name != "a" {
 		t.Fatalf("zero-ns baseline row must be excluded from the geomean: %+v", c.Rows)
 	}
-	if len(c.MissingInNew) != 1 {
-		t.Fatalf("broken measurement should surface as a warning: %+v", c)
+	if c.Regressed {
+		t.Fatal("a broken measurement must not skew the geomean into a regression")
+	}
+	if len(c.Broken) != 1 || !strings.Contains(c.Broken[0], "non-positive ns/op") ||
+		!strings.Contains(c.Broken[0], "metric b") {
+		t.Fatalf("Broken = %v, want one non-positive-ns/op diagnostic naming b", c.Broken)
 	}
 }

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"paramring/internal/corpus"
+	"paramring/internal/protogen"
+)
+
+// fleetSweep is the deterministic corpus the fleet suite verifies: two
+// protocol families of sweep siblings, small enough that one verify pass
+// fits a bench iteration but large enough that the per-family memo sharing
+// has something to amortize.
+func fleetSweep() ([]protogen.SweepSpec, error) {
+	sw := &protogen.Sweep{
+		Seed: 42,
+		Families: []protogen.SweepFamily{
+			{Name: "f0", Domain: 3, Lo: -1, Hi: 0, Variants: 20},
+			{Name: "f1", Domain: 2, Lo: -1, Hi: 1, Variants: 20},
+		},
+	}
+	return sw.Specs()
+}
+
+func fleetStore(specs []protogen.SweepSpec) (*corpus.Store, error) {
+	st, err := corpus.Open("")
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range specs {
+		if _, _, err := st.Ingest(sp.Name, sp.Source, sp.Deps...); err != nil {
+			return nil, fmt.Errorf("ingest %s: %w", sp.Name, err)
+		}
+	}
+	return st, nil
+}
+
+// FleetSuite measures corpus-scale verification throughput: a cold
+// whole-corpus pass with per-family memo sharing, the same pass with
+// sharing disabled (the ratio is what sharing buys), and the incremental
+// re-verify of a single dirtied entry (the editing loop's latency).
+func FleetSuite(cfg Config) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	s := NewSnapshot("fleet", cfg.Benchtime)
+	specs, err := fleetSweep()
+	if err != nil {
+		return nil, err
+	}
+
+	// Cold whole-corpus verification, shared vs isolated: each iteration
+	// builds a fresh in-memory store so every spec is dirty and every
+	// family's skeleton/memo is rebuilt from scratch.
+	for _, mode := range []struct {
+		name     string
+		isolated bool
+	}{
+		{"cold-shared", false},
+		{"isolated", true},
+	} {
+		var rep *corpus.FleetReport
+		r := Measure(cfg.Benchtime, func(n int) {
+			for i := 0; i < n; i++ {
+				st, err := fleetStore(specs)
+				if err != nil {
+					panic(err)
+				}
+				rep, err = st.VerifyAll(context.Background(), corpus.FleetOptions{Isolated: mode.isolated})
+				if err != nil {
+					panic(err)
+				}
+				if rep.Failed != 0 || rep.Scheduled != len(specs) {
+					panic(fmt.Sprintf("fleet %s: scheduled %d of %d, %d failed", mode.name, rep.Scheduled, len(specs), rep.Failed))
+				}
+			}
+		})
+		extra := map[string]float64{
+			"specs":         float64(rep.Scheduled),
+			"families":      float64(rep.Families),
+			"specs_per_sec": float64(rep.Scheduled) / (r.NsPerOp / 1e9),
+		}
+		if tot := rep.MemoHits + rep.MemoMisses; tot > 0 {
+			extra["memo_hit_rate"] = float64(rep.MemoHits) / float64(tot)
+		}
+		s.Add("fleet/verify/"+mode.name, r, extra)
+	}
+
+	// Incremental re-verify: a pre-verified corpus, one leaf variant edited
+	// per iteration (alternating between two canonical forms so every
+	// iteration dirties it), then a VerifyAll that must schedule exactly
+	// that one spec. This is the interactive editing loop's latency.
+	st, err := fleetStore(specs)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.VerifyAll(context.Background(), corpus.FleetOptions{}); err != nil {
+		return nil, err
+	}
+	const leaf = "f0-v001"
+	var leafSrc string
+	for _, sp := range specs {
+		if sp.Name == leaf {
+			leafSrc = sp.Source
+		}
+	}
+	if leafSrc == "" {
+		return nil, fmt.Errorf("fleet sweep has no %s spec", leaf)
+	}
+	// Renaming the protocol changes the canonical rendering without
+	// changing the protocol's shape, so the edit stays in-family.
+	altSrc := strings.Replace(leafSrc, "protocol ", "protocol alt-", 1)
+	// The store currently holds leafSrc, so odd-numbered edits apply the
+	// alternate form and even-numbered ones restore the original.
+	sources := [2]string{leafSrc, altSrc}
+	// edits counts across Measure's probe batches — each batch restarts its
+	// inner loop, but the store's state carries over, so the alternation
+	// must too.
+	edits := 0
+	s.Add("fleet/reverify/one-dirty", Measure(cfg.Benchtime, func(n int) {
+		for i := 0; i < n; i++ {
+			edits++
+			if _, out, err := st.Ingest(leaf, sources[edits%2]); err != nil {
+				panic(err)
+			} else if out != corpus.Updated {
+				panic(fmt.Sprintf("edit of %s was %v, want updated", leaf, out))
+			}
+			rep, err := st.VerifyAll(context.Background(), corpus.FleetOptions{})
+			if err != nil {
+				panic(err)
+			}
+			if rep.Scheduled != 1 || rep.Failed != 0 {
+				panic(fmt.Sprintf("one-dirty pass scheduled %d (failed %d), want exactly 1", rep.Scheduled, rep.Failed))
+			}
+		}
+	}), map[string]float64{
+		"corpus_size": float64(st.Len()),
+	})
+	return s, nil
+}

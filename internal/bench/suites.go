@@ -58,7 +58,7 @@ action down: x[0] + x[-1] == 2 && x[0] == 2 -> x[0] := (x[0] - 1) % 3
 `
 
 // Suites names the suites Run understands.
-var Suites = []string{"verify", "synth"}
+var Suites = []string{"verify", "synth", "fleet"}
 
 // Run dispatches to the named suite.
 func Run(suite string, cfg Config) (*Snapshot, error) {
@@ -67,6 +67,8 @@ func Run(suite string, cfg Config) (*Snapshot, error) {
 		return VerifySuite(cfg)
 	case "synth":
 		return SynthSuite(cfg)
+	case "fleet":
+		return FleetSuite(cfg)
 	default:
 		return nil, fmt.Errorf("unknown suite %q (have: %v)", suite, Suites)
 	}
@@ -273,8 +275,8 @@ func SynthSuite(cfg Config) (*Snapshot, error) {
 		name string
 		opts synthesis.Options
 	}{
-		{"flat", synthesis.Options{All: true, Flat: true}},
-		{"seq", synthesis.Options{All: true}},
+		{"flat", synthesis.Options{All: true, Flat: true, Workers: 1}},
+		{"seq", synthesis.Options{All: true, Workers: 1}},
 		// Floor the parallel mode at 2 workers so a single-CPU host still
 		// exercises the multi-worker path.
 		{"par", synthesis.Options{All: true, Workers: max(2, runtime.GOMAXPROCS(0))}},

@@ -1,0 +1,320 @@
+// Package corpus maintains a fleet-scale store of protocol specs and
+// verifies it through the local-reasoning pipeline with shared memo state.
+//
+// The store is keyed by the canonical dsl.Format rendering: two textual
+// variants of one protocol dedup onto a single entry, and the entry's ID is
+// a content address of the canonical text, so IDs are stable across
+// re-ingests, renames of the source file, and restarts. Entries carry
+// dependency edges (a sweep variant depends on its family base); editing an
+// entry dirties its transitive reverse-dependency closure, so an
+// incremental re-verification touches exactly the affected specs.
+//
+// Verification shares three layers of memo state across the fleet (see
+// fleet.go): one compiled-spec cache for the DSL front end, and — per
+// protocol family, i.e. per (domain, window, legitimacy) shape — one
+// skeleton LTG donating its s-arc RCG and one Theorem 5.14 verdict memo.
+// Sharing never changes a verdict: the skeleton is only consulted when the
+// shapes match exactly (ltg.LTG.SameShape), and memo verdicts are pure
+// functions of the t-arc subset.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"paramring/internal/verify"
+)
+
+// Outcome classifies one Ingest call.
+type Outcome int
+
+const (
+	// Added: the spec was new to the corpus.
+	Added Outcome = iota + 1
+	// Unchanged: the name already mapped to the same canonical rendering
+	// (or the same content arrived under a new name and deduped onto the
+	// existing entry).
+	Unchanged
+	// Updated: the name existed with different content; the entry was
+	// rewritten and its reverse-dependency closure marked dirty.
+	Updated
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Added:
+		return "added"
+	case Unchanged:
+		return "unchanged"
+	case Updated:
+		return "updated"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Entry is one corpus spec.
+type Entry struct {
+	// ID is the content address: the first 12 hex digits of the SHA-256 of
+	// the canonical rendering. Stable across renames and restarts.
+	ID string `json:"id"`
+	// Name is the corpus-unique spec name (the protocol name by default).
+	Name string `json:"name"`
+	// Canonical is the dsl.Format rendering — the dedup key.
+	Canonical string `json:"canonical"`
+	// Family identifies the protocol shape (domain, window, legitimacy):
+	// entries sharing a Family share a skeleton LTG and a verdict memo
+	// during fleet verification.
+	Family string `json:"family"`
+	// Deps names the entries this one depends on. Editing a dependency
+	// dirties this entry.
+	Deps []string `json:"deps,omitempty"`
+	// Dirty marks the entry for (re-)verification.
+	Dirty bool `json:"dirty"`
+	// Verified reports that a fleet run has produced a verdict for the
+	// current content.
+	Verified bool `json:"verified"`
+	// SelfStabilizing and Verdict record the last verification outcome.
+	SelfStabilizing bool      `json:"self_stabilizing,omitempty"`
+	Verdict         string    `json:"verdict,omitempty"`
+	IngestedAt      time.Time `json:"ingested_at"`
+	VerifiedAt      time.Time `json:"verified_at,omitempty"`
+}
+
+// Store is the corpus: a name-indexed set of entries with a dependency
+// graph, a shared compiled-spec cache, and per-family memo state. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string            // "" = in-memory only
+	entries map[string]*Entry // by Name
+	byCanon map[string]string // canonical -> Name (the dedup index)
+
+	specs *verify.SpecCache
+	memos *FamilyMemos
+}
+
+// storeIndex is the on-disk form of the corpus.
+type storeIndex struct {
+	Entries []*Entry `json:"entries"`
+}
+
+// Open loads (or initializes) a corpus rooted at dir. An empty dir keeps
+// the corpus in memory — useful for tests and benchmarks.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		entries: map[string]*Entry{},
+		byCanon: map[string]string{},
+		specs:   verify.NewSpecCache(0),
+		memos:   NewFamilyMemos(0),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.indexPath())
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var idx storeIndex
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("corpus index %s: %w", s.indexPath(), err)
+	}
+	for _, e := range idx.Entries {
+		s.entries[e.Name] = e
+		s.byCanon[e.Canonical] = e.Name
+	}
+	return s, nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+// Save persists the index (atomic temp + rename). A no-op for in-memory
+// stores.
+func (s *Store) Save() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	idx := storeIndex{Entries: s.sortedLocked()}
+	data, err := json.MarshalIndent(&idx, "", "  ")
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	tmp := s.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.indexPath())
+}
+
+// sortedLocked returns the entries sorted by name; s.mu must be held.
+func (s *Store) sortedLocked() []*Entry {
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// specID is the stable content address of a canonical rendering.
+func specID(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// Ingest adds or updates one spec. The name defaults to the protocol name
+// declared in the source; deps name corpus entries this spec depends on
+// (they need not exist yet — edges to absent entries are inert until the
+// dependency is ingested). Re-ingesting identical content is Unchanged;
+// changed content is Updated and dirties the entry plus every entry that
+// transitively depends on it.
+func (s *Store) Ingest(name, src string, deps ...string) (*Entry, Outcome, error) {
+	cs, _, err := s.specs.Compile(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if name == "" {
+		name = cs.Name
+	}
+	family := FamilyKey(cs.Protocol)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if e, ok := s.entries[name]; ok {
+		if e.Canonical == cs.Canonical {
+			// Same content; refresh the dependency edges only.
+			if len(deps) > 0 {
+				e.Deps = append([]string(nil), deps...)
+			}
+			return e.clone(), Unchanged, nil
+		}
+		delete(s.byCanon, e.Canonical)
+		e.ID = specID(cs.Canonical)
+		e.Canonical = cs.Canonical
+		e.Family = family
+		if len(deps) > 0 {
+			e.Deps = append([]string(nil), deps...)
+		}
+		e.Verified = false
+		e.SelfStabilizing = false
+		e.Verdict = ""
+		e.IngestedAt = time.Now()
+		s.byCanon[cs.Canonical] = name
+		s.markDirtyLocked(name)
+		return e.clone(), Updated, nil
+	}
+
+	// Dedup on content: the same canonical rendering under a second name
+	// folds onto the existing entry.
+	if prior, ok := s.byCanon[cs.Canonical]; ok {
+		return s.entries[prior].clone(), Unchanged, nil
+	}
+
+	e := &Entry{
+		ID:         specID(cs.Canonical),
+		Name:       name,
+		Canonical:  cs.Canonical,
+		Family:     family,
+		Deps:       append([]string(nil), deps...),
+		Dirty:      true,
+		IngestedAt: time.Now(),
+	}
+	s.entries[name] = e
+	s.byCanon[cs.Canonical] = name
+	return e.clone(), Added, nil
+}
+
+// markDirtyLocked dirties name and its transitive reverse-dependency
+// closure; s.mu must be held.
+func (s *Store) markDirtyLocked(name string) {
+	// Reverse adjacency over the current dependency edges.
+	rev := map[string][]string{}
+	for _, e := range s.entries {
+		for _, d := range e.Deps {
+			rev[d] = append(rev[d], e.Name)
+		}
+	}
+	queue := []string{name}
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if e, ok := s.entries[n]; ok {
+			e.Dirty = true
+			e.Verified = false
+		}
+		queue = append(queue, rev[n]...)
+	}
+}
+
+// Entry returns a copy of the named entry.
+func (s *Store) Entry(name string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e.clone(), true
+}
+
+// Entries returns copies of all entries, sorted by name.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sorted := s.sortedLocked()
+	out := make([]Entry, len(sorted))
+	for i, e := range sorted {
+		out[i] = *e.clone()
+	}
+	return out
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Dirty returns the names of entries pending (re-)verification, sorted.
+func (s *Store) Dirty() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, e := range s.entries {
+		if e.Dirty || !e.Verified {
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Entry) clone() *Entry {
+	c := *e
+	c.Deps = append([]string(nil), e.Deps...)
+	return &c
+}

@@ -1,0 +1,313 @@
+package corpus
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"paramring/internal/protogen"
+)
+
+const tinySpec = `protocol tiny
+domain 2
+window 0 1
+legit x[0] == x[1]
+action copy: x[0] != x[1] -> x[0] := x[1]
+`
+
+// tinyVariant is the same protocol under different formatting.
+const tinyVariant = `protocol tiny
+# comment
+domain 2
+window  0  1
+legit ((x[0]) == (x[1]))
+action copy: (x[0] != x[1]) -> x[0] := x[1]
+`
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIngestDedupAndStableIDs(t *testing.T) {
+	s := mustOpen(t, "")
+	e1, out, err := s.Ingest("", tinySpec)
+	if err != nil || out != Added {
+		t.Fatalf("first ingest: %v outcome=%v", err, out)
+	}
+	if e1.Name != "tiny" {
+		t.Fatalf("name defaulted to %q, want the protocol name", e1.Name)
+	}
+	// The formatting variant canonicalizes identically: same entry, no new
+	// state, stable ID.
+	e2, out, err := s.Ingest("", tinyVariant)
+	if err != nil || out != Unchanged {
+		t.Fatalf("variant ingest: %v outcome=%v", err, out)
+	}
+	if e2.ID != e1.ID || s.Len() != 1 {
+		t.Fatalf("variant fragmented the corpus: id %s vs %s, len %d", e2.ID, e1.ID, s.Len())
+	}
+	// The same content under an explicit different name dedups too.
+	e3, out, err := s.Ingest("tiny-copy", tinySpec)
+	if err != nil || out != Unchanged || e3.ID != e1.ID || s.Len() != 1 {
+		t.Fatalf("renamed duplicate not deduped: %v outcome=%v len=%d", err, out, s.Len())
+	}
+	// A broken spec never lands.
+	if _, _, err := s.Ingest("", "not a spec"); err == nil {
+		t.Fatal("broken spec ingested")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d after error, want 1", s.Len())
+	}
+}
+
+func TestUpdateDirtiesReverseDependencyClosure(t *testing.T) {
+	s := mustOpen(t, "")
+	mk := func(name, legit string) string {
+		return "protocol " + name + "\ndomain 2\nwindow 0 1\nlegit " + legit + "\n"
+	}
+	// base <- mid <- leaf, plus an unrelated spec.
+	for _, in := range []struct {
+		name, src string
+		deps      []string
+	}{
+		{"base", mk("base", "x[0] == x[1]"), nil},
+		{"mid", mk("mid", "x[0] == x[1]"), []string{"base"}},
+		{"leaf", mk("leaf", "x[0] == x[1]"), []string{"mid"}},
+		{"other", mk("other", "x[0] != x[1]"), nil},
+	} {
+		if _, _, err := s.Ingest(in.name, in.src, in.deps...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.VerifyAll(context.Background(), FleetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if dirty := s.Dirty(); len(dirty) != 0 {
+		t.Fatalf("dirty after full run: %v", dirty)
+	}
+
+	// Editing base dirties base, mid, leaf — not other.
+	if _, out, err := s.Ingest("base", mk("base", "x[0] != x[1]")); err != nil || out != Updated {
+		t.Fatalf("edit: %v outcome=%v", err, out)
+	}
+	dirty := s.Dirty()
+	if strings.Join(dirty, ",") != "base,leaf,mid" {
+		t.Fatalf("dirty closure = %v, want [base leaf mid]", dirty)
+	}
+	rep, err := s.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled != 3 || rep.Skipped != 1 {
+		t.Fatalf("re-run scheduled %d skipped %d, want 3/1", rep.Scheduled, rep.Skipped)
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir)
+	if _, _, err := s1.Ingest("", tinySpec); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s1.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled != 1 {
+		t.Fatalf("scheduled %d, want 1", rep.Scheduled)
+	}
+	if err := s1.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	e, ok := s2.Entry("tiny")
+	if !ok || !e.Verified || e.Dirty {
+		t.Fatalf("reloaded entry: %+v ok=%v", e, ok)
+	}
+	if want, _ := s1.Entry("tiny"); e.ID != want.ID || e.Verdict != want.Verdict {
+		t.Fatalf("reloaded entry diverged: %+v vs %+v", e, want)
+	}
+	// Nothing to re-verify after a reload.
+	rep2, err := s2.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Scheduled != 0 || rep2.Skipped != 1 {
+		t.Fatalf("reloaded store re-verified: %+v", rep2)
+	}
+}
+
+// ingestSweep generates and ingests a sweep, returning the specs.
+func ingestSweep(t *testing.T, s *Store, sw *protogen.Sweep) []protogen.SweepSpec {
+	t.Helper()
+	specs, err := sw.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, _, err := s.Ingest(sp.Name, sp.Source, sp.Deps...); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+	}
+	return specs
+}
+
+// TestFleetSweep200 is the acceptance test: a 200-spec sweep verifies with
+// shared-memo hits, and re-running after editing one spec re-verifies only
+// that spec's dirty closure.
+func TestFleetSweep200(t *testing.T) {
+	sw := &protogen.Sweep{
+		Seed: 7,
+		Families: []protogen.SweepFamily{
+			{Name: "f0", Domain: 3, Lo: -1, Hi: 0, Variants: 49},
+			{Name: "f1", Domain: 3, Lo: -1, Hi: 0, Variants: 49, Nondet: true},
+			{Name: "f2", Domain: 2, Lo: -1, Hi: 1, Variants: 49},
+			{Name: "f3", Domain: 2, Lo: 0, Hi: 1, Variants: 49, MovePercent: 70},
+		},
+	}
+	s := mustOpen(t, "")
+	specs := ingestSweep(t, s, sw)
+	if len(specs) != 200 {
+		t.Fatalf("sweep generated %d specs, want 200", len(specs))
+	}
+	rep, err := s.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled < 200 {
+		t.Fatalf("scheduled %d of %d (dedup may fold identical variants, but not this many)", rep.Scheduled, len(specs))
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d specs failed: %+v", rep.Failed, rep.Results)
+	}
+	if rep.MemoHits == 0 {
+		t.Fatalf("no shared-memo hits across %d specs in %d families (misses=%d): sharing bought nothing",
+			rep.Scheduled, rep.Families, rep.MemoMisses)
+	}
+	if rep.Families != 4 {
+		t.Fatalf("families = %d, want 4", rep.Families)
+	}
+
+	// Edit exactly one variant (a semantic change: the name is part of the
+	// canonical rendering). Only it re-verifies — it has no dependents.
+	target := "f0-v007"
+	var src string
+	for _, sp := range specs {
+		if sp.Name == target {
+			src = strings.Replace(sp.Source, "protocol "+target, "protocol "+target+"x", 1)
+		}
+	}
+	if src == "" {
+		t.Fatalf("sweep has no %s", target)
+	}
+	if _, out, err := s.Ingest(target, src); err != nil || out != Updated {
+		t.Fatalf("edit: %v outcome=%v", err, out)
+	}
+	rep2, err := s.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Scheduled != 1 || rep2.Results[0].Name != target {
+		t.Fatalf("dirty re-run scheduled %d (%v), want exactly [%s]", rep2.Scheduled, rep2.Results, target)
+	}
+
+	// Editing a family base dirties the whole family: base + its variants.
+	baseSrc := strings.Replace(specsByName(specs, "f2-base"), "protocol f2-base", "protocol f2-basex", 1)
+	if _, out, err := s.Ingest("f2-base", baseSrc); err != nil || out != Updated {
+		t.Fatalf("base edit: %v outcome=%v", err, out)
+	}
+	rep3, err := s.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Scheduled != 50 {
+		t.Fatalf("base edit re-verified %d specs, want the 50-member family", rep3.Scheduled)
+	}
+	for _, r := range rep3.Results {
+		if !strings.HasPrefix(r.Name, "f2-") {
+			t.Fatalf("base edit leaked outside the family: %s re-verified", r.Name)
+		}
+	}
+}
+
+func specsByName(specs []protogen.SweepSpec, name string) string {
+	for _, sp := range specs {
+		if sp.Name == name {
+			return sp.Source
+		}
+	}
+	return ""
+}
+
+// Shared state must never change a verdict: an isolated run over the same
+// corpus produces identical per-spec results.
+func TestFleetIsolatedMatchesShared(t *testing.T) {
+	sw := &protogen.Sweep{
+		Seed:     99,
+		Families: []protogen.SweepFamily{{Name: "g", Domain: 3, Lo: -1, Hi: 0, Variants: 20}},
+	}
+	shared := mustOpen(t, "")
+	ingestSweep(t, shared, sw)
+	isolated := mustOpen(t, "")
+	ingestSweep(t, isolated, sw)
+
+	repS, err := shared.VerifyAll(context.Background(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repI, err := isolated.VerifyAll(context.Background(), FleetOptions{Isolated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repI.MemoHits != 0 || repI.MemoMisses != 0 {
+		t.Fatalf("isolated run touched the shared memo: %d/%d", repI.MemoHits, repI.MemoMisses)
+	}
+	if len(repS.Results) != len(repI.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(repS.Results), len(repI.Results))
+	}
+	for i := range repS.Results {
+		a, b := repS.Results[i], repI.Results[i]
+		if a.Name != b.Name || a.Verdict != b.Verdict || a.SelfStabilizing != b.SelfStabilizing || a.Err != b.Err {
+			t.Fatalf("verdict differs under sharing: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestFamilyMemosBoundedAndKeyed(t *testing.T) {
+	sw := &protogen.Sweep{
+		Seed: 3,
+		Families: []protogen.SweepFamily{
+			{Name: "k0", Domain: 3, Lo: -1, Hi: 0, Variants: 2},
+			{Name: "k1", Domain: 2, Lo: -1, Hi: 0, Variants: 2},
+			{Name: "k2", Domain: 2, Lo: 0, Hi: 1, Variants: 2},
+		},
+	}
+	s := mustOpen(t, "")
+	ingestSweep(t, s, sw)
+	if _, err := s.VerifyAll(context.Background(), FleetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.memos.Len(); got != 3 {
+		t.Fatalf("families registered = %d, want 3 (one per shape)", got)
+	}
+}
+
+func TestVerifyAllContextCancel(t *testing.T) {
+	s := mustOpen(t, "")
+	sw := &protogen.Sweep{
+		Seed:     1,
+		Families: []protogen.SweepFamily{{Name: "c", Domain: 2, Lo: -1, Hi: 0, Variants: 10}},
+	}
+	ingestSweep(t, s, sw)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.VerifyAll(ctx, FleetOptions{}); err == nil {
+		t.Fatal("cancelled context must surface as an error")
+	}
+}

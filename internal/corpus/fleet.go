@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"paramring/internal/verify"
+)
+
+// FleetOptions tunes a corpus-wide verification run.
+type FleetOptions struct {
+	// Workers is the number of concurrent verification jobs (<= 0 selects
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// Verify configures each individual verification. Its Check options
+	// gain the per-family shared skeleton and memo unless Isolated is set
+	// or the caller pre-filled a skeleton.
+	Verify verify.Options
+	// Force schedules every entry, clean or not.
+	Force bool
+	// Isolated disables the per-family memo sharing: every job builds its
+	// own graphs. The fleet benchmark uses it as the comparison baseline.
+	Isolated bool
+}
+
+// SpecResult is the per-spec outcome of a fleet run.
+type SpecResult struct {
+	Name            string `json:"name"`
+	ID              string `json:"id"`
+	Family          string `json:"family"`
+	SelfStabilizing bool   `json:"self_stabilizing"`
+	Verdict         string `json:"verdict"`
+	Err             string `json:"error,omitempty"`
+	ElapsedNS       int64  `json:"elapsed_ns"`
+}
+
+// FleetReport aggregates a corpus-wide run.
+type FleetReport struct {
+	// Total is the corpus size; Scheduled the entries verified this run;
+	// Skipped the clean entries left alone; Failed the scheduled entries
+	// whose verification errored.
+	Total     int `json:"total"`
+	Scheduled int `json:"scheduled"`
+	Skipped   int `json:"skipped"`
+	Failed    int `json:"failed"`
+	// Families is the number of distinct protocol shapes scheduled.
+	Families  int   `json:"families"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// SpecsPerSec is Scheduled over the wall-clock elapsed time.
+	SpecsPerSec float64 `json:"specs_per_sec"`
+	// MemoHits / MemoMisses are the shared Theorem 5.14 verdict-memo
+	// deltas for this run (zero when Isolated).
+	MemoHits   uint64 `json:"memo_hits"`
+	MemoMisses uint64 `json:"memo_misses"`
+	// SpecCacheHits / SpecCacheMisses are the compiled-spec cache deltas
+	// for this run.
+	SpecCacheHits   uint64 `json:"spec_cache_hits"`
+	SpecCacheMisses uint64 `json:"spec_cache_misses"`
+	// Results holds one entry per scheduled spec, sorted by name.
+	Results []SpecResult `json:"results"`
+}
+
+// VerifyAll runs the verification lanes over every dirty or unverified
+// entry (every entry under Force), sharing the compiled-spec cache and the
+// per-family skeleton/memo state across jobs. The store is updated with
+// each verdict; call Save afterwards to persist. Context cancellation
+// stops scheduling new jobs and returns ctx.Err after in-flight jobs
+// drain.
+func (s *Store) VerifyAll(ctx context.Context, opts FleetOptions) (*FleetReport, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	s.mu.Lock()
+	total := len(s.entries)
+	var scheduled []*Entry
+	families := map[string]bool{}
+	for _, e := range s.entries {
+		if opts.Force || e.Dirty || !e.Verified {
+			scheduled = append(scheduled, e.clone())
+			families[e.Family] = true
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(scheduled, func(i, j int) bool { return scheduled[i].Name < scheduled[j].Name })
+
+	memoHits0, memoMisses0 := s.memos.Stats()
+	spec0 := s.specs.Stats()
+	start := time.Now()
+
+	results := make([]SpecResult, len(scheduled))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = s.verifyOne(ctx, scheduled[i], opts)
+			}
+		}()
+	}
+	var ctxErr error
+dispatch:
+	for i := range scheduled {
+		select {
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			results = results[:i]
+			break dispatch
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	memoHits1, memoMisses1 := s.memos.Stats()
+	spec1 := s.specs.Stats()
+	rep := &FleetReport{
+		Total:           total,
+		Scheduled:       len(results),
+		Skipped:         total - len(scheduled),
+		Families:        len(families),
+		ElapsedNS:       elapsed.Nanoseconds(),
+		MemoHits:        memoHits1 - memoHits0,
+		MemoMisses:      memoMisses1 - memoMisses0,
+		SpecCacheHits:   spec1.Hits - spec0.Hits,
+		SpecCacheMisses: spec1.Misses - spec0.Misses,
+		Results:         results,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.SpecsPerSec = float64(rep.Scheduled) / secs
+	}
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			rep.Failed++
+		}
+	}
+	if ctxErr != nil {
+		return rep, ctxErr
+	}
+	return rep, nil
+}
+
+// verifyOne runs one entry through the pipeline and folds the verdict back
+// into the store.
+func (s *Store) verifyOne(ctx context.Context, e *Entry, opts FleetOptions) SpecResult {
+	res := SpecResult{Name: e.Name, ID: e.ID, Family: e.Family}
+	t0 := time.Now()
+	cs, _, err := s.specs.Compile(e.Canonical)
+	if err != nil {
+		res.Err = err.Error()
+		res.ElapsedNS = time.Since(t0).Nanoseconds()
+		return res
+	}
+	vopts := opts.Verify
+	if !opts.Isolated {
+		vopts.Check = s.memos.CheckOptions(cs.Protocol, vopts.Check)
+	}
+	rep, err := verify.CheckCtx(ctx, cs.Protocol, vopts)
+	res.ElapsedNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.SelfStabilizing = rep.SelfStabilizing
+	res.Verdict = fmt.Sprintf("deadlock=%s livelock=%s", rep.Deadlock, rep.Livelock)
+
+	s.mu.Lock()
+	if live, ok := s.entries[e.Name]; ok && live.Canonical == e.Canonical {
+		live.Dirty = false
+		live.Verified = true
+		live.SelfStabilizing = res.SelfStabilizing
+		live.Verdict = res.Verdict
+		live.VerifiedAt = time.Now()
+	}
+	s.mu.Unlock()
+	return res
+}

@@ -62,6 +62,31 @@ func (l *LTG) SArcs() *graph.Digraph { return l.r.Graph() }
 // TArcs returns the t-arcs (the compiled local transitions).
 func (l *LTG) TArcs() []core.LocalTransition { return l.sys.Trans }
 
+// SameShape reports whether sys describes a protocol with the same shape as
+// l's system: equal domain, read window, and per-state legitimacy. Shape is
+// everything the trail search reads apart from the t-arc overlay — the
+// s-arcs are a function of domain and window alone, and the own-value
+// projection and illegitimacy tests follow from (domain, window, legit) —
+// so a same-shape LTG can donate its s-arc skeleton and its Theorem 5.14
+// verdict memo to checks of sys without affecting any verdict.
+func (l *LTG) SameShape(sys *core.System) bool {
+	a, b := l.sys.Protocol(), sys.Protocol()
+	alo, ahi := a.Window()
+	blo, bhi := b.Window()
+	if a.Domain() != b.Domain() || alo != blo || ahi != bhi {
+		return false
+	}
+	if len(l.sys.Legit) != len(sys.Legit) {
+		return false
+	}
+	for s, ok := range l.sys.Legit {
+		if ok != sys.Legit[s] {
+			return false
+		}
+	}
+	return true
+}
+
 // WriteProjection builds the projection of a t-arc set on the writable
 // variable: a digraph over domain values with one edge per t-arc, from the
 // own-value of its source to the own-value of its destination

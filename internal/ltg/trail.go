@@ -74,6 +74,20 @@ type CheckOptions struct {
 	// MaxTArcs bounds the exact subset search (2^MaxTArcs subsets). Above
 	// it the checker falls back to a coarse-but-sound test. <= 0 selects 16.
 	MaxTArcs int
+	// Skeleton, when non-nil and of the same shape as the protocol under
+	// check (see LTG.SameShape), donates its s-arc RCG so the check skips
+	// rebuilding the continuation relation — fleet runs verifying a family
+	// of same-shape protocols share one skeleton this way. A skeleton of a
+	// different shape is ignored (the check falls back to building its own
+	// graph), so passing one is always sound.
+	Skeleton *LTG
+	// Memo, when non-nil, caches Theorem 5.14 subset verdicts across
+	// checks. It is consulted only when Skeleton is set and shape-
+	// compatible: verdicts are pure functions of (shape, t-arc subset), so
+	// a memo is only transferable between protocols that share the shape
+	// the skeleton vouches for. The verdict, witness, and subset count are
+	// identical with or without it (see FindTrailSubset).
+	Memo *Memo
 }
 
 // CheckLivelockFreedom applies the contrapositive of Theorem 5.14: it
@@ -102,7 +116,17 @@ func CheckLivelockFreedom(p *core.Protocol, opts CheckOptions) (Report, error) {
 		return rep, fmt.Errorf("ltg: protocol %q has self-enabling transitions (e.g. %s); Theorem 5.14 requires self-disabling actions — transform explicitly with CheckLivelockFreedomTransformed, whose verdict applies to the transformed protocol",
 			p.Name(), sys.FormatTransition(sys.SelfEnabling()[0]))
 	}
-	l := Build(sys)
+	// A shape-compatible skeleton donates its s-arcs (and unlocks the shared
+	// memo); anything else rebuilds from scratch, so a stale or mismatched
+	// skeleton can never change a verdict.
+	var l *LTG
+	var memo *Memo
+	if opts.Skeleton != nil && opts.Skeleton.SameShape(sys) {
+		l = BuildFrom(sys, opts.Skeleton.RCG())
+		memo = opts.Memo
+	} else {
+		l = Build(sys)
+	}
 
 	tarcs := sys.Trans
 	if len(tarcs) == 0 {
@@ -119,7 +143,7 @@ func CheckLivelockFreedom(p *core.Protocol, opts CheckOptions) (Report, error) {
 	// subset that forms a pseudo-livelock, test whether every t-arc of S'
 	// can participate in a closed composite walk and whether the trail
 	// visits an illegitimate state.
-	w, checked := l.FindTrailSubset(tarcs, -1, nil)
+	w, checked := l.FindTrailSubset(tarcs, -1, memo)
 	rep.SubsetsChecked = checked
 	if w != nil {
 		rep.Verdict = VerdictPotentialLivelock

@@ -12,14 +12,18 @@ const maxRequestBytes = 1 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/verify    submit a spec; {"wait": true} blocks until done
-//	GET  /v1/jobs/{id} poll a job
-//	GET  /v1/jobs      list retained jobs; ?state=quarantined filters
-//	GET  /healthz      liveness + occupancy
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/verify            submit a spec; {"wait": true} blocks until done
+//	POST /v1/verify/batch      submit many specs as one batch
+//	GET  /v1/verify/batch/{id} poll a batch's aggregate progress
+//	GET  /v1/jobs/{id}         poll a job
+//	GET  /v1/jobs              list retained jobs; ?state=quarantined filters
+//	GET  /healthz              liveness + occupancy
+//	GET  /metrics              Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	mux.HandleFunc("GET /v1/verify/batch/{id}", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -85,6 +89,52 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, view)
+}
+
+// maxBatchRequestBytes bounds a batch POST body: maxBatchSpecs specs of
+// ordinary size fit comfortably.
+const maxBatchRequestBytes = maxBatchSpecs * maxRequestBytes / 16
+
+func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := s.SubmitBatch(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBatchEmpty), errors.Is(err, ErrBatchTooLarge):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Wait {
+		// Per-job deadlines bound this; a vanished client stops watching.
+		b.wait(r.Context().Done())
+	}
+	view := s.BatchSnapshot(b)
+	status := http.StatusAccepted
+	if view.Pending == 0 {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.Batch(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown batch id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.BatchSnapshot(b))
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {

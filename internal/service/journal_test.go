@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -187,6 +188,100 @@ func TestJournalReplayAcrossRestart(t *testing.T) {
 	svc3 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
 	if got := svc3.Metrics().JobsReplayed.Load(); got != 0 {
 		t.Fatalf("after clean shutdown JobsReplayed = %d, want 0", got)
+	}
+}
+
+// TestReplayDoesNotDoubleCountMetrics: counters are live-event counters,
+// not ledger sizes. Rebuilding a quarantined job at startup must not
+// increment JobsQuarantined (the quarantine already happened, in a dead
+// process), and a cache-hit replay must retire its submit record so a
+// second restart does not count the same hit, done, or replay again.
+func TestReplayDoesNotDoubleCountMetrics(t *testing.T) {
+	dir := t.TempDir()
+	var poison atomic.Bool
+	hooks := &Hooks{BeforeVerify: func(id string, attempt int) error {
+		if poison.Load() {
+			panic("poison")
+		}
+		return nil
+	}}
+	svc1 := newTestService(t, Config{
+		Workers: 1, CacheDir: dir, MaxAttempts: 2, RetryBaseDelay: time.Millisecond, Hooks: hooks,
+	}, true)
+
+	// A good job lands its result in the disk cache and retires its submit
+	// record with an opDone.
+	good, err := svc1.Submit(Request{Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, good)
+	if v := svc1.Snapshot(good); v.State != StateDone {
+		t.Fatalf("good job: %+v", v)
+	}
+	canonical := good.spec.canonical
+
+	// A poison job exhausts its attempts and is quarantined.
+	poison.Store(true)
+	badSpec := "protocol tiny2\ndomain 2\nwindow 0 1\nlegit x[0] == x[1]\naction copy: x[0] != x[1] -> x[0] := x[1]\n"
+	bad, err := svc1.Submit(Request{Spec: badSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, bad)
+	if v := svc1.Snapshot(bad); v.State != StateQuarantined {
+		t.Fatalf("poison job: %+v", v)
+	}
+	svc1.crash() // no compaction: the journal keeps the quarantine pair
+
+	// Simulate a crash after journaling a submit but before running it:
+	// its result is already in the disk cache, so the restart replays it
+	// as an instant cache hit.
+	w, _, err := openJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(journalRecord{Op: opSubmit, ID: "job-999990", Name: "tiny", Spec: canonical}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	svc2 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
+	m2 := svc2.Metrics()
+	if got := m2.JobsQuarantined.Load(); got != 0 {
+		t.Fatalf("JobsQuarantined = %d after replay, want 0: rebuilding the ledger is not a new quarantine", got)
+	}
+	if st := svc2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Stats.Quarantined = %d, want 1: the ledger itself must survive", st.Quarantined)
+	}
+	if got := m2.JobsReplayed.Load(); got != 1 {
+		t.Fatalf("JobsReplayed = %d, want 1 (the pending record; quarantine rebuilds are not replays)", got)
+	}
+	if hits, done := m2.CacheHits.Load(), m2.JobsDone.Load(); hits != 1 || done != 1 {
+		t.Fatalf("CacheHits = %d JobsDone = %d, want 1/1 for the cache-hit replay", hits, done)
+	}
+	rj, ok := svc2.Job("job-999990")
+	if !ok {
+		t.Fatal("replayed job not found")
+	}
+	if v := svc2.Snapshot(rj); v.State != StateDone || !v.Cached {
+		t.Fatalf("replayed job: %+v, want done from cache", v)
+	}
+
+	// A second restart must not re-count anything: the cache-hit replay
+	// appended its own opDone, and the quarantine pair replays silently.
+	ctx, cancel := contextWithTestTimeout(t)
+	defer cancel()
+	if err := svc2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	svc3 := newTestService(t, Config{Workers: 1, CacheDir: dir}, true)
+	m3 := svc3.Metrics()
+	if r, h, d, q := m3.JobsReplayed.Load(), m3.CacheHits.Load(), m3.JobsDone.Load(), m3.JobsQuarantined.Load(); r != 0 || h != 0 || d != 0 || q != 0 {
+		t.Fatalf("second restart re-counted: replayed=%d hits=%d done=%d quarantined=%d, want all 0", r, h, d, q)
+	}
+	if st := svc3.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Stats.Quarantined = %d after second restart, want 1", st.Quarantined)
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"paramring/internal/corpus"
 	"paramring/internal/explicit"
 	"paramring/internal/verify"
 )
@@ -178,14 +179,17 @@ type Service struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *resultCache
-	specs   *verify.SpecCache // compiled-spec cache in front of the DSL
-	wal     *journal          // nil without CacheDir
+	specs   *verify.SpecCache   // compiled-spec cache in front of the DSL
+	memos   *corpus.FamilyMemos // per-family skeleton LTG + verdict memo, shared across jobs
+	wal     *journal            // nil without CacheDir
 	admit   *admission
 
 	queue     chan *Job
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 	wg        sync.WaitGroup
+
+	batches batchState // in-memory batch index over jobs (not journaled)
 
 	mu           sync.Mutex
 	jobs         map[string]*Job
@@ -242,6 +246,7 @@ func New(cfg Config) (*Service, error) {
 		metrics:      NewMetrics(),
 		cache:        cache,
 		specs:        verify.NewSpecCache(cfg.SpecCacheSize),
+		memos:        corpus.NewFamilyMemos(0),
 		wal:          wal,
 		admit:        newAdmission(cfg.MemoryBudgetBytes),
 		queue:        make(chan *Job, queueCap),
@@ -607,8 +612,15 @@ func (s *Service) runOnce(ctx context.Context, j *Job, attempt int) (rep *verify
 	if cerr != nil {
 		return nil, cerr, false // unreachable unless Format's contract breaks
 	}
+	// Same-family jobs share a skeleton LTG and a Theorem 5.14 verdict
+	// memo (batch sweeps are dominated by family siblings). Sharing never
+	// changes a verdict — the skeleton is shape-guarded and memo verdicts
+	// are pure functions of the t-arc subset — so the content-addressed
+	// result cache stays byte-stable.
+	vopts := s.jobVerifyOptions(j)
+	vopts.Check = s.memos.CheckOptions(cs.Protocol, vopts.Check)
 	t0 := time.Now()
-	rep, err = verify.CheckCtx(ctx, cs.Protocol, s.jobVerifyOptions(j))
+	rep, err = verify.CheckCtx(ctx, cs.Protocol, vopts)
 	s.metrics.ObservePhase("verify", time.Since(t0))
 	return rep, err, false
 }

@@ -199,7 +199,54 @@ func TestDefaultAssignmentCeilingRaised(t *testing.T) {
 	if o.MaxAssignments != 1<<20 {
 		t.Fatalf("default MaxAssignments = %d, want %d", o.MaxAssignments, 1<<20)
 	}
-	if o.Workers != 1 {
-		t.Fatalf("default Workers = %d, want 1", o.Workers)
+	if o.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers = %d, want GOMAXPROCS = %d", o.Workers, runtime.GOMAXPROCS(0))
+	}
+}
+
+// Workers: 0 must resolve to the documented default (GOMAXPROCS) rather than
+// slipping through to the engine's min(Workers, total) clamp as zero — and,
+// default or not, the Results must stay byte-identical to the sequential
+// reference (only Stats may differ).
+func TestWorkersZeroMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	compared := 0
+	for trial := 0; trial < 40 && compared < 10; trial++ {
+		base := protogen.Random(rng, protogen.Options{MovePercent: 1})
+		if len(base.Compile().Trans) > 0 {
+			continue
+		}
+		seq, seqErr := Synthesize(base, Options{All: true, Workers: 1})
+		def, defErr := Synthesize(base, Options{All: true, Workers: 0})
+		if errString(seqErr) != errString(defErr) {
+			t.Fatalf("trial %d: error %q (Workers=1) vs %q (Workers=0)",
+				trial, errString(seqErr), errString(defErr))
+		}
+		if (seq == nil) != (def == nil) {
+			t.Fatalf("trial %d: result nil-ness differs", trial)
+		}
+		if seq == nil {
+			continue
+		}
+		if def.Stats.Workers != runtime.GOMAXPROCS(0) {
+			t.Fatalf("trial %d: Workers=0 ran with %d workers, want GOMAXPROCS = %d",
+				trial, def.Stats.Workers, runtime.GOMAXPROCS(0))
+		}
+		if !reflect.DeepEqual(summarize(base, seq), summarize(base, def)) {
+			t.Fatalf("trial %d: Accepted differ between Workers=1 and Workers=0", trial)
+		}
+		if !reflect.DeepEqual(seq.Rejections, def.Rejections) {
+			t.Fatalf("trial %d: Rejections differ between Workers=1 and Workers=0", trial)
+		}
+		if !reflect.DeepEqual(seq.ResolveSets, def.ResolveSets) {
+			t.Fatalf("trial %d: ResolveSets differ between Workers=1 and Workers=0", trial)
+		}
+		if !reflect.DeepEqual(seq.Steps, def.Steps) {
+			t.Fatalf("trial %d: Steps differ between Workers=1 and Workers=0", trial)
+		}
+		compared++
+	}
+	if compared < 10 {
+		t.Fatalf("too few action-free random bases compared: %d", compared)
 	}
 }

@@ -25,6 +25,7 @@ package synthesis
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"paramring/internal/core"
@@ -83,10 +84,11 @@ type Options struct {
 	// All requests every accepted candidate set, not just the first.
 	All bool
 	// Workers is the number of concurrent workers searching the assignment
-	// frontier (<= 0 selects 1, the sequential reference). Accepted,
-	// Rejections, ResolveSets and Steps are byte-identical at every worker
-	// count: the winner is always the lexicographically smallest accepted
-	// assignment index, and outcomes are assembled in index order.
+	// frontier (<= 0 selects runtime.GOMAXPROCS(0)). Accepted, Rejections,
+	// ResolveSets and Steps are byte-identical at every worker count: the
+	// winner is always the lexicographically smallest accepted assignment
+	// index, and outcomes are assembled in index order. Pass Workers: 1
+	// explicitly for the sequential reference path.
 	Workers int
 	// Flat disables pruning, memoization and the per-Resolve-set deadlock
 	// precheck, evaluating every assignment independently — the original
@@ -108,7 +110,7 @@ func (o *Options) defaults() {
 		o.Check.MaxTArcs = 16
 	}
 	if o.Workers <= 0 {
-		o.Workers = 1
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 

@@ -43,6 +43,10 @@ type SpecCacheStats struct {
 	Misses uint64 `json:"misses"`
 	// Entries is the current number of cached compiled specs.
 	Entries int `json:"entries"`
+	// Aliases is the current number of raw-text alias index entries. Each
+	// cached spec owns at most aliasFactor aliases, and an entry's aliases
+	// are evicted with it, so Aliases never exceeds aliasFactor * Entries.
+	Aliases int `json:"aliases"`
 }
 
 // SpecCache memoizes the DSL front end: a size-bounded LRU of CompiledSpec
@@ -64,19 +68,22 @@ type SpecCache struct {
 	items map[string]*list.Element // canonical rendering -> *specEntry
 
 	// alias maps raw submission text to its canonical rendering so exact
-	// resubmissions skip the parse as well as the compile. Bounded
-	// independently of the main LRU (aliasOrder is FIFO: aliases are tiny
-	// and regenerating one costs a single parse).
-	alias      map[string]string
-	aliasOrder []string
+	// resubmissions skip the parse as well as the compile. Each alias is
+	// owned by the entry it points at: an entry holds at most aliasFactor
+	// aliases (oldest dropped first — regenerating one costs a single
+	// parse) and evicting the entry deletes its aliases with it, so the
+	// index can never outgrow the LRU it fronts.
+	alias map[string]string
 }
 
 type specEntry struct {
-	key string // canonical rendering, for eviction
-	cs  *CompiledSpec
+	key     string // canonical rendering, for eviction
+	cs      *CompiledSpec
+	aliases []string // raw-text aliases owned by this entry, oldest first
 }
 
-// aliasFactor bounds the raw-text alias index at aliasFactor * max entries.
+// aliasFactor bounds the raw-text aliases per cache entry, and therefore
+// the whole alias index at aliasFactor * max.
 const aliasFactor = 4
 
 // NewSpecCache returns a compiled-spec cache bounded to maxEntries
@@ -161,7 +168,11 @@ func (c *SpecCache) Compile(src string) (*CompiledSpec, bool, error) {
 		for c.order.Len() > c.max {
 			last := c.order.Back()
 			c.order.Remove(last)
-			delete(c.items, last.Value.(*specEntry).key)
+			e := last.Value.(*specEntry)
+			delete(c.items, e.key)
+			for _, a := range e.aliases {
+				delete(c.alias, a)
+			}
 		}
 	}
 	c.noteAliasLocked(src, canonical)
@@ -170,9 +181,14 @@ func (c *SpecCache) Compile(src string) (*CompiledSpec, bool, error) {
 	return cs, false, nil
 }
 
-// noteAliasLocked records src as a raw-text alias of canonical. Identity
-// aliases are skipped (the canonical text is already the primary key: a
-// resubmission of it hits the canonical lookup after one cheap parse).
+// noteAliasLocked records src as a raw-text alias of the entry cached
+// under canonical. Identity aliases are skipped (the canonical text is
+// already the primary key: a resubmission of it hits the canonical lookup
+// after one cheap parse). The alias is owned by the entry: once an entry
+// holds aliasFactor aliases the oldest is dropped to make room, so many
+// formatting variants of one spec can never grow the index past the
+// per-entry bound — and an entry that has been evicted (or was never
+// inserted) records no alias at all.
 func (c *SpecCache) noteAliasLocked(src, canonical string) {
 	if src == canonical {
 		return
@@ -180,13 +196,18 @@ func (c *SpecCache) noteAliasLocked(src, canonical string) {
 	if _, ok := c.alias[src]; ok {
 		return
 	}
-	if len(c.aliasOrder) >= aliasFactor*c.max {
-		oldest := c.aliasOrder[0]
-		c.aliasOrder = c.aliasOrder[1:]
+	el, ok := c.items[canonical]
+	if !ok {
+		return
+	}
+	e := el.Value.(*specEntry)
+	if len(e.aliases) >= aliasFactor {
+		oldest := e.aliases[0]
+		e.aliases = append(e.aliases[:0], e.aliases[1:]...)
 		delete(c.alias, oldest)
 	}
+	e.aliases = append(e.aliases, src)
 	c.alias[src] = canonical
-	c.aliasOrder = append(c.aliasOrder, src)
 }
 
 // Len returns the number of cached compiled specs.
@@ -198,9 +219,13 @@ func (c *SpecCache) Len() int {
 
 // Stats returns a point-in-time counter snapshot.
 func (c *SpecCache) Stats() SpecCacheStats {
+	c.mu.Lock()
+	entries, aliases := c.order.Len(), len(c.alias)
+	c.mu.Unlock()
 	return SpecCacheStats{
 		Hits:    c.hits.Load(),
 		Misses:  c.misses.Load(),
-		Entries: c.Len(),
+		Entries: entries,
+		Aliases: aliases,
 	}
 }

@@ -170,6 +170,63 @@ func TestSpecCacheEviction(t *testing.T) {
 	}
 }
 
+// Distinct raw renderings of one canonical spec must not grow the alias
+// index without bound: each entry owns at most aliasFactor aliases, the
+// oldest dropped first.
+func TestSpecCacheAliasIndexBoundedPerEntry(t *testing.T) {
+	c := NewSpecCache(8)
+	for i := 0; i < 100; i++ {
+		// A fresh comment makes every submission a distinct raw text that
+		// canonicalizes onto the same entry.
+		src := fmt.Sprintf("# variant %d\n%s", i, agreementSpec)
+		if _, _, err := c.Compile(src); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (formatting fragmented the key)", st.Entries)
+	}
+	if st.Aliases > aliasFactor {
+		t.Fatalf("alias index grew to %d entries for one spec, want <= %d", st.Aliases, aliasFactor)
+	}
+	// The most recent alias is live; a resubmission must skip the parse.
+	if _, hit, err := c.Compile(fmt.Sprintf("# variant %d\n%s", 99, agreementSpec)); err != nil || !hit {
+		t.Fatalf("latest alias must hit: hit=%v err=%v", hit, err)
+	}
+}
+
+// Evicting an entry must take its aliases with it: after the LRU pushes a
+// spec out, none of its raw-text variants may linger in the index.
+func TestSpecCacheAliasesEvictedWithEntry(t *testing.T) {
+	c := NewSpecCache(2)
+	variant := func(i int) string { return fmt.Sprintf("# v%d\n%s", i, agreementSpec) }
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Compile(variant(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Aliases != 3 {
+		t.Fatalf("aliases = %d, want 3 before eviction", st.Aliases)
+	}
+	// Two more protocols evict the agreement entry from the max-2 LRU.
+	for i := 0; i < 2; i++ {
+		src := fmt.Sprintf("protocol p%d\ndomain %d\nwindow -1 0\nlegit x[-1] == x[0]\n", i, i+2)
+		if _, _, err := c.Compile(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The agreement entry's 3 aliases are gone; what remains is the one
+	// raw-text alias each filler spec recorded for itself.
+	if st := c.Stats(); st.Entries != 2 || st.Aliases != 2 {
+		t.Fatalf("stats after eviction = %+v, want 2 entries and 2 aliases (agreement's 3 evicted)", st)
+	}
+	// The evicted spec's variants are full misses again.
+	if _, hit, err := c.Compile(variant(2)); err != nil || hit {
+		t.Fatalf("evicted spec's alias must not resolve: hit=%v err=%v", hit, err)
+	}
+}
+
 func TestSpecCacheConcurrentSharesOneEntry(t *testing.T) {
 	c := NewSpecCache(8)
 	const goroutines = 16
