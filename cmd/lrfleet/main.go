@@ -9,7 +9,14 @@
 //	lrfleet -corpus DIR ingest spec1.gc spec2.gc        # ingest spec files
 //	lrfleet -corpus DIR verify                          # verify dirty entries
 //	lrfleet -corpus DIR -force verify                   # verify everything
+//	lrfleet -corpus DIR -server http://host:8420 verify # verify via lrserved
 //	lrfleet -corpus DIR status                          # corpus summary
+//
+// With -server, verification is submitted to a running lrserved (or
+// lrserved cluster coordinator) as batches instead of executing locally.
+// The client cooperates with the server's backpressure: a 503 with
+// Retry-After waits out the hint with capped, jittered exponential
+// backoff before resubmitting, and Ctrl-C aborts the wait.
 //
 // Ingest dedups on the canonical rendering (formatting variants of one
 // protocol share an entry), and an edit dirties the entry's transitive
@@ -27,12 +34,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"paramring/internal/cli"
 	"paramring/internal/corpus"
 	"paramring/internal/protogen"
+	"paramring/internal/service"
 	"paramring/internal/verify"
 )
 
@@ -45,6 +56,7 @@ func main() {
 	isolated := flag.Bool("isolated", false, "disable per-family memo sharing (comparison baseline)")
 	invariant := flag.Bool("invariant", false, "also run the invariant-certificate lane per spec")
 	crossValidate := flag.Int("cross-validate", 0, "cross-validate verdicts exhaustively up to this ring size (0 disables)")
+	server := flag.String("server", "", "lrserved base URL; verify submits batches there instead of running locally")
 	flag.Parse()
 
 	if *dir == "" {
@@ -105,6 +117,15 @@ func main() {
 			store.Len(), len(store.Dirty()))
 
 	case "verify":
+		if *server != "" {
+			serverVerify(store, *server, *force, corpus.FleetOptions{
+				Verify: verify.Options{
+					Invariant:         *invariant,
+					CrossValidateMaxK: *crossValidate,
+				},
+			})
+			return
+		}
 		rep, err := store.VerifyAll(context.Background(), corpus.FleetOptions{
 			Workers:  *workers,
 			Force:    *force,
@@ -172,5 +193,88 @@ func main() {
 
 	default:
 		cli.Exit("lrfleet", 2, fmt.Errorf("unknown command %q (want ingest, verify, or status)", cmd))
+	}
+}
+
+// serverBatchSize bounds the specs per batch POST, comfortably under the
+// service's own batch cap.
+const serverBatchSize = 64
+
+// serverVerify routes corpus verification through a running lrserved:
+// scheduled entries are submitted as waiting batches, verdicts are folded
+// back into the store, and backpressure 503s are retried with capped,
+// jittered exponential backoff honoring the server's Retry-After hint.
+func serverVerify(store *corpus.Store, baseURL string, force bool, opts corpus.FleetOptions) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var scheduled []corpus.Entry
+	for _, e := range store.Entries() {
+		if force || e.Dirty || !e.Verified {
+			scheduled = append(scheduled, e)
+		}
+	}
+	if len(scheduled) == 0 {
+		fmt.Println("nothing to verify (corpus clean; use -force to re-verify)")
+		return
+	}
+
+	client := &service.Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	reqOpts := service.RequestOptions{
+		Invariant:         opts.Verify.Invariant,
+		CrossValidateMaxK: opts.Verify.CrossValidateMaxK,
+	}
+	verified, failed := 0, 0
+	start := time.Now()
+	for lo := 0; lo < len(scheduled); lo += serverBatchSize {
+		hi := lo + serverBatchSize
+		if hi > len(scheduled) {
+			hi = len(scheduled)
+		}
+		chunk := scheduled[lo:hi]
+		specs := make([]string, len(chunk))
+		for i, e := range chunk {
+			specs[i] = e.Canonical
+		}
+		view, err := client.VerifyBatch(ctx, service.BatchRequest{
+			Specs: specs, Options: reqOpts, Wait: true,
+		})
+		if err != nil {
+			cli.Exit("lrfleet", 1, fmt.Errorf("batch submit: %w", err))
+		}
+		for _, item := range view.Items {
+			e := chunk[item.Index]
+			switch {
+			case item.Error != "":
+				failed++
+				fmt.Printf("  %-24s %s  ERROR: %s\n", e.Name, e.ID, item.Error)
+			case item.Result != nil:
+				verdict := fmt.Sprintf("deadlock=%s livelock=%s",
+					item.Result.Deadlock, item.Result.Livelock)
+				store.RecordVerdict(e.Name, e.Canonical, verdict, item.Result.SelfStabilizing)
+				verified++
+				status := verdict
+				if item.Result.SelfStabilizing {
+					status += " self-stabilizing"
+				}
+				fmt.Printf("  %-24s %s  %s\n", e.Name, e.ID, status)
+			default:
+				failed++
+				fmt.Printf("  %-24s %s  ERROR: no result (state %s)\n", e.Name, e.ID, item.State)
+			}
+		}
+	}
+	if err := store.Save(); err != nil {
+		cli.Exit("lrfleet", 1, err)
+	}
+	secs := time.Since(start).Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(verified+failed) / secs
+	}
+	fmt.Printf("verified %d spec(s) via %s, %d failed — %.1f specs/sec\n",
+		verified, baseURL, failed, rate)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

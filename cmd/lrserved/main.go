@@ -27,6 +27,19 @@
 // enqueued: a crash or kill replays unfinished jobs on the next start,
 // and jobs whose retries are exhausted land in a persistent quarantine.
 //
+// Cluster mode splits the service across processes. The coordinator owns
+// the queue, journal, and lease table; workers join it over HTTP and pull
+// jobs under heartbeat-renewed leases:
+//
+//	lrserved -coordinator -cache-dir /var/cache/lrserved          # coordinator
+//	lrserved -join http://coordinator:8420 -addr :8421 \
+//	         -advertise http://worker1:8421                       # worker node
+//
+// A worker that dies, hangs, or partitions mid-job loses its lease after
+// -lease-ttl without a heartbeat and the job re-dispatches with backoff;
+// -heartbeat-interval must stay below -lease-ttl. See ARCHITECTURE.md for
+// the lease state machine and failure domains.
+//
 // With -pprof-addr set, a second listener serves the profiling surface
 // (net/http/pprof plus a runtime/trace capture endpoint) separately from
 // the public API:
@@ -48,8 +61,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -100,6 +115,85 @@ func validateFlags(queue, workers, engineWorkers, cacheSize, maxAttempts int,
 	return nil
 }
 
+// validateClusterFlags rejects cluster topologies that cannot work: a
+// node cannot be coordinator and worker at once, a join target must be a
+// well-formed http(s) URL, and a lease that dies faster than its own
+// renewal cadence would expire every job mid-heartbeat.
+func validateClusterFlags(coordinator bool, join string, leaseTTL, heartbeat time.Duration) error {
+	switch {
+	case coordinator && join != "":
+		return fmt.Errorf("-coordinator and -join are mutually exclusive: a node is either the coordinator or a worker")
+	case leaseTTL <= 0:
+		return fmt.Errorf("-lease-ttl must be positive, got %v", leaseTTL)
+	case heartbeat <= 0:
+		return fmt.Errorf("-heartbeat-interval must be positive, got %v", heartbeat)
+	case leaseTTL <= heartbeat:
+		return fmt.Errorf("-lease-ttl %v must exceed -heartbeat-interval %v (a lease must survive at least one missed renewal)", leaseTTL, heartbeat)
+	}
+	if join != "" {
+		u, err := url.Parse(join)
+		if err != nil {
+			return fmt.Errorf("-join %q: %v", join, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("-join %q: want an http(s) base URL like http://coordinator:8420", join)
+		}
+	}
+	return nil
+}
+
+// workerConfig carries the flag subset a -join worker node uses.
+type workerConfig struct {
+	addr, coordinator, id, advertise string
+	memBudget                        uint64
+	slots                            int
+	cacheSize, specCacheSize         int
+	cacheDir                         string
+}
+
+// runWorker is the -join main loop: serve the worker's cache/health
+// surface on addr, pull tasks from the coordinator until SIGINT/SIGTERM.
+func runWorker(cfg workerConfig) {
+	node, err := service.NewWorkerNode(service.WorkerNodeConfig{
+		Coordinator:    cfg.coordinator,
+		ID:             cfg.id,
+		AdvertiseAddr:  cfg.advertise,
+		MemBudgetBytes: cfg.memBudget,
+		Slots:          cfg.slots,
+		CacheSize:      cfg.cacheSize,
+		SpecCacheSize:  cfg.specCacheSize,
+		CacheDir:       cfg.cacheDir,
+	})
+	if err != nil {
+		cli.Exit("lrserved", 1, err)
+	}
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           node.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- node.Run(ctx) }()
+	fmt.Printf("lrserved: worker serving on %s, joining %s\n", cfg.addr, cfg.coordinator)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cli.Exit("lrserved", 1, err)
+		}
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	fmt.Println("lrserved: worker stopped")
+}
+
 func main() {
 	defer cli.ExitOnPanic("lrserved")
 	addr := flag.String("addr", ":8420", "listen address")
@@ -117,6 +211,12 @@ func main() {
 	degrade := flag.Bool("degrade-over-budget", false, "run over-budget jobs degraded (1 engine worker, budget-clamped state limit) instead of rejecting them")
 	specCacheSize := flag.Int("spec-cache-size", 1024, "compiled-spec cache entries (parse/compile memoization keyed by the canonical spec rendering)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for the pprof/trace profiling endpoints (empty = profiling off); bind to localhost in production")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator: jobs dispatch to lease-holding workers (local pool + remote joiners) instead of the in-process pool")
+	join := flag.String("join", "", "coordinator base URL to join as a worker node (mutually exclusive with -coordinator)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "cluster lease lifetime without a heartbeat; expiry re-dispatches the job")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 2500*time.Millisecond, "cluster lease renewal cadence; must be below -lease-ttl")
+	advertise := flag.String("advertise", "", "base URL peers use to reach this node's federated-cache endpoints (worker mode; empty = serve no cache slice)")
+	workerID := flag.String("worker-id", "", "cluster worker id (worker mode; default the hostname)")
 	flag.Parse()
 
 	if err := validateFlags(*queue, *workers, *engineWorkers, *cacheSize, *maxAttempts,
@@ -125,6 +225,32 @@ func main() {
 	}
 	if *specCacheSize < 0 {
 		cli.Exit("lrserved", 2, fmt.Errorf("-spec-cache-size must be >= 0, got %d", *specCacheSize))
+	}
+	if err := validateClusterFlags(*coordinator, *join, *leaseTTL, *heartbeatInterval); err != nil {
+		cli.Exit("lrserved", 2, err)
+	}
+
+	if *join != "" {
+		runWorker(workerConfig{
+			addr: *addr, coordinator: *join, id: *workerID, advertise: *advertise,
+			memBudget: *memBudget, slots: *workers,
+			cacheSize: *cacheSize, specCacheSize: *specCacheSize, cacheDir: *cacheDir,
+		})
+		return
+	}
+
+	var clusterCfg *service.ClusterConfig
+	if *coordinator {
+		localWorkers := *workers
+		if localWorkers <= 0 {
+			localWorkers = runtime.GOMAXPROCS(0)
+		}
+		clusterCfg = &service.ClusterConfig{
+			LeaseTTL:             *leaseTTL,
+			HeartbeatInterval:    *heartbeatInterval,
+			LocalWorkers:         localWorkers,
+			WorkerMemBudgetBytes: *memBudget,
+		}
 	}
 
 	svc, err := service.New(service.Config{
@@ -140,6 +266,7 @@ func main() {
 		RetryBaseDelay:    *retryBase,
 		MemoryBudgetBytes: *memBudget,
 		DegradeOverBudget: *degrade,
+		Cluster:           clusterCfg,
 	})
 	if err != nil {
 		cli.Exit("lrserved", 1, err)
@@ -176,7 +303,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("lrserved: listening on %s (queue %d, %d workers)\n", *addr, *queue, *workers)
+	if *coordinator {
+		fmt.Printf("lrserved: coordinator listening on %s (queue %d, %d local workers, lease TTL %v)\n",
+			*addr, *queue, clusterCfg.LocalWorkers, *leaseTTL)
+	} else {
+		fmt.Printf("lrserved: listening on %s (queue %d, %d workers)\n", *addr, *queue, *workers)
+	}
 
 	select {
 	case err := <-errc:

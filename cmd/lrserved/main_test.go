@@ -41,6 +41,37 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+func TestValidateClusterFlags(t *testing.T) {
+	if err := validateClusterFlags(true, "", 10*time.Second, 2500*time.Millisecond); err != nil {
+		t.Fatalf("default coordinator configuration rejected: %v", err)
+	}
+	if err := validateClusterFlags(false, "http://coordinator:8420", 10*time.Second, time.Second); err != nil {
+		t.Fatalf("valid join configuration rejected: %v", err)
+	}
+	if err := validateClusterFlags(false, "", 10*time.Second, time.Second); err != nil {
+		t.Fatalf("non-cluster defaults rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"both roles", validateClusterFlags(true, "http://x:1", 10*time.Second, time.Second), "mutually exclusive"},
+		{"ttl equals heartbeat", validateClusterFlags(true, "", 2*time.Second, 2*time.Second), "must exceed -heartbeat-interval"},
+		{"ttl below heartbeat", validateClusterFlags(true, "", time.Second, 5*time.Second), "must exceed -heartbeat-interval"},
+		{"zero ttl", validateClusterFlags(true, "", 0, time.Second), "-lease-ttl must be positive"},
+		{"zero heartbeat", validateClusterFlags(true, "", 10*time.Second, 0), "-heartbeat-interval must be positive"},
+		{"join not a URL", validateClusterFlags(false, "not a url", 10*time.Second, time.Second), "-join"},
+		{"join missing scheme", validateClusterFlags(false, "coordinator:8420", 10*time.Second, time.Second), "http(s) base URL"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil || !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, tc.err, tc.want)
+		}
+	}
+}
+
 func TestValidateFlagsUnwritableCacheDir(t *testing.T) {
 	if os.Geteuid() == 0 {
 		t.Skip("root ignores directory permission bits")

@@ -1,0 +1,92 @@
+package clitest
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLrserved compiles the lrserved binary once per test into a temp
+// dir (same rationale as buildLrverify: `go run` flattens exit codes).
+func buildLrserved(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lrserved")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/lrserved")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build lrserved: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestLrservedClusterFlagValidation pins the exit-2 contract for the
+// cluster flag surface: every rejected topology must fail fast at the
+// flag boundary — before any socket binds — with a message naming the
+// offending flag.
+func TestLrservedClusterFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildLrserved(t)
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the stderr must carry
+	}{
+		{
+			"lease TTL at heartbeat interval",
+			[]string{"-coordinator", "-lease-ttl", "2s", "-heartbeat-interval", "2s"},
+			"-lease-ttl",
+		},
+		{
+			"lease TTL below heartbeat interval",
+			[]string{"-coordinator", "-lease-ttl", "1s", "-heartbeat-interval", "5s"},
+			"must exceed -heartbeat-interval",
+		},
+		{
+			"zero lease TTL",
+			[]string{"-coordinator", "-lease-ttl", "0s"},
+			"-lease-ttl must be positive",
+		},
+		{
+			"zero heartbeat interval",
+			[]string{"-coordinator", "-heartbeat-interval", "0s"},
+			"-heartbeat-interval must be positive",
+		},
+		{
+			"malformed join address",
+			[]string{"-join", "not a url"},
+			"-join",
+		},
+		{
+			"join without scheme",
+			[]string{"-join", "coordinator:8420"},
+			"http(s) base URL",
+		},
+		{
+			"coordinator and join together",
+			[]string{"-coordinator", "-join", "http://other:8420"},
+			"mutually exclusive",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			cmd.Dir = moduleRoot(t)
+			out, err := cmd.CombinedOutput()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("lrserved %v: expected exit error, got %v\n%s", tc.args, err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("lrserved %v exit = %d, want 2\n%s", tc.args, code, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("lrserved %v output missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+// Package cluster is the coordinator/worker distribution layer of the
+// verification service: one coordinator owns the job queue and journal
+// (internal/service), and a fleet of workers — remote lrserved processes
+// registered through a join endpoint, or in-process workers behind the
+// same interface — pull verification tasks under time-bounded leases with
+// heartbeat renewal.
+//
+// The design extends the paper's compositional thesis to the deployment
+// layer: just as a global verdict is assembled from independently checked
+// local pieces, a fleet verdict is assembled from independently executed
+// jobs, provided the distribution layer tolerates worker loss without
+// losing or corrupting any piece. The mechanisms:
+//
+//   - Leases, not assignments. A dispatched task is held under a lease
+//     that expires unless the worker heartbeats. A worker that dies,
+//     hangs, or partitions simply stops renewing; the coordinator expires
+//     the lease and the job re-enters the service's retry machinery
+//     (exponential backoff, attempt accounting, poison quarantine), so a
+//     poison spec cannot ping-pong across the fleet forever.
+//   - Exactly-once completion. The first of {completion, expiry} wins;
+//     a late result from a blackholed-but-alive worker is counted and
+//     dropped. Dropping is safe because results are content-addressed:
+//     the re-dispatched attempt recomputes the identical verdict.
+//   - Cost-based placement. Tasks are placed by the explicit engine's
+//     pre-run table estimate against each worker's advertised memory
+//     budget; when no worker fits, the documented fallback is the
+//     coordinator's degrade-over-budget mode (one engine worker, a
+//     budget-clamped MaxStates).
+//   - Transport neutrality. The engine is behind the Runner interface;
+//     the service's local execution path and the remote HTTP worker are
+//     interchangeable, and verdicts are byte-identical either way.
+//
+// The package deliberately does not import internal/service: the service
+// owns jobs, journal, retries and caching, and drives the coordinator
+// through callbacks (Events), so the dependency points one way.
+package cluster
+
+import (
+	"errors"
+	"log"
+	"time"
+
+	"paramring/internal/explicit"
+	"paramring/internal/ltg"
+	"paramring/internal/verify"
+)
+
+// Dispatch and protocol errors. ErrNoWorker (no registered worker can fit
+// the task, and degradation is off) and ErrLeaseExpired (the worker
+// stopped renewing) are transient from the service's point of view: the
+// retry machinery backs off and re-dispatches, and repeated failures end
+// in quarantine. ErrUnknownWorker tells a remote worker to re-join (its
+// registration was dropped after a lease expiry); ErrLeaseGone tells it
+// the lease it is renewing or completing no longer exists.
+var (
+	ErrNoWorker      = errors.New("no worker fits the task")
+	ErrLeaseExpired  = errors.New("lease expired")
+	ErrWorkerPanic   = errors.New("worker panic")
+	ErrUnknownWorker = errors.New("unknown worker (re-join required)")
+	ErrLeaseGone     = errors.New("lease gone")
+	ErrStopped       = errors.New("coordinator stopped")
+)
+
+// WorkerInfo is a worker's registration: identity, an optional reachable
+// address (remote workers; also their federated-cache endpoint), the
+// advertised explicit-table memory budget placement checks estimates
+// against (0 = unlimited), and the number of concurrent tasks the worker
+// accepts.
+type WorkerInfo struct {
+	ID string `json:"id"`
+	// Addr, when non-empty, is the worker's base URL (remote workers).
+	// Workers with an address also serve a shard of the federated result
+	// cache.
+	Addr string `json:"addr,omitempty"`
+	// MemBudgetBytes caps the pre-run explicit-table estimate of tasks
+	// placed on this worker (0 = unlimited).
+	MemBudgetBytes uint64 `json:"mem_budget_bytes,omitempty"`
+	// Slots is the number of tasks the worker runs concurrently (<= 0
+	// selects 1).
+	Slots int `json:"slots,omitempty"`
+}
+
+func (w WorkerInfo) slots() int {
+	if w.Slots <= 0 {
+		return 1
+	}
+	return w.Slots
+}
+
+// fits reports whether the worker's advertised budget admits the estimate.
+func (w WorkerInfo) fits(estimate uint64) bool {
+	return w.MemBudgetBytes == 0 || estimate <= w.MemBudgetBytes
+}
+
+// Options is the wire-safe projection of verify.Options: exactly the
+// verdict-relevant knobs plus the resource clamps, with the process-local
+// memo pointers (ltg.CheckOptions.Skeleton/Memo) left behind — each worker
+// re-injects its own shared memo state, which never changes a verdict.
+type Options struct {
+	ConfirmMaxK         int    `json:"confirm_max_k,omitempty"`
+	CrossValidateMaxK   int    `json:"cross_validate_max_k,omitempty"`
+	BoundedFallbackMaxK int    `json:"bounded_fallback_max_k,omitempty"`
+	MaxTArcs            int    `json:"max_tarcs,omitempty"`
+	Workers             int    `json:"workers,omitempty"`
+	Invariant           bool   `json:"invariant,omitempty"`
+	MaxStates           uint64 `json:"max_states,omitempty"`
+}
+
+// Verify translates to the engine's option struct.
+func (o Options) Verify() verify.Options {
+	return verify.Options{
+		ConfirmMaxK:         o.ConfirmMaxK,
+		CrossValidateMaxK:   o.CrossValidateMaxK,
+		BoundedFallbackMaxK: o.BoundedFallbackMaxK,
+		Check:               ltg.CheckOptions{MaxTArcs: o.MaxTArcs},
+		Workers:             o.Workers,
+		Invariant:           o.Invariant,
+		MaxStates:           o.MaxStates,
+	}
+}
+
+// Task is one dispatched verification attempt — everything a worker needs
+// to run it, wire-safe for the remote transport.
+type Task struct {
+	// JobID is the coordinator-side job identity the lease is keyed by.
+	JobID string `json:"job_id"`
+	// Spec is the canonical dsl.Format rendering of the protocol.
+	Spec string `json:"spec"`
+	// Options are the resolved engine options (degraded clamps included).
+	Options Options `json:"options"`
+	// Estimate is the pre-run explicit-table byte estimate placement used.
+	Estimate uint64 `json:"estimate,omitempty"`
+	// DeadlineUnixMS is the job deadline; workers derive their run context
+	// from it.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms"`
+	// Attempt is the service-side attempt number (1 on the first run),
+	// threaded through so fault hooks and logs can key on it.
+	Attempt int `json:"attempt"`
+	// Degraded marks a task placed under the degrade-over-budget fallback:
+	// options already carry the clamps; the flag is informational.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Deadline returns the task deadline as a time.Time.
+func (t Task) Deadline() time.Time {
+	return time.UnixMilli(t.DeadlineUnixMS)
+}
+
+// degrade applies the over-budget clamps for placement on a worker whose
+// budget the estimate exceeds: one engine worker (scratch memory scales
+// with workers) and a MaxStates ceiling sized to the budget, so an
+// oversized instance fails construction with a clean one-line error
+// instead of OOMing the worker.
+func (t Task) degrade(budget uint64) Task {
+	t.Degraded = true
+	t.Options.Workers = 1
+	if budget > 0 {
+		t.Options.MaxStates = explicit.MaxStatesForBudget(budget)
+	}
+	return t
+}
+
+// Events are the coordinator's callbacks into its owner (the service):
+// journaling, metrics, and federated-cache membership all hang off these.
+// Nil fields are skipped. Callbacks run outside the coordinator's mutex
+// and must not call back into the coordinator synchronously.
+type Events struct {
+	// LeaseGranted fires on every grant and renewal (renewal=true); the
+	// service journals the lease record here, fsynced before the worker
+	// can act on it.
+	LeaseGranted func(jobID, workerID string, expiry time.Time, renewal bool)
+	// LeaseExpired fires when a lease dies unrenewed — the failover signal
+	// behind lrserved_cluster_lease_expired_total.
+	LeaseExpired func(jobID, workerID string)
+	// LateResult fires when a completion arrives for a lease that no
+	// longer exists (expired or superseded); the result is dropped.
+	LateResult func(jobID, workerID string)
+	// WorkerJoined / WorkerLost track registry membership.
+	WorkerJoined func(info WorkerInfo)
+	WorkerLost   func(id, reason string)
+	// PeersChanged fires with the full addressable-peer set whenever it
+	// changes; the service rewires the federated cache ring from it.
+	PeersChanged func(peers []Peer)
+}
+
+// Config tunes a Coordinator. Zero values select the documented defaults.
+type Config struct {
+	// LeaseTTL is how long a granted or renewed lease lives without a
+	// heartbeat (default 10s). It must exceed HeartbeatInterval — the
+	// lrserved flag validation enforces this at the CLI boundary.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the renewal cadence workers are told to use
+	// (default LeaseTTL/4).
+	HeartbeatInterval time.Duration
+	// DegradeOverBudget places tasks that fit no worker's budget on the
+	// largest-budget worker with the degraded clamps instead of failing
+	// the dispatch with ErrNoWorker.
+	DegradeOverBudget bool
+	// Events are the owner callbacks (see Events).
+	Events Events
+	// Log receives operational warnings (default: discard-free standard
+	// logger with a "cluster: " prefix).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.LeaseTTL / 4
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}

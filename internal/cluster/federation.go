@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// maxFederatedResultBytes caps one fetched result document; service
+// results are a few hundred bytes, so 1 MiB is generous headroom.
+const maxFederatedResultBytes = 1 << 20
+
+// FederationStats counts federated-cache traffic for the metrics page.
+// All methods on Federation update it; read the fields atomically via
+// Snapshot on the owning service's side.
+type FederationStats struct {
+	Hits     uint64 // remote peer returned the result
+	Misses   uint64 // remote peer answered, had no result
+	Degraded uint64 // peer unreachable or malformed; fell back local
+	Offers   uint64 // write-through pushes to the owning peer
+}
+
+// Federation is the read-through remote tier of the content-addressed
+// result cache: a consistent-hash ring over cache peers, queried on local
+// miss and written through on completion. It moves opaque result bytes —
+// the service owns the JSON shape — and it degrades rather than fails:
+// any peer error is a miss plus a degraded count, never a caller error.
+type Federation struct {
+	// Self is this node's peer ID; keys this node owns are not fetched
+	// remotely (the local cache already answered).
+	Self string
+	// Client issues peer requests; nil selects a client with a short
+	// per-request timeout so a partitioned peer degrades quickly.
+	Client *http.Client
+	// Blackhole, when set, force-fails the peer request for fault
+	// injection (cache-peer partition plans) before any network touch.
+	Blackhole func(peer Peer) bool
+
+	mu    sync.Mutex
+	ring  *hashRing
+	stats FederationStats
+}
+
+// NewFederation builds a federation with no peers (everything stays
+// local until SetPeers installs membership).
+func NewFederation(self string) *Federation {
+	return &Federation{
+		Self:   self,
+		Client: &http.Client{Timeout: 2 * time.Second},
+	}
+}
+
+// SetPeers rebuilds the ring; the coordinator's PeersChanged event feeds
+// this on every membership change.
+func (f *Federation) SetPeers(peers []Peer) {
+	ring := newHashRing(peers)
+	f.mu.Lock()
+	f.ring = ring
+	f.mu.Unlock()
+}
+
+// Peers returns the number of peers currently on the ring.
+func (f *Federation) Peers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Len()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Federation) Stats() FederationStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// owner resolves the owning peer for key, excluding self.
+func (f *Federation) owner(key string) (Peer, bool) {
+	f.mu.Lock()
+	ring := f.ring
+	f.mu.Unlock()
+	p, ok := ring.Owner(key)
+	if !ok || p.ID == f.Self {
+		return Peer{}, false
+	}
+	return p, true
+}
+
+func (f *Federation) count(field *uint64) {
+	f.mu.Lock()
+	*field++
+	f.mu.Unlock()
+}
+
+func cacheURL(addr, key string) string {
+	return addr + "/cluster/v1/cache/" + url.PathEscape(key)
+}
+
+// Fetch asks the owning peer for the result bytes under key. It returns
+// (nil, false) on miss AND on any peer failure — unreachable, slow,
+// malformed — counting the failure as degraded; the caller's local
+// fallback (recompute) is always correct, just slower.
+func (f *Federation) Fetch(ctx context.Context, key string) ([]byte, bool) {
+	peer, ok := f.owner(key)
+	if !ok {
+		return nil, false
+	}
+	if f.Blackhole != nil && f.Blackhole(peer) {
+		f.count(&f.stats.Degraded)
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cacheURL(peer.Addr, key), nil)
+	if err != nil {
+		f.count(&f.stats.Degraded)
+		return nil, false
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		f.count(&f.stats.Degraded)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxFederatedResultBytes+1))
+		if err != nil || len(data) == 0 || len(data) > maxFederatedResultBytes {
+			f.count(&f.stats.Degraded)
+			return nil, false
+		}
+		f.count(&f.stats.Hits)
+		return data, true
+	case http.StatusNotFound:
+		f.count(&f.stats.Misses)
+		return nil, false
+	default:
+		f.count(&f.stats.Degraded)
+		return nil, false
+	}
+}
+
+// Offer writes result bytes through to the owning peer, best-effort: a
+// failed offer only costs a future federated hit.
+func (f *Federation) Offer(ctx context.Context, key string, data []byte) error {
+	peer, ok := f.owner(key)
+	if !ok {
+		return nil
+	}
+	if f.Blackhole != nil && f.Blackhole(peer) {
+		f.count(&f.stats.Degraded)
+		return fmt.Errorf("cluster: cache peer %s blackholed", peer.ID)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, cacheURL(peer.Addr, key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client().Do(req)
+	if err != nil {
+		f.count(&f.stats.Degraded)
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		f.count(&f.stats.Degraded)
+		return fmt.Errorf("cluster: cache peer %s: %s", peer.ID, resp.Status)
+	}
+	f.count(&f.stats.Offers)
+	return nil
+}
+
+func (f *Federation) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}

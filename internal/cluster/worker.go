@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"paramring/internal/verify"
+)
+
+// runTask executes one task through r with the worker-side recover
+// boundary: a panic in the Before hook or the engine is captured as an
+// ErrWorkerPanic-wrapped error instead of killing the worker loop, so
+// the coordinator's retry accounting sees it like any other transient
+// failure.
+func runTask(ctx context.Context, r Runner, t Task, before func(Task) error) (rep *verify.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = nil
+			err = fmt.Errorf("%w: job %s attempt %d: %v", ErrWorkerPanic, t.JobID, t.Attempt, p)
+		}
+	}()
+	if before != nil {
+		if herr := before(t); herr != nil {
+			return nil, herr
+		}
+	}
+	return r.Run(ctx, t)
+}
+
+// LocalWorker is an in-process cluster worker: the same pull / heartbeat
+// / complete protocol as a remote lrserved worker, minus the HTTP hop.
+// The chaos suite runs 3-worker clusters out of these; the service's
+// default cluster mode runs its engine workers as LocalWorkers sharing
+// one LocalRunner.
+type LocalWorker struct {
+	Coord  *Coordinator
+	Info   WorkerInfo
+	Runner Runner
+	// Before runs before each task inside the recover boundary — the
+	// service wires its BeforeVerify fault hook here so single-node and
+	// cluster chaos share injection sites.
+	Before func(t Task) error
+	// HeartbeatFilter, when set, gates each renewal: returning false
+	// swallows the heartbeat (the blackhole fault plan). The worker keeps
+	// running the task; only the renewal is lost.
+	HeartbeatFilter func(workerID, jobID string) bool
+
+	interval time.Duration
+	wg       sync.WaitGroup
+}
+
+// Start registers the worker and launches one pull loop per slot.
+func (w *LocalWorker) Start() error {
+	if err := w.Coord.register(w.Info, false); err != nil {
+		return err
+	}
+	w.interval = w.Coord.cfg.HeartbeatInterval
+	for i := 0; i < w.Info.slots(); i++ {
+		w.wg.Add(1)
+		go w.loop()
+	}
+	return nil
+}
+
+// Wait blocks until every pull loop has exited (they exit when the
+// coordinator stops).
+func (w *LocalWorker) Wait() {
+	w.wg.Wait()
+}
+
+func (w *LocalWorker) loop() {
+	defer w.wg.Done()
+	for {
+		t, token, ctx, err := w.Coord.Next(context.Background(), w.Info.ID)
+		if err != nil {
+			if errors.Is(err, ErrUnknownWorker) {
+				// Dropped from the registry (a lease expired on us); local
+				// workers are still alive, so re-join and keep serving.
+				if w.Coord.register(w.Info, false) != nil {
+					return
+				}
+				continue
+			}
+			return // ErrStopped
+		}
+		stop := w.heartbeats(t.JobID, token)
+		rep, rerr := runTask(ctx, w.Runner, t, w.Before)
+		stop()
+		w.Coord.Complete(w.Info.ID, t.JobID, token, rep, rerr)
+	}
+}
+
+// heartbeats renews the lease for jobID under its fencing token on the
+// configured cadence until the returned stop function is called or the
+// lease dies.
+func (w *LocalWorker) heartbeats(jobID string, token uint64) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(w.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if w.HeartbeatFilter != nil && !w.HeartbeatFilter(w.Info.ID, jobID) {
+					continue
+				}
+				err := w.Coord.Heartbeat(w.Info.ID, jobID, token)
+				if err != nil && !errors.Is(err, ErrUnknownWorker) {
+					// ErrLeaseGone / ErrStopped: nothing left to renew. The
+					// run context was canceled at expiry; let the loop's
+					// Complete surface as a late result.
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -299,6 +299,26 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// RecordVerdict folds an externally produced verdict — a remote
+// verification service, typically — into the named entry, clearing its
+// dirty bit. canonical guards against racing edits: the verdict applies
+// only while the entry's content still matches, and the return value
+// reports whether it did. Call Save afterwards to persist.
+func (s *Store) RecordVerdict(name, canonical, verdict string, selfStabilizing bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok || e.Canonical != canonical {
+		return false
+	}
+	e.Dirty = false
+	e.Verified = true
+	e.SelfStabilizing = selfStabilizing
+	e.Verdict = verdict
+	e.VerifiedAt = time.Now()
+	return true
+}
+
 // Dirty returns the names of entries pending (re-)verification, sorted.
 func (s *Store) Dirty() []string {
 	s.mu.Lock()

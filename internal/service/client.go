@@ -1,0 +1,238 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the well-behaved HTTP client for the service, used by
+// lrfleet's server mode. Its one nontrivial behavior is backpressure
+// cooperation: a 503 with Retry-After is not an error but an invitation
+// to wait — the client honors the server's hint, backs off exponentially
+// with jitter across attempts (so a fleet of clients re-arriving after a
+// shared stall doesn't re-stampede the queue), caps the delay, and gives
+// up only after MaxRetries or when the caller's context is canceled.
+type Client struct {
+	// BaseURL is the service root (http://host:port), no trailing slash.
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds 503 re-submissions per call (default 5; the first
+	// attempt is not a retry).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 200ms); it doubles
+	// per retry, is never below the server's Retry-After hint, and is
+	// capped at MaxDelay (default 10s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Rand supplies backoff jitter (default the global source). Tests pin
+	// it for determinism.
+	Rand *rand.Rand
+}
+
+// ClientError is a non-backpressure HTTP failure: status plus the
+// server's error body.
+type ClientError struct {
+	Status int
+	Body   string
+}
+
+func (e *ClientError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Body)
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 5
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay > 0 {
+		return c.BaseDelay
+	}
+	return 200 * time.Millisecond
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 10 * time.Second
+}
+
+// backoff computes the wait before retry attempt (0-based): the larger of
+// the exponential schedule and the server's Retry-After hint, jittered by
+// ±25%, capped at MaxDelay.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseDelay() << attempt
+	if d < retryAfter {
+		d = retryAfter
+	}
+	if max := c.maxDelay(); d > max {
+		d = max
+	}
+	// Jitter spreads synchronized clients; the server hint stays the floor
+	// so we never arrive before the server said capacity might exist.
+	jitter := time.Duration(float64(d) * 0.25 * c.rand())
+	if d+jitter > c.maxDelay() {
+		return c.maxDelay()
+	}
+	return d + jitter
+}
+
+func (c *Client) rand() float64 {
+	if c.Rand != nil {
+		return c.Rand.Float64()
+	}
+	return rand.Float64()
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds form; the
+// HTTP-date form is not used by the service). 0 means absent/unparsable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Verify submits one spec. On 503 backpressure it waits and retries as
+// described on Client; ctx cancellation aborts both in-flight requests
+// and backoff waits.
+func (c *Client) Verify(ctx context.Context, req Request) (*JobView, error) {
+	var view JobView
+	if err := c.post(ctx, "/v1/verify", req, &view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// VerifyBatch submits a batch, with the same backpressure behavior.
+func (c *Client) VerifyBatch(ctx context.Context, req BatchRequest) (*BatchView, error) {
+	var view BatchView
+	if err := c.post(ctx, "/v1/verify/batch", req, &view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// Batch polls a batch's aggregate progress.
+func (c *Client) Batch(ctx context.Context, id string) (*BatchView, error) {
+	var view BatchView
+	if err := c.get(ctx, "/v1/verify/batch/"+id, &view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var view JobView
+	if err := c.get(ctx, "/v1/jobs/"+id, &view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		status, respBody, header, err := c.do(ctx, http.MethodPost, path, data)
+		if err != nil {
+			return err
+		}
+		switch {
+		case status >= 200 && status < 300:
+			return json.Unmarshal(respBody, out)
+		case status == http.StatusServiceUnavailable && attempt < c.maxRetries():
+			delay := c.backoff(attempt, parseRetryAfter(header))
+			if !sleepCtx(ctx, delay) {
+				return ctx.Err()
+			}
+			continue
+		default:
+			return &ClientError{Status: status, Body: errorBody(respBody)}
+		}
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	status, respBody, _, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	if status >= 200 && status < 300 {
+		return json.Unmarshal(respBody, out)
+	}
+	return &ClientError{Status: status, Body: errorBody(respBody)}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, []byte, http.Header, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := c.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return resp.StatusCode, nil, resp.Header, err
+	}
+	return resp.StatusCode, data, resp.Header, nil
+}
+
+// errorBody extracts the {"error": ...} payload, falling back to the raw
+// body.
+func errorBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// sleepCtx sleeps for d or until ctx is done; reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

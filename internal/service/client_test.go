@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The backpressure regression: a server that 503s twice (Retry-After: 0)
+// then accepts must cost exactly three requests and still succeed.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
+			return
+		}
+		writeJSON(w, http.StatusOK, JobView{ID: "job-000001", State: StateDone})
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL:   srv.URL,
+		BaseDelay: time.Millisecond,
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	view, err := c.Verify(context.Background(), Request{Spec: "protocol p\n"})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if view.ID != "job-000001" || view.State != StateDone {
+		t.Fatalf("unexpected view: %+v", view)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 requests (2 x 503 + accept), got %d", got)
+	}
+}
+
+// Context cancellation must abort the backoff wait promptly, not sleep it
+// out.
+func TestClientCancelAbortsBackoffWait(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30") // an honest server under real load
+		writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	c := &Client{BaseURL: srv.URL, Rand: rand.New(rand.NewSource(1))}
+	start := time.Now()
+	_, err := c.VerifyBatch(ctx, BatchRequest{Specs: []string{"protocol p\n"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not abort the wait: took %v", elapsed)
+	}
+}
+
+// Exhausted retries surface the 503 as a ClientError rather than retrying
+// forever.
+func TestClientRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL:    srv.URL,
+		MaxRetries: 2,
+		BaseDelay:  time.Millisecond,
+		Rand:       rand.New(rand.NewSource(1)),
+	}
+	_, err := c.Verify(context.Background(), Request{Spec: "protocol p\n"})
+	var ce *ClientError
+	if !errors.As(err, &ce) || ce.Status != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503 ClientError, got %v", err)
+	}
+	if got := calls.Load(); got != 3 { // initial + 2 retries
+		t.Fatalf("expected 3 requests, got %d", got)
+	}
+}
+
+// The backoff schedule doubles from BaseDelay, never undercuts the
+// server's Retry-After, and caps at MaxDelay (jitter included).
+func TestClientBackoffSchedule(t *testing.T) {
+	c := &Client{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+		Rand: rand.New(rand.NewSource(1))}
+	if d := c.backoff(0, 0); d < 100*time.Millisecond || d > 125*time.Millisecond {
+		t.Fatalf("attempt 0: want [100ms,125ms], got %v", d)
+	}
+	if d := c.backoff(1, 0); d < 200*time.Millisecond || d > 250*time.Millisecond {
+		t.Fatalf("attempt 1: want [200ms,250ms], got %v", d)
+	}
+	// Retry-After above the schedule becomes the floor.
+	if d := c.backoff(0, 500*time.Millisecond); d < 500*time.Millisecond {
+		t.Fatalf("Retry-After floor violated: %v", d)
+	}
+	// The cap binds even after jitter.
+	for attempt := 0; attempt < 20; attempt++ {
+		if d := c.backoff(attempt, 0); d > time.Second {
+			t.Fatalf("attempt %d exceeds cap: %v", attempt, d)
+		}
+	}
+}
+
+// Non-backpressure errors fail immediately: a 400 must not be retried.
+func TestClientBadRequestNoRetry(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("parse error"))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Rand: rand.New(rand.NewSource(1))}
+	_, err := c.Verify(context.Background(), Request{Spec: "garbage"})
+	var ce *ClientError
+	if !errors.As(err, &ce) || ce.Status != http.StatusBadRequest {
+		t.Fatalf("expected 400 ClientError, got %v", err)
+	}
+	if ce.Body != "parse error" {
+		t.Fatalf("error body not extracted: %q", ce.Body)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("400 must not be retried; got %d requests", got)
+	}
+}

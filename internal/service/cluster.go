@@ -1,0 +1,316 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"paramring/internal/cluster"
+	"paramring/internal/explicit"
+	"paramring/internal/verify"
+)
+
+// ClusterConfig turns the service into a cluster coordinator: instead of
+// running jobs on a local worker pool, the dispatcher places each job on
+// a lease-holding worker — in-process LocalWorkers configured here,
+// remote lrserved processes joined over HTTP, or both. The journal gains
+// lease records so a coordinator restart knows which jobs were running
+// where; the result cache gains a consistent-hash federated tier over
+// the worker peers.
+type ClusterConfig struct {
+	// LeaseTTL is how long a lease survives without a heartbeat (default
+	// 10s). Must exceed HeartbeatInterval; cmd/lrserved validates this at
+	// the flag boundary.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the renewal cadence (default LeaseTTL/4).
+	HeartbeatInterval time.Duration
+	// LocalWorkers is the number of in-process cluster workers to start
+	// (0 = serve remote joiners only).
+	LocalWorkers int
+	// WorkerSlots is the per-local-worker concurrency (default 1).
+	WorkerSlots int
+	// WorkerMemBudgetBytes is each local worker's advertised placement
+	// budget (0 = unlimited).
+	WorkerMemBudgetBytes uint64
+	// SelfID names this node on the federated-cache ring (default
+	// "coordinator").
+	SelfID string
+
+	// Fault-injection seams for the chaos suite (nil in production).
+	// HeartbeatFilter gates local workers' renewals (false = blackholed);
+	// CachePeerBlackhole force-fails federated cache calls to a peer.
+	HeartbeatFilter    func(workerID, jobID string) bool
+	CachePeerBlackhole func(peer cluster.Peer) bool
+	// Observer receives one call per cluster event — the chaos transcript
+	// hook (nil = none). Events: lease-granted, lease-renewed,
+	// lease-expired, late-result, worker-joined, worker-lost, redispatch.
+	Observer func(event, jobID, workerID string)
+}
+
+func (c *ClusterConfig) selfID() string {
+	if c.SelfID == "" {
+		return "coordinator"
+	}
+	return c.SelfID
+}
+
+// initCluster builds the coordinator, federation, and shared runner.
+// Called from New before replay so recovered leases can be reinstalled.
+func (s *Service) initCluster() {
+	cc := s.cfg.Cluster
+	s.fed = cluster.NewFederation(cc.selfID())
+	s.fed.Blackhole = cc.CachePeerBlackhole
+	s.runner = cluster.NewLocalRunner(s.specs, s.memos)
+	s.coord = cluster.NewCoordinator(cluster.Config{
+		LeaseTTL:          cc.LeaseTTL,
+		HeartbeatInterval: cc.HeartbeatInterval,
+		DegradeOverBudget: s.cfg.DegradeOverBudget,
+		Log:               s.cfg.Log,
+		Events: cluster.Events{
+			LeaseGranted: func(jobID, workerID string, expiry time.Time, renewal bool) {
+				if renewal {
+					s.metrics.ClusterLeaseRenewals.Add(1)
+					s.observeCluster("lease-renewed", jobID, workerID)
+				} else {
+					s.metrics.ClusterLeasesGranted.Add(1)
+					s.observeCluster("lease-granted", jobID, workerID)
+				}
+				// Fsynced before the worker can act on the task (grants) or
+				// before the renewal is acknowledged: the journal never
+				// believes a lease the disk does not.
+				s.journalAppend(journalRecord{
+					Op: opLease, ID: jobID, Worker: workerID, ExpireAtMS: expiry.UnixMilli(),
+				})
+			},
+			LeaseExpired: func(jobID, workerID string) {
+				s.metrics.ClusterLeasesExpired.Add(1)
+				s.observeCluster("lease-expired", jobID, workerID)
+			},
+			LateResult: func(jobID, workerID string) {
+				s.metrics.ClusterLateResults.Add(1)
+				s.observeCluster("late-result", jobID, workerID)
+			},
+			WorkerJoined: func(info cluster.WorkerInfo) {
+				s.metrics.ClusterWorkersJoined.Add(1)
+				s.observeCluster("worker-joined", "", info.ID)
+			},
+			WorkerLost: func(id, reason string) {
+				s.metrics.ClusterWorkersLost.Add(1)
+				s.observeCluster("worker-lost", reason, id)
+			},
+			PeersChanged: func(peers []cluster.Peer) {
+				s.fed.SetPeers(peers)
+			},
+		},
+	})
+}
+
+func (s *Service) observeCluster(event, jobID, workerID string) {
+	if cc := s.cfg.Cluster; cc != nil && cc.Observer != nil {
+		cc.Observer(event, jobID, workerID)
+	}
+}
+
+// startCluster launches the coordinator, the configured in-process
+// workers, and the single dispatcher goroutine that drains the job queue
+// into lease dispatches.
+func (s *Service) startCluster() {
+	cc := s.cfg.Cluster
+	s.coord.Start()
+	before := func(t cluster.Task) error {
+		if h := s.cfg.Hooks; h != nil && h.BeforeVerify != nil {
+			if herr := h.BeforeVerify(t.JobID, t.Attempt); herr != nil {
+				return fmt.Errorf("%w: %v", ErrTransient, herr)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < cc.LocalWorkers; i++ {
+		w := &cluster.LocalWorker{
+			Coord: s.coord,
+			Info: cluster.WorkerInfo{
+				ID:             fmt.Sprintf("%s-w%d", cc.selfID(), i),
+				MemBudgetBytes: cc.WorkerMemBudgetBytes,
+				Slots:          cc.WorkerSlots,
+			},
+			Runner:          s.runner,
+			Before:          before,
+			HeartbeatFilter: cc.HeartbeatFilter,
+		}
+		if err := w.Start(); err != nil {
+			s.cfg.Log.Printf("cluster: local worker %d: %v", i, err)
+			continue
+		}
+		s.clusterWorkers = append(s.clusterWorkers, w)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for j := range s.queue {
+			s.metrics.JobsQueued.Add(-1)
+			s.dispatch(j)
+		}
+	}()
+}
+
+// stopCluster shuts the coordinator down (firing any outstanding lease
+// as canceled-replayable) and waits for the local worker loops.
+func (s *Service) stopCluster() {
+	if s.coord == nil {
+		return
+	}
+	s.coord.Stop()
+	for _, w := range s.clusterWorkers {
+		w.Wait()
+	}
+}
+
+// taskForJob projects a job into the wire-safe cluster task. The option
+// mapping mirrors jobVerifyOptions exactly — including the server-level
+// degraded clamps — so a clustered attempt and a local attempt hand the
+// engine identical options and therefore produce byte-identical results.
+func (s *Service) taskForJob(j *Job, attempt int) cluster.Task {
+	o := j.spec.options
+	workers := s.cfg.EngineWorkers
+	if o.Workers > 0 && o.Workers < workers {
+		workers = o.Workers
+	}
+	topts := cluster.Options{
+		ConfirmMaxK:         o.ConfirmMaxK,
+		CrossValidateMaxK:   o.CrossValidateMaxK,
+		BoundedFallbackMaxK: o.BoundedFallbackMaxK,
+		MaxTArcs:            o.MaxTArcs,
+		Workers:             workers,
+		Invariant:           o.Invariant,
+	}
+	if j.degraded {
+		topts.Workers = 1
+		topts.MaxStates = explicit.MaxStatesForBudget(s.cfg.MemoryBudgetBytes)
+	}
+	return cluster.Task{
+		JobID:          j.id,
+		Spec:           j.spec.canonical,
+		Options:        topts,
+		Estimate:       j.estimate,
+		DeadlineUnixMS: j.deadline.UnixMilli(),
+		Attempt:        attempt,
+		Degraded:       j.degraded,
+	}
+}
+
+// dispatch is the cluster counterpart of run: one attempt, placed on a
+// worker under a lease instead of executed inline. The coordinator fires
+// the done callback exactly once — completion, lease expiry, or shutdown
+// — and the callback routes the outcome through the same finishAttempt
+// classification as local execution, so retries, quarantine, journaling,
+// and caching behave identically in both modes.
+func (s *Service) dispatch(j *Job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.attempts++
+	j.started = time.Now()
+	attempt := j.attempts
+	s.mu.Unlock()
+	s.metrics.JobsRunning.Add(1)
+
+	ctx, cancel := context.WithDeadline(s.runCtx, j.deadline)
+	err := s.coord.Dispatch(ctx, s.taskForJob(j, attempt), s.leaseDone(j, cancel))
+	if err != nil {
+		cancel()
+		s.metrics.JobsRunning.Add(-1)
+		if errors.Is(err, cluster.ErrStopped) {
+			s.finalize(j, StateFailed, "shutting down before dispatch; journaled for replay", true)
+			return
+		}
+		// ErrNoWorker (deterministic: no registered worker can ever fit) and
+		// context errors flow through the standard classification.
+		s.finishAttempt(j, nil, err, false)
+	}
+}
+
+// leaseDone builds the exactly-once outcome callback for one dispatched
+// attempt. cancel releases the dispatch-scoped context (nil for leases
+// recovered from the journal, which have no dispatch context).
+func (s *Service) leaseDone(j *Job, cancel context.CancelFunc) cluster.DoneFunc {
+	return func(rep *verify.Report, workerID string, err error) {
+		if cancel != nil {
+			cancel()
+		}
+		s.metrics.JobsRunning.Add(-1)
+		switch {
+		case err != nil && errors.Is(err, cluster.ErrWorkerPanic):
+			// Mirror the local path: count the panic, classify transient.
+			s.metrics.JobsPanicked.Add(1)
+			s.finishAttempt(j, nil, err, true)
+		case err != nil && errors.Is(err, cluster.ErrLeaseExpired):
+			s.metrics.ClusterRedispatches.Add(1)
+			s.observeCluster("redispatch", j.id, workerID)
+			s.finishAttempt(j, nil, fmt.Errorf("%w: %v", ErrTransient, err), false)
+		default:
+			s.finishAttempt(j, rep, err, false)
+		}
+	}
+}
+
+// recoverLease reinstalls a journaled lease after a coordinator restart:
+// the job is indexed as running, and the coordinator either accepts the
+// re-joined worker's completion or expires the lease — re-dispatching
+// the job through the normal retry path exactly once.
+func (s *Service) recoverLease(j *Job, workerID string, expiry time.Time) {
+	j.state = StateRunning
+	j.attempts = 1
+	j.started = time.Now()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.metrics.JobsReplayed.Add(1)
+	s.metrics.JobsRunning.Add(1)
+	s.coord.Recover(s.taskForJob(j, 1), workerID, expiry, s.leaseDone(j, nil))
+}
+
+// cacheGet is the read-through cache lookup: local memory/disk tiers
+// first, then — on miss, in cluster mode — the federated tier keyed by
+// consistent hash over the content address. A federated fetch failure is
+// a plain miss (degraded, never failing); a hit is promoted into the
+// local cache.
+func (s *Service) cacheGet(key string) (*Result, bool) {
+	if res, ok := s.cache.Get(key); ok {
+		return res, true
+	}
+	if s.fed == nil || s.fed.Peers() == 0 {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, 2*time.Second)
+	defer cancel()
+	data, ok := s.fed.Fetch(ctx, key)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	s.cache.insert(key, &res)
+	return &res, true
+}
+
+// offerToPeers pushes a fresh result to its owning cache peer,
+// best-effort and asynchronous — a lost offer only costs a future
+// federated hit.
+func (s *Service) offerToPeers(key string, res *Result) {
+	if s.fed == nil || s.fed.Peers() == 0 {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.fed.Offer(ctx, key, data); err != nil {
+			s.cfg.Log.Printf("cluster: federated cache offer: %v", err)
+		}
+	}()
+}

@@ -24,12 +24,19 @@ const (
 	opDone       = "done"       // terminal: result produced (and cached)
 	opFail       = "fail"       // terminal: deterministic failure, not replayed
 	opQuarantine = "quarantine" // terminal: retries exhausted; kept visible
+	// opLease records a cluster lease grant or renewal: which worker holds
+	// the job and until when. Non-terminal; the latest lease per id wins
+	// and a terminal record clears it. A coordinator restart uses it to
+	// reinstall outstanding leases instead of blindly re-enqueueing jobs
+	// that are still running on live workers.
+	opLease = "lease"
 )
 
 // journalRecord is one JSONL line. Submit records carry everything needed
 // to rebuild the job (the canonical spec text, normalized options, the
 // timeout to re-anchor the deadline at replay time); terminal records
-// carry only the id and, for fail/quarantine, the error.
+// carry only the id and, for fail/quarantine, the error; lease records
+// carry the holder and expiry.
 type journalRecord struct {
 	Op        string          `json:"op"`
 	ID        string          `json:"id"`
@@ -38,6 +45,11 @@ type journalRecord struct {
 	Options   *RequestOptions `json:"options,omitempty"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Worker and ExpireAtMS belong to lease records: the holding worker's
+	// id and the lease expiry as a Unix-milliseconds wall timestamp (wall
+	// clock so it stays meaningful across the restart that replays it).
+	Worker     string `json:"worker,omitempty"`
+	ExpireAtMS int64  `json:"expire_at_ms,omitempty"`
 }
 
 // journal is the WAL handle. Append is fsync-per-record: the service
@@ -146,6 +158,12 @@ type replayState struct {
 	pending     []journalRecord // submits with no terminal record: re-enqueue
 	quarantined []journalRecord // submit records whose job was quarantined
 	reasons     map[string]string
+	// leases maps pending job ids to their latest lease record (cluster
+	// mode): an unexpired lease is reinstalled on the coordinator so a
+	// still-running worker can complete it; an expired one re-dispatches
+	// the job exactly once. Non-cluster replay ignores this and simply
+	// re-enqueues the pending submit.
+	leases map[string]journalRecord
 }
 
 // reduceJournal folds the record stream into replay state. Order matters
@@ -156,6 +174,7 @@ func reduceJournal(recs []journalRecord) replayState {
 	var order []string
 	terminal := make(map[string]string) // id -> terminal op
 	reasons := make(map[string]string)
+	leases := make(map[string]journalRecord)
 	for _, rec := range recs {
 		switch rec.Op {
 		case opSubmit:
@@ -163,18 +182,24 @@ func reduceJournal(recs []journalRecord) replayState {
 				order = append(order, rec.ID)
 			}
 			submits[rec.ID] = rec
+		case opLease:
+			leases[rec.ID] = rec
 		case opDone, opFail, opQuarantine:
 			terminal[rec.ID] = rec.Op
+			delete(leases, rec.ID) // the lease resolved before the crash
 			if rec.Error != "" {
 				reasons[rec.ID] = rec.Error
 			}
 		}
 	}
-	st := replayState{reasons: reasons}
+	st := replayState{reasons: reasons, leases: make(map[string]journalRecord)}
 	for _, id := range order {
 		switch terminal[id] {
 		case "":
 			st.pending = append(st.pending, submits[id])
+			if lr, ok := leases[id]; ok {
+				st.leases[id] = lr
+			}
 		case opQuarantine:
 			st.quarantined = append(st.quarantined, submits[id])
 		}

@@ -61,6 +61,21 @@ type Metrics struct {
 	// RecordInvariantCertBytes.
 	InvariantCertBytes atomic.Uint64
 
+	// Cluster counters (all 0 outside coordinator mode). Grants and
+	// renewals track the lease journal; expiries are the failover signal —
+	// each one means a worker died, hung, or partitioned mid-job and the
+	// job re-entered the retry machinery (ClusterRedispatches counts those
+	// re-entries, including expired-lease re-dispatch at replay). Late
+	// results are completions that arrived after their lease died, counted
+	// and dropped — safe, because results are content-addressed.
+	ClusterLeasesGranted atomic.Uint64
+	ClusterLeaseRenewals atomic.Uint64
+	ClusterLeasesExpired atomic.Uint64
+	ClusterRedispatches  atomic.Uint64
+	ClusterLateResults   atomic.Uint64
+	ClusterWorkersJoined atomic.Uint64
+	ClusterWorkersLost   atomic.Uint64
+
 	parse   histogram
 	verify  histogram
 	total   histogram
@@ -203,6 +218,13 @@ func (m *Metrics) WriteTo(w io.Writer, extraGauges map[string]float64) {
 	counter("lrserved_invariant_runs_total", "Verifications where the invariant lane ran to completion.", m.InvariantRuns.Load())
 	counter("lrserved_invariant_proved_total", "Livelock verdicts settled by the invariant lane where the theorems were silent.", m.InvariantProved.Load())
 	counter("lrserved_invariant_disagreements_total", "Finished verifications whose report carried cross-lane conflicts (tool-bug alarm).", m.InvariantDisagreements.Load())
+	counter("lrserved_cluster_lease_granted_total", "Cluster leases granted to workers.", m.ClusterLeasesGranted.Load())
+	counter("lrserved_cluster_lease_renewed_total", "Cluster lease heartbeat renewals.", m.ClusterLeaseRenewals.Load())
+	counter("lrserved_cluster_lease_expired_total", "Cluster leases that expired unrenewed (worker dead, hung, or partitioned); each triggers a re-dispatch.", m.ClusterLeasesExpired.Load())
+	counter("lrserved_cluster_redispatch_total", "Jobs re-entered into the retry machinery after a lease expiry.", m.ClusterRedispatches.Load())
+	counter("lrserved_cluster_late_results_total", "Completions dropped because their lease had already expired.", m.ClusterLateResults.Load())
+	counter("lrserved_cluster_workers_joined_total", "Workers registered with the coordinator.", m.ClusterWorkersJoined.Load())
+	counter("lrserved_cluster_workers_lost_total", "Workers dropped from the registry (lease expiry or clean leave).", m.ClusterWorkersLost.Load())
 	gauge("lrserved_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued.Load()))
 	gauge("lrserved_jobs_running", "Jobs currently executing.", float64(m.JobsRunning.Load()))
 	gauge("lrserved_explicit_peak_table_bytes", "Largest resident explicit-engine state table of any verification.", float64(m.PeakTableBytes.Load()))

@@ -51,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"paramring/internal/cluster"
 	"paramring/internal/corpus"
 	"paramring/internal/explicit"
 	"paramring/internal/verify"
@@ -137,6 +138,12 @@ type Config struct {
 	// submissions are rejected with ErrOverBudget.
 	DegradeOverBudget bool
 
+	// Cluster, when non-nil, runs the service as a cluster coordinator:
+	// jobs are dispatched to lease-holding workers (in-process or remote)
+	// instead of the local worker pool, and Workers is ignored in favor of
+	// a single dispatcher. See ClusterConfig.
+	Cluster *ClusterConfig
+
 	// Hooks are fault-injection points (nil = none).
 	Hooks *Hooks
 	// Log receives operational warnings — cache write-through failures,
@@ -183,6 +190,14 @@ type Service struct {
 	memos   *corpus.FamilyMemos // per-family skeleton LTG + verdict memo, shared across jobs
 	wal     *journal            // nil without CacheDir
 	admit   *admission
+
+	// Cluster-coordinator state, nil/empty outside cluster mode: the lease
+	// coordinator, the federated result-cache tier, the shared runner the
+	// in-process workers execute through, and those workers.
+	coord          *cluster.Coordinator
+	fed            *cluster.Federation
+	runner         cluster.Runner
+	clusterWorkers []*cluster.LocalWorker
 
 	queue     chan *Job
 	runCtx    context.Context
@@ -256,6 +271,10 @@ func New(cfg Config) (*Service, error) {
 		retries:      make(map[string]*time.Timer),
 		cacheErrSeen: make(map[string]bool),
 	}
+	if cfg.Cluster != nil {
+		// Before replay: recovered leases are reinstalled on the coordinator.
+		s.initCluster()
+	}
 	if err := s.replay(recovery); err != nil {
 		cancel()
 		if wal != nil {
@@ -295,10 +314,10 @@ func (s *Service) replay(st replayState) error {
 			s.journalAppend(journalRecord{Op: opFail, ID: rec.ID, Error: "unreplayable journal record"})
 			continue
 		}
-		s.metrics.JobsReplayed.Add(1)
 		if res, ok := s.cache.Get(j.key); ok {
 			// The result landed before the crash: the replay is an
 			// instant content-addressed cache hit.
+			s.metrics.JobsReplayed.Add(1)
 			s.metrics.CacheHits.Add(1)
 			s.metrics.JobsDone.Add(1)
 			j.state = StateDone
@@ -312,6 +331,21 @@ func (s *Service) replay(st replayState) error {
 			s.journalAppend(journalRecord{Op: opDone, ID: j.id})
 			continue
 		}
+		if lr, hasLease := st.leases[rec.ID]; hasLease && s.coord != nil {
+			if expiry := time.UnixMilli(lr.ExpireAtMS); time.Now().Before(expiry) {
+				// The lease was live when the coordinator died: reinstall it.
+				// If the worker is still alive it re-joins and completes;
+				// otherwise the expiry re-dispatches the job exactly once.
+				s.recoverLease(j, lr.Worker, expiry)
+				continue
+			}
+			// Lease already expired at boot: this re-enqueue IS the one
+			// re-dispatch the expiry owes the job.
+			s.metrics.ClusterLeasesExpired.Add(1)
+			s.metrics.ClusterRedispatches.Add(1)
+			s.observeCluster("redispatch", rec.ID, lr.Worker)
+		}
+		s.metrics.JobsReplayed.Add(1)
 		j.state = StateQueued
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
@@ -359,8 +393,13 @@ func (s *Service) jobFromRecord(rec journalRecord) *Job {
 	return j
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool — or, in cluster mode, the coordinator,
+// the in-process cluster workers, and the lease dispatcher.
 func (s *Service) Start() {
+	if s.coord != nil {
+		s.startCluster()
+		return
+	}
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -417,7 +456,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	degraded := false
 	if budget := s.cfg.MemoryBudgetBytes; budget > 0 && estimate > budget {
 		if !s.cfg.DegradeOverBudget {
-			if _, ok := s.cache.Get(key); !ok {
+			if _, ok := s.cacheGet(key); !ok {
 				return nil, fmt.Errorf("%w: estimate %d bytes, budget %d bytes", ErrOverBudget, estimate, budget)
 			}
 			// A cached verdict needs no memory; fall through to the hit.
@@ -447,7 +486,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		done:      make(chan struct{}),
 	}
 
-	if res, ok := s.cache.Get(key); ok {
+	if res, ok := s.cacheGet(key); ok {
 		s.metrics.CacheHits.Add(1)
 		s.metrics.JobsDone.Add(1)
 		s.mu.Lock()
@@ -831,6 +870,7 @@ func (s *Service) writeThrough(key string, res *Result) {
 		err = s.cache.Put(key, res)
 	}
 	if err == nil {
+		s.offerToPeers(key, res)
 		return
 	}
 	s.metrics.CacheWriteErrors.Add(1)
@@ -920,6 +960,11 @@ type Stats struct {
 	// canonical-text compiles. The lrserved_spec_cache_{hits,misses}_total
 	// metrics count submissions only — they are the front-end skip rate.
 	SpecCache verify.SpecCacheStats `json:"spec_cache"`
+	// Cluster occupancy (coordinator mode only): registered workers,
+	// outstanding leases, and federated-cache peers on the ring.
+	ClusterWorkers int `json:"cluster_workers,omitempty"`
+	ClusterLeases  int `json:"cluster_leases,omitempty"`
+	CachePeers     int `json:"cache_peers,omitempty"`
 }
 
 // Stats returns current occupancy.
@@ -932,7 +977,7 @@ func (s *Service) Stats() Stats {
 		}
 	}
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Queued:           int(s.metrics.JobsQueued.Load()),
 		Running:          int(s.metrics.JobsRunning.Load()),
 		Workers:          s.cfg.Workers,
@@ -944,6 +989,12 @@ func (s *Service) Stats() Stats {
 		MemInUseBytes:    s.admit.used(),
 		SpecCache:        s.specs.Stats(),
 	}
+	if s.coord != nil {
+		st.ClusterWorkers = len(s.coord.Workers())
+		st.ClusterLeases = s.coord.Outstanding()
+		st.CachePeers = s.fed.Peers()
+	}
+	return st
 }
 
 // Shutdown drains gracefully: new submissions are rejected, queued jobs
@@ -984,14 +1035,21 @@ func (s *Service) stop(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		if s.coord != nil {
+			// The dispatcher has drained the queue; wait for the leases it
+			// placed to resolve (workers complete, or ctx forces cancel).
+			s.coord.Quiesce(ctx)
+		}
 		close(done)
 	}()
 	select {
 	case <-done:
 		s.cancelRun()
+		s.stopCluster()
 		return nil
 	case <-ctx.Done():
 		s.cancelRun()
+		s.stopCluster()
 		<-done
 		return ctx.Err()
 	}
@@ -1054,6 +1112,7 @@ func (s *Service) crash() {
 		close(s.queue)
 	}
 	s.wg.Wait()
+	s.stopCluster()
 	if s.wal != nil {
 		s.wal.close()
 	}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"paramring/internal/cluster"
+	"paramring/internal/corpus"
+	"paramring/internal/verify"
+)
+
+// WorkerNode is the process-level worker role behind `lrserved -join`: a
+// node that owns no queue and no journal, only a verification engine and
+// a local slice of the federated result cache. It joins a coordinator
+// over HTTP, pulls tasks under leases, and serves its cache tiers to
+// peers on the same /cluster/v1/cache/{key} surface the coordinator
+// mounts — which is what makes the consistent-hash federation symmetric.
+type WorkerNode struct {
+	cfg    WorkerNodeConfig
+	cache  *resultCache
+	specs  *verify.SpecCache
+	memos  *corpus.FamilyMemos
+	runner cluster.Runner
+}
+
+// WorkerNodeConfig configures a WorkerNode.
+type WorkerNodeConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID names this worker; must be unique across the cluster (default
+	// the hostname, then "worker").
+	ID string
+	// AdvertiseAddr is the base URL peers use to reach this node's cache
+	// endpoints (empty = this node serves no federated cache slice).
+	AdvertiseAddr string
+	// MemBudgetBytes is the advertised placement budget (0 = unlimited).
+	MemBudgetBytes uint64
+	// Slots is the concurrent-task capacity (default 1).
+	Slots int
+	// CacheSize / SpecCacheSize / CacheDir mirror the service's cache
+	// knobs for the node-local tiers.
+	CacheSize     int
+	SpecCacheSize int
+	CacheDir      string
+	Log           *log.Logger
+}
+
+func (c WorkerNodeConfig) withDefaults() WorkerNodeConfig {
+	if c.ID == "" {
+		if host, err := os.Hostname(); err == nil && host != "" {
+			c.ID = host
+		} else {
+			c.ID = "worker"
+		}
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.SpecCacheSize == 0 {
+		c.SpecCacheSize = 1024
+	}
+	if c.Log == nil {
+		c.Log = log.New(os.Stderr, "lrserved: ", log.LstdFlags)
+	}
+	return c
+}
+
+// NewWorkerNode builds a worker node. The verification substrate is the
+// same compiled-spec cache + per-family memo pair the service uses, so a
+// task produces the identical report no matter which node runs it.
+func NewWorkerNode(cfg WorkerNodeConfig) (*WorkerNode, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("service: worker node: coordinator URL required")
+	}
+	cache, err := newResultCache(cfg.CacheSize, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	n := &WorkerNode{
+		cfg:   cfg,
+		cache: cache,
+		specs: verify.NewSpecCache(cfg.SpecCacheSize),
+		memos: corpus.NewFamilyMemos(0),
+	}
+	n.runner = cluster.NewLocalRunner(n.specs, n.memos)
+	return n, nil
+}
+
+// Handler returns the worker node's HTTP surface: liveness plus the
+// federated-cache endpoints peers read through.
+func (n *WorkerNode) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"role":          "worker",
+			"worker_id":     n.cfg.ID,
+			"coordinator":   n.cfg.Coordinator,
+			"cache_entries": n.cache.Len(),
+		})
+	})
+	mountCacheEndpoints(mux, n.cache)
+	return mux
+}
+
+// Run joins the coordinator and serves tasks until ctx is done. Join
+// failures and dropped registrations (lease expiry on the coordinator)
+// are retried/re-joined internally; Run only returns on ctx cancellation
+// or a non-recoverable transport setup error.
+func (n *WorkerNode) Run(ctx context.Context) error {
+	rw := &cluster.Remote{
+		Coordinator: n.cfg.Coordinator,
+		Info: cluster.WorkerInfo{
+			ID:             n.cfg.ID,
+			Addr:           n.cfg.AdvertiseAddr,
+			MemBudgetBytes: n.cfg.MemBudgetBytes,
+			Slots:          n.cfg.Slots,
+		},
+		Runner: n.runner,
+		Log:    n.cfg.Log,
+	}
+	err := rw.Run(ctx)
+	if ctx.Err() != nil {
+		return nil // clean shutdown
+	}
+	return err
+}
