@@ -22,6 +22,20 @@
 // broken metric and exits 2. Regenerate the baseline when the grid
 // legitimately changes. PERFORMANCE.md documents the workflow, the
 // committed baselines, and how thresholds were chosen.
+//
+// Compare can also gate the opposite direction — demanding an improvement
+// rather than bounding a regression:
+//
+//	lrbench -compare -group table1/global -min-speedup 1.5 old.json new.json
+//
+// -group restricts both snapshots to the metrics whose name starts with the
+// prefix (so a frozen pre-optimization baseline stays usable after the rest
+// of the grid grows rows), and -min-speedup exits 1 unless the group's
+// geomean speedup (1/geomean ratio — for fixed-work rows, exactly the
+// geomean states/sec improvement) reaches the given factor. A PR that
+// claims a performance step-change commits its pre-change baseline and
+// gates on it once; the gate is then dropped and the ordinary regression
+// thresholds keep the win.
 package main
 
 import (
@@ -44,6 +58,8 @@ func main() {
 	smoke := flag.Bool("smoke", false, "single iteration per metric (grid sanity check; not a comparable baseline)")
 	compare := flag.Bool("compare", false, "compare two snapshots: lrbench -compare old.json new.json")
 	threshold := flag.Float64("threshold", bench.DefaultThreshold, "geomean regression gate for -compare (0.10 = fail above a 10% mean slowdown)")
+	group := flag.String("group", "", "for -compare: restrict both snapshots to metrics whose name starts with this prefix")
+	minSpeedup := flag.Float64("min-speedup", 0, "for -compare: exit 1 unless the (group-filtered) geomean speedup over the baseline reaches this factor")
 	flag.Parse()
 
 	if *compare {
@@ -58,6 +74,15 @@ func main() {
 		if err != nil {
 			cli.Exit("lrbench", 2, err)
 		}
+		if *group != "" {
+			old = old.Filter(*group)
+			cur = cur.Filter(*group)
+			if len(old.Metrics) == 0 || len(cur.Metrics) == 0 {
+				cli.Exit("lrbench", 2, fmt.Errorf(
+					"-group %q matches %d baseline and %d new metric(s); nothing to gate",
+					*group, len(old.Metrics), len(cur.Metrics)))
+			}
+		}
 		c, err := bench.Compare(old, cur, *threshold)
 		if err != nil {
 			cli.Exit("lrbench", 2, err)
@@ -68,6 +93,17 @@ func main() {
 			cli.Exit("lrbench", 2, fmt.Errorf(
 				"comparison broken: %d metric(s) missing or non-positive; regenerate the baseline if the grid changed",
 				len(c.Broken)))
+		}
+		if *minSpeedup > 0 {
+			speedup := c.Speedup()
+			verdict := "ok"
+			if speedup < *minSpeedup {
+				verdict = "BELOW TARGET"
+			}
+			fmt.Printf("speedup %.3fx (required %.2fx): %s\n", speedup, *minSpeedup, verdict)
+			if speedup < *minSpeedup {
+				os.Exit(1)
+			}
 		}
 		if c.Regressed {
 			os.Exit(1)

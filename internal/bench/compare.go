@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // DefaultThreshold is the regression gate: a geometric-mean slowdown
@@ -23,6 +24,30 @@ type Row struct {
 	NewNs float64 `json:"new_ns_per_op"`
 	// Ratio is NewNs / OldNs: > 1 is a slowdown.
 	Ratio float64 `json:"ratio"`
+}
+
+// allocWarnRatio and allocWarnSlack bound when an allocs/op increase earns a
+// warning line: the new count must exceed the old by both the ratio and the
+// absolute slack, so a 0->2 blip on a microsecond metric stays quiet while a
+// scan loop that silently starts allocating per state does not.
+const (
+	allocWarnRatio = 1.25
+	allocWarnSlack = 8.0
+)
+
+// Filter returns a copy of the snapshot keeping only the metrics whose name
+// starts with prefix — the grouping unit of the -group/-min-speedup compare
+// mode, which gates one named family of rows (e.g. "table1/global") without
+// requiring the rest of the grid to match the (possibly older) baseline.
+func (s *Snapshot) Filter(prefix string) *Snapshot {
+	out := *s
+	out.Metrics = nil
+	for _, m := range s.Metrics {
+		if strings.HasPrefix(m.Name, prefix) {
+			out.Metrics = append(out.Metrics, m)
+		}
+	}
+	return &out
 }
 
 // Comparison is the outcome of Compare.
@@ -48,7 +73,19 @@ type Comparison struct {
 	// non-positive metric. Non-empty Broken means the comparison is
 	// unusable as a gate, independent of Regressed.
 	Broken []string `json:"broken,omitempty"`
+	// AllocWarnings holds one line per metric whose allocs/op grew past
+	// allocWarnRatio x baseline (plus allocWarnSlack absolute). Warnings
+	// only — allocation counts are deterministic but schema changes move
+	// them legitimately — yet a zero-alloc scan loop that regresses to
+	// per-state allocation shows up here before it shows up in ns/op.
+	AllocWarnings []string `json:"alloc_warnings,omitempty"`
 }
+
+// Speedup returns the geometric-mean speedup of new over baseline,
+// 1/Geomean: 2.0 means the measured rows take half the time they used to.
+// For rows whose work is a fixed state count (the table1 and scanloop
+// grids), this is exactly the geomean states/sec improvement.
+func (c *Comparison) Speedup() float64 { return 1 / c.Geomean }
 
 // Compare diffs two snapshots metric-by-metric. It errors when the
 // baseline is empty, the suites differ, or no metric name appears in both
@@ -93,6 +130,10 @@ func Compare(old, new *Snapshot, threshold float64) (*Comparison, error) {
 		c.Rows = append(c.Rows, Row{Name: om.Name, OldNs: om.NsPerOp, NewNs: nm.NsPerOp, Ratio: ratio})
 		logSum += math.Log(ratio)
 		logN++
+		if nm.AllocsPerOp > om.AllocsPerOp*allocWarnRatio+allocWarnSlack {
+			c.AllocWarnings = append(c.AllocWarnings,
+				fmt.Sprintf("metric %s: allocs/op %.0f -> %.0f", om.Name, om.AllocsPerOp, nm.AllocsPerOp))
+		}
 	}
 	for _, nm := range new.Metrics {
 		if !oldNames[nm.Name] {
@@ -118,6 +159,9 @@ func (c *Comparison) Format(w io.Writer) {
 	fmt.Fprintf(w, "%-48s %14s %14s %8s\n", "metric", "old ns/op", "new ns/op", "ratio")
 	for _, r := range c.Rows {
 		fmt.Fprintf(w, "%-48s %14.0f %14.0f %8.3f\n", r.Name, r.OldNs, r.NewNs, r.Ratio)
+	}
+	for _, msg := range c.AllocWarnings {
+		fmt.Fprintf(w, "warning: %s\n", msg)
 	}
 	for _, msg := range c.Broken {
 		fmt.Fprintf(w, "error: %s\n", msg)

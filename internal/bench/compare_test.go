@@ -166,3 +166,83 @@ func TestCompareNonPositiveTimingBreaksGate(t *testing.T) {
 		t.Fatalf("Broken = %v, want one non-positive-ns/op diagnostic naming b", c.Broken)
 	}
 }
+
+// Filter keeps exactly the prefix-matched metrics, so a -group compare can
+// gate one family of rows against a baseline whose wider grid diverged.
+func TestSnapshotFilterByPrefix(t *testing.T) {
+	s := NewSnapshot("verify", 0)
+	s.Add("table1/global/seq/K=4", Result{N: 1, NsPerOp: 100}, nil)
+	s.Add("table1/global/par/K=4", Result{N: 1, NsPerOp: 90}, nil)
+	s.Add("scanloop/decode/K=10", Result{N: 1, NsPerOp: 50}, nil)
+	got := s.Filter("table1/global")
+	if len(got.Metrics) != 2 {
+		t.Fatalf("Filter kept %d metrics, want 2: %+v", len(got.Metrics), got.Metrics)
+	}
+	for _, m := range got.Metrics {
+		if !strings.HasPrefix(m.Name, "table1/global") {
+			t.Fatalf("Filter leaked metric %q", m.Name)
+		}
+	}
+	if got.Suite != s.Suite {
+		t.Fatalf("Filter dropped the suite name: %q", got.Suite)
+	}
+	if len(s.Metrics) != 3 {
+		t.Fatalf("Filter mutated the source snapshot: %d metrics", len(s.Metrics))
+	}
+	if empty := s.Filter("nope/"); len(empty.Metrics) != 0 {
+		t.Fatalf("unmatched prefix kept %d metrics", len(empty.Metrics))
+	}
+}
+
+// Filtering both sides to a shared group must make rows the baseline lacks
+// invisible to the gate — the exact situation a frozen pre-optimization
+// baseline is in after the PR adds new grid rows.
+func TestCompareFilteredGroupIgnoresAddedRows(t *testing.T) {
+	old := NewSnapshot("verify", 0)
+	old.Add("table1/global/seq/K=4", Result{N: 1, NsPerOp: 1000}, nil)
+	cur := NewSnapshot("verify", 0)
+	cur.Add("table1/global/seq/K=4", Result{N: 1, NsPerOp: 500}, nil)
+	cur.Add("scanloop/decode/K=10", Result{N: 1, NsPerOp: 50}, nil) // new row
+	c, err := Compare(old.Filter("table1/"), cur.Filter("table1/"), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Broken) != 0 {
+		t.Fatalf("group-filtered comparison broken: %v", c.Broken)
+	}
+	if math.Abs(c.Speedup()-2.0) > 1e-9 {
+		t.Fatalf("Speedup = %v, want 2.0", c.Speedup())
+	}
+}
+
+// An allocs/op count that grows past the warn bounds earns a warning line;
+// small absolute blips and improvements stay quiet, and warnings never
+// affect the gated verdict.
+func TestCompareAllocWarnings(t *testing.T) {
+	add := func(s *Snapshot, name string, ns, allocs float64) {
+		s.Add(name, Result{N: 1, NsPerOp: ns, AllocsPerOp: allocs}, nil)
+	}
+	old := NewSnapshot("verify", 0)
+	add(old, "a", 1000, 2)   // regresses to per-state allocation
+	add(old, "b", 1000, 3)   // tiny blip, under the absolute slack
+	add(old, "c", 1000, 100) // improves
+	cur := NewSnapshot("verify", 0)
+	add(cur, "a", 1000, 400)
+	add(cur, "b", 1000, 5)
+	add(cur, "c", 1000, 10)
+	c, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.AllocWarnings) != 1 || !strings.Contains(c.AllocWarnings[0], "metric a") {
+		t.Fatalf("AllocWarnings = %v, want exactly one line naming a", c.AllocWarnings)
+	}
+	if c.Regressed || len(c.Broken) != 0 {
+		t.Fatalf("alloc warnings must not gate: regressed=%v broken=%v", c.Regressed, c.Broken)
+	}
+	var b strings.Builder
+	c.Format(&b)
+	if out := b.String(); !strings.Contains(out, "warning: metric a: allocs/op 2 -> 400") {
+		t.Fatalf("Format must print the alloc warning line:\n%s", out)
+	}
+}

@@ -247,8 +247,65 @@ func VerifySuite(cfg Config) (*Snapshot, error) {
 			})
 		}
 	}
+
+	// Scan-loop internals: the decomposition PERFORMANCE.md's scan-loop
+	// section tracks. decode is the incremental odometer walk on its own
+	// (valuation + window codes per state, the floor every whole-space pass
+	// pays), successors adds flat-table successor generation on top, and
+	// fullcheck is the complete sequential convergence check over the same
+	// instance — so the three states/sec figures locate any regression
+	// inside the scan loop rather than averaged over a whole check.
+	sk := min(10, cfg.MaxK)
+	scan, err := explicit.NewInstance(p, sk, explicit.WithWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range []struct {
+		name string
+		op   func()
+	}{
+		{"decode", func() { scanSink += scan.DecodeSweep() }},
+		{"successors", func() { scanSink += scan.SuccessorSweep() }},
+		{"fullcheck", func() {
+			if !scan.CheckStrongConvergenceSeq().Converges {
+				panic("unexpected verdict")
+			}
+		}},
+	} {
+		op := row.op
+		r := Measure(cfg.Benchtime, func(n int) {
+			for i := 0; i < n; i++ {
+				op()
+			}
+		})
+		s.Add(fmt.Sprintf("scanloop/%s/sum-not-two/K=%d", row.name, sk), r, map[string]float64{
+			"states":         float64(scan.NumStates()),
+			"states_per_sec": statesPerSec(scan.NumStates(), r),
+		})
+	}
+	// The 3-wide-window variant: matching A's 27 local-state table makes the
+	// window-code maintenance (three digit incidences per position) the
+	// interesting part of the sweep.
+	mk := min(6, cfg.MaxK)
+	mscan, err := explicit.NewInstance(ma, mk, explicit.WithWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	r := Measure(cfg.Benchtime, func(n int) {
+		for i := 0; i < n; i++ {
+			scanSink += mscan.SuccessorSweep()
+		}
+	})
+	s.Add(fmt.Sprintf("scanloop/successors/matchingA/K=%d", mk), r, map[string]float64{
+		"states":         float64(mscan.NumStates()),
+		"states_per_sec": statesPerSec(mscan.NumStates(), r),
+	})
 	return s, nil
 }
+
+// scanSink keeps the scan-loop sweep results observable so the measured
+// loops cannot be optimized away.
+var scanSink uint64
 
 func statesPerSec(states uint64, r Result) float64 {
 	if r.NsPerOp <= 0 {

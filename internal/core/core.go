@@ -57,6 +57,24 @@ func Encode(view View, domain int) LocalState {
 	return LocalState(code)
 }
 
+// EncodeWeights returns the mixed-radix place values of Encode for a
+// window of width w over the given domain: EncodeWeights(d, w)[i] == d^i,
+// the coefficient the value at window index i contributes to the code.
+// Incremental encoders — the explicit engine's odometer scan is the
+// in-tree consumer — keep a window's code current across a single-value
+// change by adding (new-old)*weight instead of re-encoding the whole
+// window, which is what turns a K-process re-encode per state into O(1)
+// amortized work per scan step.
+func EncodeWeights(domain, w int) []int {
+	weights := make([]int, w)
+	mult := 1
+	for i := 0; i < w; i++ {
+		weights[i] = mult
+		mult *= domain
+	}
+	return weights
+}
+
 // Decode unpacks a LocalState code into a fresh view of width w.
 func Decode(ls LocalState, domain, w int) View {
 	view := make(View, w)

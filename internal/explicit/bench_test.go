@@ -21,13 +21,60 @@ func BenchmarkInstanceConstruction(b *testing.B) {
 	}
 }
 
+// BenchmarkSuccessors is the successor-generation grid across the three
+// engine paths: the compiled flat-table fast path on a symmetric instance
+// (random access, rolling window-code fill), the symbolic guard-evaluation
+// path forced by a distinguished process over the same protocol, and the
+// odometer-driven whole-space scan (SuccessorSweep — no decode or encode at
+// all in steady state). Each sub-benchmark reports states/sec so the grid
+// reads directly against the lrbench scanloop rows and PERFORMANCE.md's
+// scan-loop table.
 func BenchmarkSuccessors(b *testing.B) {
-	in := MustNewInstance(protocols.MatchingA(), 8)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		in.Successors(uint64(i) % in.NumStates())
+	ma := protocols.MatchingA()
+	grid := []struct {
+		name string
+		mk   func() *Instance
+		op   func(in *Instance, i int) uint64
+	}{
+		{"fast/matchingA/K=8", func() *Instance {
+			return MustNewInstance(ma, 8)
+		}, func(in *Instance, i int) uint64 {
+			return uint64(len(in.Successors(uint64(i) % in.NumStates())))
+		}},
+		{"symbolic/matchingA/K=8", func() *Instance {
+			// The same actions pinned at position 0 break symmetry without
+			// changing behavior, forcing the guard-evaluation path.
+			return MustNewInstance(ma, 8, WithProcessActions(0, ma.Actions()))
+		}, func(in *Instance, i int) uint64 {
+			return uint64(len(in.Successors(uint64(i) % in.NumStates())))
+		}},
+		{"scan/matchingA/K=8", func() *Instance {
+			return MustNewInstance(ma, 8, WithWorkers(1))
+		}, func(in *Instance, i int) uint64 {
+			return in.SuccessorSweep()
+		}},
+	}
+	for _, g := range grid {
+		b.Run(g.name, func(b *testing.B) {
+			in := g.mk()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += g.op(in, i)
+			}
+			statesPerOp := 1.0
+			if g.name[:4] == "scan" {
+				statesPerOp = float64(in.NumStates())
+			}
+			b.ReportMetric(statesPerOp*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+			benchSink = sink
+		})
 	}
 }
+
+// benchSink defeats dead-code elimination of the measured loops.
+var benchSink uint64
 
 // BenchmarkStrongConvergence compares the sequential reference against the
 // frontier-parallel engine; run with -cpu 1,2,4,8 to see the scaling shape

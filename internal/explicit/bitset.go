@@ -75,6 +75,35 @@ func (b bitset) TestAndSet(id uint64) bool {
 	}
 }
 
+// AppendSetBits appends the indices of the set bits in [lo, hi) to out in
+// ascending order, scanning whole 64-bit words and peeling bits with
+// trailing-zeros — the batched form of a get-per-id loop, used to seed the
+// backward-BFS frontier straight from the I(K) membership bits at word
+// speed. Plain (non-atomic) loads: callers synchronize like Get.
+func (b bitset) AppendSetBits(out []uint64, lo, hi uint64) []uint64 {
+	if lo >= hi {
+		return out
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		w := b[wi]
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		if base < lo {
+			w &= ^uint64(0) << (lo & 63)
+		}
+		if end := base + 64; end > hi {
+			w &= ^uint64(0) >> (end - hi)
+		}
+		for w != 0 {
+			out = append(out, base+uint64(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
 // Count returns the number of set bits.
 func (b bitset) Count() uint64 {
 	var n uint64

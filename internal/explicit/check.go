@@ -3,6 +3,7 @@ package explicit
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/trace"
 )
 
@@ -14,18 +15,24 @@ const cancelCheckMask = 4095
 
 // Deadlocks returns all global deadlock states (no enabled process), in
 // increasing state-code order. With WithWorkers > 1 the scan is sharded
-// across contiguous code ranges; the merged order is identical.
+// across contiguous code ranges; the merged order is identical. Both sides
+// ride the odometer: the deadlock test reads one enabled bit per process,
+// indexed by incrementally maintained window codes.
 func (in *Instance) Deadlocks() []uint64 {
 	if in.workers > 1 {
 		return in.collectStatesParallel(func(id uint64, sc *scratch) bool {
-			return in.isDeadlockScratch(id, sc)
+			return in.deadlockAt(sc)
 		})
 	}
 	var out []uint64
 	sc := in.newScratch()
+	sc.od.reset(0)
 	for id := uint64(0); id < in.n; id++ {
-		if in.isDeadlockScratch(id, sc) {
+		if in.deadlockAt(sc) {
 			out = append(out, id)
+		}
+		if id+1 < in.n {
+			sc.od.step()
 		}
 	}
 	return out
@@ -38,14 +45,18 @@ func (in *Instance) Deadlocks() []uint64 {
 func (in *Instance) IllegitimateDeadlocks() []uint64 {
 	if in.workers > 1 {
 		return in.collectStatesParallel(func(id uint64, sc *scratch) bool {
-			return !in.inI.Get(id) && in.isDeadlockScratch(id, sc)
+			return !in.inI.Get(id) && in.deadlockAt(sc)
 		})
 	}
 	var out []uint64
 	sc := in.newScratch()
+	sc.od.reset(0)
 	for id := uint64(0); id < in.n; id++ {
-		if !in.inI.Get(id) && in.isDeadlockScratch(id, sc) {
+		if !in.inI.Get(id) && in.deadlockAt(sc) {
 			out = append(out, id)
+		}
+		if id+1 < in.n {
+			sc.od.step()
 		}
 	}
 	return out
@@ -64,19 +75,49 @@ type ClosureViolation struct {
 // half of self-stabilization, Section 2.2): every transition from a state
 // in I lands in I. Returns nil if closed, else the violation with the
 // smallest source state code.
+//
+// The scan is two-phase: the odometer sweep tests each I-state's successor
+// set (flat-table fast path) for any escape from I, and only a hit pays
+// the allocating SuccessorsDetailed walk that names the violating process
+// and action — so the common all-closed case never leaves the zero-alloc
+// loop while the reported witness is byte-identical to the naive scan's
+// (smallest source id, then the first violating transition in detailed
+// order).
 func (in *Instance) CheckClosure() *ClosureViolation {
 	if in.workers > 1 {
 		return in.checkClosureParallel()
 	}
+	sc := in.newScratch()
+	sc.od.reset(0)
 	for id := uint64(0); id < in.n; id++ {
-		if !in.inI.Get(id) {
-			continue
+		if in.inI.Get(id) && in.closureEscapeAt(sc) {
+			return in.closureWitness(id)
 		}
-		for _, t := range in.SuccessorsDetailed(id) {
-			if !in.inI.Get(t.To) {
-				v := ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}
-				return &v
-			}
+		if id+1 < in.n {
+			sc.od.step()
+		}
+	}
+	return nil
+}
+
+// closureEscapeAt reports whether some successor of the odometer's current
+// state leaves I.
+func (in *Instance) closureEscapeAt(sc *scratch) bool {
+	for _, s := range in.successorsAt(sc) {
+		if !in.inI.Get(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// closureWitness re-derives the named violation at a source state the scan
+// already proved escapes I: the first not-in-I transition in
+// SuccessorsDetailed order, exactly what the pre-two-phase scan reported.
+func (in *Instance) closureWitness(id uint64) *ClosureViolation {
+	for _, t := range in.SuccessorsDetailed(id) {
+		if !in.inI.Get(t.To) {
+			return &ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}
 		}
 	}
 	return nil
@@ -87,25 +128,35 @@ func (in *Instance) CheckClosure() *ClosureViolation {
 // 2.1). It returns the states of one such cycle (in order; the last state
 // has a transition back to the first), or nil when Delta_p | not-I is
 // acyclic. Implemented as an iterative Tarjan SCC over the not-I-restricted
-// transition graph generated on the fly.
+// transition graph, materialized up front as a CSR adjacency by a single
+// ascending odometer sweep when the instance fits the edge budget (the
+// Tarjan's random-access expansions then cost two array reads instead of a
+// decode), and generated on the fly past the budget.
 func (in *Instance) FindLivelock() []uint64 {
 	cycle, _ := in.FindLivelockCtx(context.Background())
 	return cycle
 }
 
-// FindLivelockCtx is FindLivelock with cooperative cancellation: the Tarjan
-// walk polls ctx every few thousand visited states and returns ctx.Err()
-// (with a nil cycle) once the context is done.
+// FindLivelockCtx is FindLivelock with cooperative cancellation: both the
+// CSR sweep and the Tarjan walk poll ctx every few thousand states and
+// return ctx.Err() (with a nil cycle) once the context is done.
 func (in *Instance) FindLivelockCtx(ctx context.Context) ([]uint64, error) {
+	if g, ok := in.buildNotIGraphSeq(ctx); ok {
+		return in.findLivelock(ctx, g.succ)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc := in.newScratch()
 	return in.findLivelock(ctx, func(id uint64) []uint64 {
 		if in.inI.Get(id) {
 			return nil
 		}
-		// Successors copies out of the scan scratch, which is required
-		// here: the Tarjan frames retain the returned slice across
-		// arbitrarily many later successor expansions.
-		succ := in.Successors(id)
-		out := succ[:0]
+		// The expansion itself runs in shared scratch; only the filtered
+		// not-I successors are copied out, because the Tarjan frames retain
+		// the returned slice across arbitrarily many later expansions.
+		succ := in.successorsInto(id, sc)
+		out := make([]uint64, 0, len(succ))
 		for _, s := range succ {
 			if !in.inI.Get(s) {
 				out = append(out, s)
@@ -113,6 +164,38 @@ func (in *Instance) FindLivelockCtx(ctx context.Context) ([]uint64, error) {
 		}
 		return out
 	})
+}
+
+// buildNotIGraphSeq materializes Delta_p | not-I as a CSR adjacency with one
+// single-threaded ascending odometer sweep — the sequential counterpart of
+// buildNotIGraphParallel, sharing its edge budget and producing the same
+// layout (rows ascending, each row sorted), so findLivelock reports the same
+// witness over either. Returns false past the budget or once ctx is done.
+func (in *Instance) buildNotIGraphSeq(ctx context.Context) (*notIGraph, bool) {
+	if in.n > math.MaxUint32 || in.n*uint64(in.k) > parallelEdgeBudget {
+		return nil, false
+	}
+	defer trace.StartRegion(ctx, "explicit.csrBuild").End()
+	g := &notIGraph{off: make([]uint64, in.n+1)}
+	sc := in.newScratch()
+	sc.od.reset(0)
+	for id := uint64(0); id < in.n; id++ {
+		if id&cancelCheckMask == 0 && ctx.Err() != nil {
+			return nil, false
+		}
+		if !in.inI.Get(id) {
+			for _, s := range in.successorsAt(sc) {
+				if !in.inI.Get(s) {
+					g.edges = append(g.edges, uint32(s))
+				}
+			}
+		}
+		g.off[id+1] = uint64(len(g.edges))
+		if id+1 < in.n {
+			sc.od.step()
+		}
+	}
+	return g, true
 }
 
 // findLivelock is the Tarjan core of FindLivelock, parameterized over the
@@ -328,6 +411,7 @@ func (in *Instance) checkStrongConvergenceSeq(ctx context.Context) (ConvergenceR
 	rep := ConvergenceReport{StatesExplored: in.n}
 	scan := trace.StartRegion(ctx, "explicit.deadlockScan")
 	sc := in.newScratch()
+	sc.od.reset(0)
 	for id := uint64(0); id < in.n; id++ {
 		if id&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -335,11 +419,14 @@ func (in *Instance) checkStrongConvergenceSeq(ctx context.Context) (ConvergenceR
 				return ConvergenceReport{}, err
 			}
 		}
-		if !in.inI.Get(id) && in.isDeadlockScratch(id, sc) {
+		if !in.inI.Get(id) && in.deadlockAt(sc) {
 			d := id
 			rep.DeadlockWitness = &d
 			scan.End()
 			return rep, nil
+		}
+		if id+1 < in.n {
+			sc.od.step()
 		}
 	}
 	scan.End()

@@ -6,32 +6,56 @@ import "paramring/internal/core"
 // processes), successor generation does not need to re-evaluate guards —
 // the protocol's compiled local transition table maps each local state code
 // directly to its new own-variable values. Successors then reduce to a
-// window decode plus a table lookup per process, which is what makes the
-// K-sweeps of the cost experiments (T1) tractable at K=12.
+// window-code lookup plus a stride add per process, which is what makes
+// the K-sweeps of the cost experiments (T1) tractable at K=12.
+//
+// The table is stored flat, CSR-style: one offsets array and one packed
+// moves array, plus a bit-per-code enabled set. The former [][]int layout
+// paid a pointer dereference (and a likely cache miss) per process per
+// state; the flat layout makes a successor lookup two sequential reads
+// from arrays that fit in L1/L2 for every protocol in the zoo (d^W <=
+// 2^20 codes, and in practice a few dozen). Scan loops keep the window
+// codes current via the odometer (odometer.go), so the steady-state inner
+// loop touches no division at all.
 //
 // The table is built lazily on first use and shared by all queries. The
 // symbolic path remains in use when WithProcessActions breaks symmetry.
 
-// localTable maps a local state code to the distinct new own values of its
-// outgoing transitions (nil when the state is a local deadlock).
-type localTable [][]int
+// localTable is the compiled transition relation over local state codes in
+// compressed sparse row form: the new own values of code s are
+// moves[off[s]:off[s+1]], in the same deterministic order the compiled
+// System emits (sorted by destination code), and enabled holds one bit
+// per code with at least one outgoing transition.
+type localTable struct {
+	off     []uint32
+	moves   []int32
+	enabled bitset
+}
 
-// buildLocalTable compiles the protocol's transition relation into a
-// lookup table over local state codes.
-func buildLocalTable(p *core.Protocol) localTable {
+// buildLocalTable compiles the protocol's transition relation into the
+// flat lookup table.
+func buildLocalTable(p *core.Protocol) *localTable {
 	sys := p.Compile()
-	tbl := make(localTable, sys.N())
-	for s := 0; s < sys.N(); s++ {
-		succ := sys.Succ[s]
-		if len(succ) == 0 {
-			continue
-		}
-		vals := make([]int, 0, len(succ))
-		for _, dst := range succ {
-			vals = append(vals, sys.OwnValue(dst))
-		}
-		tbl[s] = vals
+	n := sys.N()
+	total := 0
+	for s := 0; s < n; s++ {
+		total += len(sys.Succ[s])
 	}
+	tbl := &localTable{
+		off:     make([]uint32, n+1),
+		moves:   make([]int32, 0, total),
+		enabled: newBitset(uint64(n)),
+	}
+	for s := 0; s < n; s++ {
+		tbl.off[s] = uint32(len(tbl.moves))
+		for _, dst := range sys.Succ[s] {
+			tbl.moves = append(tbl.moves, int32(sys.OwnValue(dst)))
+		}
+		if len(sys.Succ[s]) > 0 {
+			tbl.enabled.Set(uint64(s))
+		}
+	}
+	tbl.off[n] = uint32(len(tbl.moves))
 	return tbl
 }
 
@@ -39,7 +63,7 @@ func buildLocalTable(p *core.Protocol) localTable {
 // instance has distinguished processes (the table cannot represent them).
 // The build is guarded by a sync.Once so that the parallel checker's
 // workers can race to the first successor query safely.
-func (in *Instance) fast() localTable {
+func (in *Instance) fast() *localTable {
 	if len(in.distinguished) > 0 {
 		return nil
 	}
@@ -47,41 +71,53 @@ func (in *Instance) fast() localTable {
 	return in.table
 }
 
+// emitFast appends the successors of the state with the given code, decoded
+// valuation and per-process window codes: for each enabled process, the flat
+// moves row indexed by its window code, turned into global codes through the
+// precomputed stride table (stride[r*d+v] == v*d^r). Callers supply codes
+// either incrementally (odometer scans) or via the rolling windowCodes fill
+// (random access); emitFast itself re-encodes nothing.
+func (in *Instance) emitFast(tbl *localTable, id uint64, vals []int, codes []int32, out []uint64) []uint64 {
+	d := in.d
+	for r := 0; r < in.k; r++ {
+		code := uint64(codes[r])
+		if !tbl.enabled.Get(code) {
+			continue
+		}
+		stride := in.stride[r*d : r*d+d]
+		base := id - stride[vals[r]]
+		for _, nv := range tbl.moves[tbl.off[code]:tbl.off[code+1]] {
+			out = append(out, base+stride[nv])
+		}
+	}
+	return out
+}
+
 // successorsFast generates successors via the compiled table, appending
 // them to out (typically a scratch buffer recycled across a whole-space
 // scan, so the steady state allocates nothing). Returns (nil, false) when
 // the fast path is unavailable.
-func (in *Instance) successorsFast(id uint64, vals []int, view core.View, out []uint64) ([]uint64, bool) {
+func (in *Instance) successorsFast(id uint64, sc *scratch, out []uint64) ([]uint64, bool) {
 	tbl := in.fast()
 	if tbl == nil {
 		return nil, false
 	}
-	in.DecodeInto(id, vals)
-	for r := 0; r < in.k; r++ {
-		in.viewInto(vals, r, view)
-		moves := tbl[core.Encode(view, in.d)]
-		if moves == nil {
-			continue
-		}
-		base := id - uint64(vals[r])*in.po[r]
-		for _, nv := range moves {
-			out = append(out, base+uint64(nv)*in.po[r])
-		}
-	}
-	return out, true
+	in.DecodeInto(id, sc.vals)
+	in.windowCodes(sc.vals, sc.codes)
+	return in.emitFast(tbl, id, sc.vals, sc.codes, out), true
 }
 
 // enabledCountFast counts enabled processes via the compiled table.
-func (in *Instance) enabledCountFast(id uint64, vals []int, view core.View) (int, bool) {
+func (in *Instance) enabledCountFast(id uint64, sc *scratch) (int, bool) {
 	tbl := in.fast()
 	if tbl == nil {
 		return 0, false
 	}
-	in.DecodeInto(id, vals)
+	in.DecodeInto(id, sc.vals)
+	in.windowCodes(sc.vals, sc.codes)
 	count := 0
 	for r := 0; r < in.k; r++ {
-		in.viewInto(vals, r, view)
-		if tbl[core.Encode(view, in.d)] != nil {
+		if tbl.enabled.Get(uint64(sc.codes[r])) {
 			count++
 		}
 	}

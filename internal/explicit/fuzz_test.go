@@ -1,0 +1,137 @@
+package explicit
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramring/internal/core"
+	"paramring/internal/protogen"
+)
+
+// FuzzScanLoopEquivalence is the differential fuzz that pins the incremental
+// scan machinery (odometer digit stepping, rolling window codes, the flat
+// CSR transition table and the packed legitimacy bits) against the plain
+// reference path (DecodeInto + core.Encode per window + guard evaluation)
+// over random protocols, windows and ring sizes. Every state of every
+// generated instance must agree on:
+//
+//   - the decoded valuation and all K window codes,
+//   - the sorted deduplicated successor set (fast emit vs. the detailed
+//     guard-evaluation walk, and vs. a behaviorally identical twin instance
+//     that is forced onto the symbolic path by a distinguished process),
+//   - the enabled-process count and the deadlock verdict,
+//   - I(K) membership (the constructor's incremental bitset fill vs. direct
+//     per-state evaluation).
+//
+// testdata/fuzz holds the committed seed corpus; CI replays it under -race.
+func FuzzScanLoopEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0), uint64(30))
+	f.Add(uint64(2), uint64(1), uint64(1), uint64(2), uint64(60))
+	f.Add(uint64(3), uint64(0), uint64(2), uint64(3), uint64(90))
+	f.Add(uint64(4), uint64(1), uint64(1), uint64(1), uint64(45))
+	f.Add(uint64(5), uint64(0), uint64(0), uint64(3), uint64(80))
+
+	f.Fuzz(func(t *testing.T, seed, domain, win, ring, movePct uint64) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		opts := protogen.Options{
+			Domain:      2 + int(domain%2),
+			MovePercent: 1 + int(movePct%99),
+			Nondet:      seed%2 == 0,
+		}
+		switch win % 3 {
+		case 0:
+			opts.Lo, opts.Hi = -1, 0
+		case 1:
+			opts.Lo, opts.Hi = -1, 1
+		case 2:
+			opts.Lo, opts.Hi = 0, 1
+		}
+		p := protogen.Random(rng, opts)
+		k := 2 + int(ring%4)
+		in, err := NewInstance(p, k, WithWorkers(1))
+		if err != nil {
+			t.Fatalf("NewInstance(%s, K=%d): %v", p.Name(), k, err)
+		}
+		// A behaviorally identical twin with the same action list pinned as a
+		// distinguished process at position 0: fast() is nil there, so every
+		// twin query exercises the symbolic guard-evaluation emit against the
+		// same expected results.
+		twin, err := NewInstance(p, k, WithWorkers(1), WithProcessActions(0, p.Actions()))
+		if err != nil {
+			t.Fatalf("NewInstance(twin %s, K=%d): %v", p.Name(), k, err)
+		}
+
+		sc := in.newScratch()
+		sc.od.reset(0)
+		tsc := twin.newScratch()
+		tsc.od.reset(0)
+		vals := make([]int, k)
+		view := make(core.View, p.W())
+		for id := uint64(0); id < in.n; id++ {
+			in.DecodeInto(id, vals)
+			for r := 0; r < k; r++ {
+				if sc.od.vals[r] != vals[r] {
+					t.Fatalf("state %d: odometer vals[%d] = %d, DecodeInto says %d", id, r, sc.od.vals[r], vals[r])
+				}
+				in.viewInto(vals, r, view)
+				if want := int32(core.Encode(view, in.d)); sc.od.codes[r] != want {
+					t.Fatalf("state %d: odometer codes[%d] = %d, re-encode says %d", id, r, sc.od.codes[r], want)
+				}
+			}
+
+			want := referenceSuccessors(in, id)
+			if got := in.successorsAt(sc); !equalU64(got, want) {
+				t.Fatalf("state %d: fast successors %v, reference %v", id, got, want)
+			}
+			if got := twin.successorsAt(tsc); !equalU64(got, want) {
+				t.Fatalf("state %d: symbolic twin successors %v, reference %v", id, got, want)
+			}
+
+			enabled := len(in.EnabledProcesses(id))
+			if got := in.enabledCountAt(sc); got != enabled {
+				t.Fatalf("state %d: enabledCountAt = %d, EnabledProcesses has %d", id, got, enabled)
+			}
+			if got := in.deadlockAt(sc); got != (enabled == 0) {
+				t.Fatalf("state %d: deadlockAt = %v with %d enabled processes", id, got, enabled)
+			}
+			if got := twin.enabledCountAt(tsc); got != enabled {
+				t.Fatalf("state %d: twin enabledCountAt = %d, want %d", id, got, enabled)
+			}
+
+			if got, direct := in.InI(id), in.evalI(vals); got != direct {
+				t.Fatalf("state %d: InI bitset says %v, direct evaluation says %v", id, got, direct)
+			}
+			if twin.InI(id) != in.InI(id) {
+				t.Fatalf("state %d: twin InI = %v, symmetric InI = %v", id, twin.InI(id), in.InI(id))
+			}
+
+			if id+1 < in.n {
+				sc.od.step()
+				tsc.od.step()
+			}
+		}
+	})
+}
+
+// referenceSuccessors derives the sorted deduplicated successor set of id
+// from the detailed guard-evaluation walk — the oracle side of the
+// differential.
+func referenceSuccessors(in *Instance, id uint64) []uint64 {
+	var out []uint64
+	for _, tr := range in.SuccessorsDetailed(id) {
+		out = append(out, tr.To)
+	}
+	return sortDedup(out)
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

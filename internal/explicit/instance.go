@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -101,26 +102,45 @@ type Instance struct {
 	globalI       func(vals []int) bool
 	distinguished map[int][]core.Action
 
-	inI       bitset     // cached I membership, one bit per state
-	table     localTable // lazily compiled fast path (symmetric instances only)
-	tableOnce sync.Once  // guards the lazy build under concurrent queries
+	inI       bitset      // cached I membership, one bit per state
+	table     *localTable // lazily compiled flat fast path (symmetric instances only)
+	tableOnce sync.Once   // guards the lazy build under concurrent queries
+
+	// The incremental-scan substrate (see odometer.go): per-position window
+	// incidences, the stride table stride[r*d+v] = v*d^r the successor emit
+	// loop adds instead of multiplying, d^(W-1) for the rolling window-code
+	// fill, and the packed local legitimacy bits the I(K) fill tests per
+	// window code (nil when WithGlobalPredicate overrides I). All four are
+	// O(K*W + d^W) bytes — noise next to the bit-per-state tables, and
+	// deliberately excluded from TableBytes so the memory-accounting figure
+	// stays comparable across engine versions.
+	digitWindows [][]digitWindow
+	stride       []uint64
+	dW1          int
+	legitCode    bitset
 }
 
 // scratch bundles the per-goroutine decode and successor buffers the
 // whole-space scan loops reuse across states, so the hot paths allocate
-// nothing per state: the valuation and view decode targets plus a flat
-// successor buffer that successorsInto grows once and then recycles.
+// nothing per state: the valuation, view and window-code targets of the
+// random-access paths, the odometer cursor of the ascending chunk scans,
+// and a flat successor buffer that successorsInto grows once and then
+// recycles.
 type scratch struct {
-	vals []int
-	view core.View
-	succ []uint64
+	vals  []int
+	view  core.View
+	codes []int32
+	succ  []uint64
+	od    *odometer
 }
 
 // newScratch returns scan scratch sized for this instance.
 func (in *Instance) newScratch() *scratch {
 	return &scratch{
-		vals: make([]int, in.k),
-		view: make(core.View, in.p.W()),
+		vals:  make([]int, in.k),
+		view:  make(core.View, in.p.W()),
+		codes: make([]int32, in.k),
+		od:    in.newOdometer(),
 	}
 }
 
@@ -172,19 +192,52 @@ func NewInstanceCtx(ctx context.Context, p *core.Protocol, k int, opts ...Option
 	if err := in.validateActions(); err != nil {
 		return nil, err
 	}
-	// The I(K) fill streams chunk-decoded valuations into the packed
-	// membership bitset. Chunk boundaries are word-aligned (see chunkFor),
-	// so the plain word writes of Set never race across workers.
+	// The incremental-scan substrate: window incidences and stride table
+	// for the odometer loops, plus — when I is the default locally
+	// conjunctive predicate — the packed per-window-code legitimacy bits,
+	// so the I(K) fill tests K bitset bits per state instead of evaluating
+	// K decoded views.
+	in.digitWindows = in.buildDigitWindows()
+	in.stride = make([]uint64, k*in.d)
+	for r := 0; r < k; r++ {
+		for v := 0; v < in.d; v++ {
+			in.stride[r*in.d+v] = uint64(v) * in.po[r]
+		}
+	}
+	in.dW1 = 1
+	for i := 0; i < p.W()-1; i++ {
+		in.dW1 *= in.d
+	}
+	if in.globalI == nil {
+		nLocal := p.NumLocalStates()
+		in.legitCode = newBitset(uint64(nLocal))
+		for code := 0; code < nLocal; code++ {
+			if p.Legitimate(core.LocalState(code)) {
+				in.legitCode.Set(uint64(code))
+			}
+		}
+	}
+	// The I(K) fill streams odometer-advanced window codes into the packed
+	// membership bitset through the shared scratch machinery — the same
+	// zero-alloc discipline as the checker scans. Chunk boundaries are
+	// word-aligned (see chunkFor), so the plain word writes of Set never
+	// race across workers.
 	in.inI = newBitset(in.n)
 	in.forEachChunk(func(lo, hi uint64) {
-		vals := make([]int, k)
+		if lo >= hi {
+			return
+		}
+		sc := in.newScratch()
+		sc.od.reset(lo)
 		for id := lo; id < hi; id++ {
 			if id&cancelCheckMask == 0 && ctx.Err() != nil {
 				return
 			}
-			in.DecodeInto(id, vals)
-			if in.evalI(vals) {
+			if in.inIAt(sc.od) {
 				in.inI.Set(id)
+			}
+			if id+1 < hi {
+				sc.od.step()
 			}
 		}
 	})
@@ -192,6 +245,22 @@ func NewInstanceCtx(ctx context.Context, p *core.Protocol, k int, opts ...Option
 		return nil, err
 	}
 	return in, nil
+}
+
+// inIAt evaluates I on the odometer's current state: K legitimacy-bit
+// reads indexed by the incrementally maintained window codes in the
+// default locally conjunctive case, or the caller's global predicate over
+// the (already decoded) valuation.
+func (in *Instance) inIAt(od *odometer) bool {
+	if in.globalI != nil {
+		return in.globalI(od.vals)
+	}
+	for r := 0; r < in.k; r++ {
+		if !in.legitCode.Get(uint64(od.codes[r])) {
+			return false
+		}
+	}
+	return true
 }
 
 // validateActions evaluates every action on every possible local view and
@@ -426,14 +495,46 @@ func (in *Instance) Successors(id uint64) []uint64 {
 // frames, Successors) copy.
 func (in *Instance) successorsInto(id uint64, sc *scratch) []uint64 {
 	out := sc.succ[:0]
-	if fastOut, ok := in.successorsFast(id, sc.vals, sc.view, out); ok {
+	if fastOut, ok := in.successorsFast(id, sc, out); ok {
 		out = fastOut
 	} else {
-		for _, t := range in.SuccessorsDetailed(id) {
-			out = append(out, t.To)
+		in.DecodeInto(id, sc.vals)
+		out = in.successorsSymbolic(id, sc.vals, sc.view, out)
+	}
+	out = sortDedup(out)
+	sc.succ = out // retain the grown buffer for the next state
+	return out
+}
+
+// successorsSymbolic appends the successors of id by guard evaluation over
+// the (already decoded) valuation — the reference path instances with
+// distinguished processes use, and the oracle the differential fuzz pins
+// the fast path against. Emission order matches SuccessorsDetailed's
+// pre-sort order; callers sort and deduplicate.
+func (in *Instance) successorsSymbolic(id uint64, vals []int, view core.View, out []uint64) []uint64 {
+	for r := 0; r < in.k; r++ {
+		in.viewInto(vals, r, view)
+		for _, a := range in.actionsFor(r) {
+			if !a.Guard(view) {
+				continue
+			}
+			for _, nv := range a.Next(view) {
+				if nv < 0 || nv >= in.d {
+					panic(fmt.Sprintf("explicit: action %q writes %d outside domain", a.Name, nv))
+				}
+				out = append(out, id+uint64(nv)*in.po[r]-uint64(vals[r])*in.po[r])
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortDedup sorts out ascending and removes duplicates in place.
+// slices.Sort rather than sort.Slice: this runs once per state in every
+// whole-space scan, and the reflection-based swapper of sort.Slice costs
+// two heap allocations per call where the generic sort costs none.
+func sortDedup(out []uint64) []uint64 {
+	slices.Sort(out)
 	w := 0
 	for i, v := range out {
 		if i == 0 || v != out[i-1] {
@@ -441,8 +542,107 @@ func (in *Instance) successorsInto(id uint64, sc *scratch) []uint64 {
 			w++
 		}
 	}
-	sc.succ = out // retain the grown buffer for the next state
 	return out[:w]
+}
+
+// successorsAt computes the sorted, deduplicated successor set of the
+// odometer's current state — the chunk-scan counterpart of successorsInto:
+// no decode and no window encode at all on the fast path, because the
+// odometer has both the valuation and every window code current. The
+// returned slice is valid until the next successorsAt/successorsInto call
+// on the same scratch.
+func (in *Instance) successorsAt(sc *scratch) []uint64 {
+	out := sc.succ[:0]
+	if tbl := in.fast(); tbl != nil {
+		out = in.emitFast(tbl, sc.od.id, sc.od.vals, sc.od.codes, out)
+	} else {
+		out = in.successorsSymbolic(sc.od.id, sc.od.vals, sc.view, out)
+	}
+	out = sortDedup(out)
+	sc.succ = out
+	return out
+}
+
+// deadlockAt reports whether the odometer's current state is a global
+// deadlock, with early exit on the first enabled process.
+func (in *Instance) deadlockAt(sc *scratch) bool {
+	if tbl := in.fast(); tbl != nil {
+		for r := 0; r < in.k; r++ {
+			if tbl.enabled.Get(uint64(sc.od.codes[r])) {
+				return false
+			}
+		}
+		return true
+	}
+	for r := 0; r < in.k; r++ {
+		in.viewInto(sc.od.vals, r, sc.view)
+		for _, a := range in.actionsFor(r) {
+			if a.Guard(sc.view) && len(a.Next(sc.view)) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// enabledCountAt counts the enabled processes of the odometer's current
+// state (no early exit; the parity contract the fuzz target checks
+// against EnabledProcesses).
+func (in *Instance) enabledCountAt(sc *scratch) int {
+	count := 0
+	if tbl := in.fast(); tbl != nil {
+		for r := 0; r < in.k; r++ {
+			if tbl.enabled.Get(uint64(sc.od.codes[r])) {
+				count++
+			}
+		}
+		return count
+	}
+	for r := 0; r < in.k; r++ {
+		in.viewInto(sc.od.vals, r, sc.view)
+		for _, a := range in.actionsFor(r) {
+			if a.Guard(sc.view) && len(a.Next(sc.view)) > 0 {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// DecodeSweep walks the whole state space with the incremental odometer and
+// folds every valuation and window code into a checksum. It is the
+// decode-only floor of the scan loop — what every whole-space pass pays
+// before doing any per-state work — measured by the lrbench scanloop rows
+// as a states/sec figure.
+func (in *Instance) DecodeSweep() uint64 {
+	var sum uint64
+	sc := in.newScratch()
+	sc.od.reset(0)
+	for id := uint64(0); id < in.n; id++ {
+		sum += uint64(sc.od.vals[0]) + uint64(uint32(sc.od.codes[in.k-1]))
+		if id+1 < in.n {
+			sc.od.step()
+		}
+	}
+	return sum
+}
+
+// SuccessorSweep generates the successor set of every state in one
+// ascending odometer scan and returns the total number of distinct
+// successor edges — the successors-only scan-loop cost, measured by the
+// lrbench scanloop rows next to DecodeSweep and the full checks.
+func (in *Instance) SuccessorSweep() uint64 {
+	var edges uint64
+	sc := in.newScratch()
+	sc.od.reset(0)
+	for id := uint64(0); id < in.n; id++ {
+		edges += uint64(len(in.successorsAt(sc)))
+		if id+1 < in.n {
+			sc.od.step()
+		}
+	}
+	return edges
 }
 
 // EnabledProcesses returns the ring positions with at least one enabled
@@ -488,7 +688,7 @@ func (in *Instance) IsDeadlock(id uint64) bool {
 
 // isDeadlockScratch is IsDeadlock with caller-provided scratch.
 func (in *Instance) isDeadlockScratch(id uint64, sc *scratch) bool {
-	if n, ok := in.enabledCountFast(id, sc.vals, sc.view); ok {
+	if n, ok := in.enabledCountFast(id, sc); ok {
 		return n == 0
 	}
 	return len(in.EnabledProcesses(id)) == 0

@@ -1,0 +1,132 @@
+package explicit
+
+import "paramring/internal/core"
+
+// The incremental scan substrate. Every whole-state-space loop in this
+// package visits global states in ascending code order, and consecutive
+// codes differ in a single low-order digit (plus a run of digits wrapping
+// from d-1 back to 0). The odometer exploits that: it decodes a chunk's
+// first code once and then keeps both the valuation and every process's
+// window code current by mixed-radix increment, so the steady-state cost
+// per visited state is O(1) amortized digit updates and O(W) window-code
+// adjustments instead of the K-division decode plus K full window
+// re-encodes the naive loop pays. The scan consumers (the I(K) fill, the
+// deadlock scans, the closure scan, the CSR build, and the lrbench
+// scanloop sweeps) all ride on it; random-access paths (Tarjan frames,
+// BFS predecessor probes) use the rolling windowCodes fill instead.
+//
+// Equivalence contract: for every state id, an odometer positioned at id
+// holds exactly DecodeInto(id, vals) and codes[q] ==
+// core.Encode(viewInto(vals, q), d) for every process q. The differential
+// fuzz target FuzzScanLoopEquivalence pins this against the plain
+// decode/encode path for random protocols, ring sizes and windows.
+
+// digitWindow records one incidence of a ring position in a process's
+// read window: the window of process proc contains the position this
+// entry is indexed under at mixed-radix weight d^i (core.EncodeWeights).
+// On small rings (K < W) one window can contain the same position at
+// several indices, so incidences are a list, not a set.
+type digitWindow struct {
+	proc   int32
+	weight int32
+}
+
+// buildDigitWindows returns, per ring position r, the window incidences
+// every odometer digit change at r must propagate to. Size is K*W
+// entries; built once per instance.
+func (in *Instance) buildDigitWindows() [][]digitWindow {
+	dw := make([][]digitWindow, in.k)
+	weights := core.EncodeWeights(in.d, in.p.W())
+	for q := 0; q < in.k; q++ {
+		for i := 0; i < in.p.W(); i++ {
+			pos := in.pos(q + in.lo + i)
+			dw[pos] = append(dw[pos], digitWindow{proc: int32(q), weight: int32(weights[i])})
+		}
+	}
+	return dw
+}
+
+// pos wraps a ring offset into [0, K).
+func (in *Instance) pos(off int) int { return ((off % in.k) + in.k) % in.k }
+
+// windowCodes fills codes[q] with the local state code of process q's
+// window over vals, for every q, in one rolling pass: window q+1 drops
+// the lowest digit of window q and gains one new high digit, so each
+// subsequent code costs one subtract, one exact divide and one
+// multiply-add instead of a W-element re-encode with wrapped indexing.
+// This is the random-access complement of the odometer: paths that land
+// on an arbitrary id (Tarjan expansion, BFS probes) decode once and then
+// derive all K codes in O(K) instead of O(K*W).
+func (in *Instance) windowCodes(vals []int, codes []int32) {
+	d := in.d
+	w := in.p.W()
+	c := 0
+	for i := w - 1; i >= 0; i-- {
+		c = c*d + vals[in.pos(in.lo+i)]
+	}
+	codes[0] = int32(c)
+	out := in.pos(in.lo)     // lowest digit of the previous window
+	inp := in.pos(in.lo + w) // digit entering the next window
+	for q := 1; q < in.k; q++ {
+		c = (c-vals[out])/d + vals[inp]*in.dW1
+		codes[q] = int32(c)
+		out++
+		if out == in.k {
+			out = 0
+		}
+		inp++
+		if inp == in.k {
+			inp = 0
+		}
+	}
+}
+
+// odometer is the incremental cursor of an ascending chunk scan: the
+// current state code, its decoded valuation, and the window code of every
+// process, all advanced in lockstep by step().
+type odometer struct {
+	in    *Instance
+	id    uint64
+	vals  []int
+	codes []int32
+}
+
+// newOdometer returns an odometer for this instance, positioned nowhere;
+// call reset before use.
+func (in *Instance) newOdometer() *odometer {
+	return &odometer{in: in, vals: make([]int, in.k), codes: make([]int32, in.k)}
+}
+
+// reset positions the odometer at id: one full decode and one rolling
+// window-code fill — the only non-incremental work a chunk scan performs.
+func (o *odometer) reset(id uint64) {
+	o.id = id
+	o.in.DecodeInto(id, o.vals)
+	o.in.windowCodes(o.vals, o.codes)
+}
+
+// step advances the odometer to id+1 by mixed-radix increment: a run of
+// low-order digits wraps d-1 -> 0 and the first non-maximal digit
+// increments, each change propagating to the <= W window codes that read
+// the changed position. The caller must not step past NumStates()-1.
+func (o *odometer) step() {
+	o.id++
+	d := o.in.d
+	for r := 0; ; r++ {
+		if v := o.vals[r] + 1; v < d {
+			o.setDigit(r, v)
+			return
+		}
+		o.setDigit(r, 0)
+	}
+}
+
+// setDigit writes value nv at ring position r and propagates the delta to
+// every window code containing that position.
+func (o *odometer) setDigit(r, nv int) {
+	delta := int32(nv - o.vals[r])
+	o.vals[r] = nv
+	for _, dw := range o.in.digitWindows[r] {
+		o.codes[dw.proc] += delta * dw.weight
+	}
+}

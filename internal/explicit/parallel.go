@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"runtime/trace"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -82,21 +83,27 @@ func (in *Instance) firstIllegitimateDeadlockParallel(ctx context.Context) (uint
 	var best atomic.Uint64
 	best.Store(math.MaxUint64)
 	in.forEachChunk(func(lo, hi uint64) {
+		if lo >= hi {
+			return
+		}
 		sc := in.newScratch()
+		sc.od.reset(lo)
 		for id := lo; id < hi; id++ {
 			if id%4096 == 0 && (ctx.Err() != nil || best.Load() < lo) {
 				return // canceled, or a lower chunk already found one
 			}
-			if in.inI.Get(id) || !in.isDeadlockScratch(id, sc) {
-				continue
-			}
-			for {
-				cur := best.Load()
-				if id >= cur || best.CompareAndSwap(cur, id) {
-					break
+			if !in.inI.Get(id) && in.deadlockAt(sc) {
+				for {
+					cur := best.Load()
+					if id >= cur || best.CompareAndSwap(cur, id) {
+						break
+					}
 				}
+				return // the first hit in an ascending chunk is the chunk's min
 			}
-			return // the first hit in an ascending chunk is the chunk's min
+			if id+1 < hi {
+				sc.od.step()
+			}
 		}
 	})
 	id := best.Load()
@@ -105,7 +112,9 @@ func (in *Instance) firstIllegitimateDeadlockParallel(ctx context.Context) (uint
 
 // collectStatesParallel returns, in increasing state-code order, every
 // state satisfying pred. Per-chunk slices are concatenated in chunk order,
-// so the result is identical to a sequential ascending scan.
+// so the result is identical to a sequential ascending scan. The scratch
+// handed to pred has its odometer synced to id, so predicates can use the
+// incremental deadlockAt/successorsAt helpers directly.
 func (in *Instance) collectStatesParallel(pred func(id uint64, sc *scratch) bool) []uint64 {
 	parts := make([][]uint64, in.workers)
 	var wg sync.WaitGroup
@@ -118,10 +127,14 @@ func (in *Instance) collectStatesParallel(pred func(id uint64, sc *scratch) bool
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
 			sc := in.newScratch()
+			sc.od.reset(lo)
 			var out []uint64
 			for id := lo; id < hi; id++ {
 				if pred(id, sc) {
 					out = append(out, id)
+				}
+				if id+1 < hi {
+					sc.od.step()
 				}
 			}
 			parts[w] = out
@@ -191,22 +204,28 @@ func (in *Instance) buildNotIGraphParallel(ctx context.Context) (*notIGraph, boo
 		go func(c *chunk) {
 			defer wg.Done()
 			sc := in.newScratch()
+			sc.od.reset(c.lo)
 			c.deg = make([]uint32, c.hi-c.lo)
+			// The chunk is one ID-sorted run: the odometer keeps the window
+			// codes current and the ascending ids keep the inI words and the
+			// flat table hot, so the CSR build streams instead of chasing.
 			for id := c.lo; id < c.hi; id++ {
 				if id&cancelCheckMask == 0 && ctx.Err() != nil {
 					return // partial chunk; the caller discards via ctx.Err()
 				}
-				if in.inI.Get(id) {
-					continue
-				}
-				n := 0
-				for _, s := range in.successorsInto(id, sc) {
-					if !in.inI.Get(s) {
-						c.edges = append(c.edges, uint32(s))
-						n++
+				if !in.inI.Get(id) {
+					n := 0
+					for _, s := range in.successorsAt(sc) {
+						if !in.inI.Get(s) {
+							c.edges = append(c.edges, uint32(s))
+							n++
+						}
 					}
+					c.deg[id-c.lo] = uint32(n)
 				}
-				c.deg[id-c.lo] = uint32(n)
+				if id+1 < c.hi {
+					sc.od.step()
+				}
 			}
 		}(&chunks[w])
 	}
@@ -276,14 +295,19 @@ func (in *Instance) recoveryDistancesParallel() []int32 {
 		dist[i] = -1
 	}
 	seen := newBitset(in.n)
-	frontier := in.collectStatesParallel(func(id uint64, _ *scratch) bool {
-		return in.inI.Get(id)
-	})
+	// Seed the level-0 frontier straight from the membership bits at word
+	// speed — no per-id predicate scan, and the result is ascending by
+	// construction.
+	frontier := in.inI.AppendSetBits(nil, 0, in.n)
 	for _, id := range frontier {
 		seen.Set(id)
 		dist[id] = 0
 	}
 	for level := int32(0); len(frontier) > 0; level++ {
+		// Batched frontier processing: each level is handled in ID-sorted
+		// runs, so the predecessor probes of neighboring frontier states
+		// touch neighboring bitset words and reuse the hot flat-table rows.
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		parts := make([][]uint64, in.workers)
 		var wg sync.WaitGroup
 		size := (len(frontier) + in.workers - 1) / in.workers
@@ -342,14 +366,12 @@ func (in *Instance) recoveryDistancesParallel() []int32 {
 // RecoveryRadius has always used, emitting the dist array.
 func (in *Instance) recoveryDistancesSeq() []int32 {
 	dist := make([]int32, in.n)
-	var frontier []uint64
-	for id := uint64(0); id < in.n; id++ {
-		if in.inI.Get(id) {
-			dist[id] = 0
-			frontier = append(frontier, id)
-		} else {
-			dist[id] = -1
-		}
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := in.inI.AppendSetBits(nil, 0, in.n)
+	for _, id := range frontier {
+		dist[id] = 0
 	}
 	vals := make([]int, in.k)
 	sc := in.newScratch()
@@ -404,19 +426,17 @@ func (in *Instance) checkClosureParallel() *ClosureViolation {
 		wg.Add(1)
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
+			sc := in.newScratch()
+			sc.od.reset(lo)
 			for id := lo; id < hi; id++ {
 				if id%4096 == 0 && best.Load() < lo {
 					return
 				}
-				if !in.inI.Get(id) {
-					continue
-				}
-				for _, t := range in.SuccessorsDetailed(id) {
-					if in.inI.Get(t.To) {
-						continue
-					}
-					v := ClosureViolation{From: id, To: t.To, Process: t.Process, Action: t.Action}
-					found[w] = &v
+				// Two-phase like the sequential scan: the odometer sweep
+				// detects an escape from I, and only a hit pays the
+				// allocating detailed walk that names the witness.
+				if in.inI.Get(id) && in.closureEscapeAt(sc) {
+					found[w] = in.closureWitness(id)
 					for {
 						cur := best.Load()
 						if id >= cur || best.CompareAndSwap(cur, id) {
@@ -424,6 +444,9 @@ func (in *Instance) checkClosureParallel() *ClosureViolation {
 						}
 					}
 					return
+				}
+				if id+1 < hi {
+					sc.od.step()
 				}
 			}
 		}(w, lo, hi)

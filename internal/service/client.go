@@ -22,7 +22,10 @@ import (
 type Client struct {
 	// BaseURL is the service root (http://host:port), no trailing slash.
 	BaseURL string
-	// HTTP is the transport (default http.DefaultClient).
+	// HTTP overrides the HTTP client. The default is a package-shared
+	// keep-alive client (see sharedTransport) so that every Client in the
+	// process pools connections per host; a session of sequential calls
+	// rides one TCP connection instead of paying a dial per request.
 	HTTP *http.Client
 	// MaxRetries bounds 503 re-submissions per call (default 5; the first
 	// attempt is not a retry).
@@ -35,6 +38,36 @@ type Client struct {
 	// Rand supplies backoff jitter (default the global source). Tests pin
 	// it for determinism.
 	Rand *rand.Rand
+}
+
+// sharedTransport is the keep-alive transport behind every Client that does
+// not bring its own http.Client. http.DefaultClient would work too — its
+// DefaultTransport also pools connections — but a shared package-level
+// transport makes the pooling knobs explicit and deliberately sized for the
+// fleet pattern: many sequential calls from a handful of goroutines against
+// one lrserved host. DefaultTransport's MaxIdleConnsPerHost of 2 throttles
+// exactly that shape (any burst past 2 concurrent calls churns TCP
+// connections ever after); 16 per host keeps a worker pool's connections
+// alive across the whole run. The idle timeout stays under typical LB/NAT
+// idle cutoffs so a parked connection is retired before a middlebox can
+// silently drop it.
+var sharedTransport = &http.Transport{
+	Proxy:                 http.ProxyFromEnvironment,
+	MaxIdleConns:          64,
+	MaxIdleConnsPerHost:   16,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
+var sharedHTTPClient = &http.Client{Transport: sharedTransport}
+
+// httpClient returns the caller's override or the shared keep-alive client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return sharedHTTPClient
 }
 
 // ClientError is a non-backpressure HTTP failure: status plus the
@@ -196,16 +229,18 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	client := c.HTTP
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	// Drain whatever the limit left unread (bounded — a server streaming
+	// gigabytes past the cap forfeits reuse when Close kills the
+	// connection): the transport only returns a connection to the idle pool
+	// once the body has been read to EOF, so an undrained oversized response
+	// would silently turn every subsequent request into a fresh dial.
+	_, _ = io.CopyN(io.Discard, resp.Body, maxRequestBytes)
 	if err != nil {
 		return resp.StatusCode, nil, resp.Header, err
 	}

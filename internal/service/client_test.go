@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -39,6 +40,40 @@ func TestClientRetriesBackpressure(t *testing.T) {
 	}
 	if got := calls.Load(); got != 3 {
 		t.Fatalf("expected 3 requests (2 x 503 + accept), got %d", got)
+	}
+}
+
+// The connection-reuse regression: a session of sequential calls through
+// the default (shared keep-alive) client must ride ONE TCP connection, not
+// dial per request. The server's ConnState hook counts accepted
+// connections; the client side only reuses a pooled connection when every
+// response body was drained to EOF before Close, so this test pins both the
+// shared-transport default and the drain in do().
+func TestClientReusesConnectionAcrossRequests(t *testing.T) {
+	var conns atomic.Int32
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, JobView{ID: "job-000001", State: StateDone})
+	}))
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+	if _, err := c.Verify(ctx, Request{Spec: "protocol p\n"}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := c.Job(ctx, "job-000001"); err != nil {
+			t.Fatalf("Job poll %d: %v", i, err)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("10 sequential requests opened %d connections, want 1 (keep-alive reuse broken)", got)
 	}
 }
 
